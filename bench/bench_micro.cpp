@@ -1,0 +1,153 @@
+// Google-benchmark microbenchmarks of the substrates: LP/MILP solver,
+// conflict oracle, ring construction, wavelength assignment, and the full
+// synthesis flow. These back the paper's computational-efficiency claim
+// (Table T columns: full 16-node synthesis well under a second).
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/ornoc.hpp"
+#include "mapping/opening.hpp"
+#include "geom/offset.hpp"
+#include "sim/simulator.hpp"
+#include "xring/synthesizer.hpp"
+
+namespace {
+
+using namespace xring;
+
+void BM_LpAssignmentRelaxation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  lp::Problem p;
+  std::vector<std::vector<int>> var(n, std::vector<int>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      var[i][j] = p.add_variable(0, 1, std::abs(i - j) + 1);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::pair<int, double>> row, col;
+    for (int j = 0; j < n; ++j) {
+      row.emplace_back(var[i][j], 1.0);
+      col.emplace_back(var[j][i], 1.0);
+    }
+    p.add_constraint(row, lp::Sense::kEq, 1.0);
+    p.add_constraint(col, lp::Sense::kEq, 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::solve(p));
+  }
+}
+BENCHMARK(BM_LpAssignmentRelaxation)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_ConflictOracle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto fp = netlist::Floorplan::standard(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring::ConflictOracle(fp));
+  }
+}
+BENCHMARK(BM_ConflictOracle)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_RingConstruction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto fp = netlist::Floorplan::standard(n);
+  const ring::ConflictOracle oracle(fp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring::build_ring(fp, oracle, {}));
+  }
+}
+BENCHMARK(BM_RingConstruction)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_HeuristicTour(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto fp = netlist::Floorplan::standard(n);
+  const ring::ConflictOracle oracle(fp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring::heuristic_tour(fp, oracle));
+  }
+}
+BENCHMARK(BM_HeuristicTour)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_WavelengthAssignment(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto fp = netlist::Floorplan::standard(n);
+  const auto traffic = netlist::Traffic::all_to_all(n);
+  const auto ring = ring::build_ring(fp).geometry;
+  const auto plan = shortcut::build_shortcuts(ring, fp);
+  mapping::MappingOptions mo;
+  mo.max_wavelengths = n;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mapping::assign_wavelengths(ring.tour, traffic, plan, mo));
+  }
+}
+BENCHMARK(BM_WavelengthAssignment)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_FullXRingSynthesis(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto fp = netlist::Floorplan::standard(n);
+  const Synthesizer synth(fp);
+  SynthesisOptions opt;
+  opt.mapping.max_wavelengths = n;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth.run(opt));
+  }
+}
+BENCHMARK(BM_FullXRingSynthesis)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_OrnocBaseline(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto fp = netlist::Floorplan::standard(n);
+  const auto ring = ring::build_ring(fp);
+  baseline::OrnocOptions opt;
+  opt.max_wavelengths = n;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baseline::synthesize_ornoc(fp, ring, opt));
+  }
+}
+BENCHMARK(BM_OrnocBaseline)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_Evaluate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto fp = netlist::Floorplan::standard(n);
+  const Synthesizer synth(fp);
+  SynthesisOptions opt;
+  opt.mapping.max_wavelengths = n;
+  const SynthesisResult r = synth.run(opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::evaluate(r.design));
+  }
+}
+BENCHMARK(BM_Evaluate)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_Simulator(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto fp = netlist::Floorplan::standard(n);
+  const Synthesizer synth(fp);
+  SynthesisOptions opt;
+  opt.mapping.max_wavelengths = n;
+  const SynthesisResult r = synth.run(opt);
+  sim::SimOptions so;
+  so.duration_us = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(r.design, r.metrics, so));
+  }
+}
+BENCHMARK(BM_Simulator)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_OffsetClosedRing(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto fp = netlist::Floorplan::standard(n);
+  const auto ring = ring::build_ring(fp).geometry;
+  for (auto _ : state) {
+    try {
+      benchmark::DoNotOptimize(geom::offset_closed(ring.polyline, 150, false));
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+BENCHMARK(BM_OffsetClosedRing)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

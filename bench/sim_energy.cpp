@@ -1,0 +1,58 @@
+// System-level extension study on the simulator: energy per bit and link
+// quality of XRing vs the ring baselines across offered loads. The static
+// tables (I-III) compare worst-case optics; this bench translates them into
+// the system metrics an architect would quote.
+
+#include <cstdio>
+
+#include "baseline/oring.hpp"
+#include "baseline/ornoc.hpp"
+#include "report/table.hpp"
+#include "sim/simulator.hpp"
+#include "xring/synthesizer.hpp"
+
+int main() {
+  using namespace xring;
+  std::printf("=== Simulation: energy per bit and BER (16 nodes) ===\n\n");
+
+  const int n = 16;
+  const auto fp = netlist::Floorplan::standard(n);
+  Synthesizer synth(fp);
+  const auto ring = ring::build_ring(fp, synth.oracle(), {});
+
+  SynthesisOptions xo;
+  xo.mapping.max_wavelengths = n;
+  const auto xr = synth.run_with_ring(xo, ring);
+  baseline::OrnocOptions no;
+  no.max_wavelengths = n;
+  const auto ornoc = baseline::synthesize_ornoc(fp, ring, no);
+  baseline::OringOptions go;
+  go.max_wavelengths = n;
+  const auto oring = baseline::synthesize_oring(fp, ring, go);
+
+  report::Table t({"load", "router", "throughput (Gb/s)", "avg latency (ns)",
+                   "worst BER", "energy/bit (pJ)"});
+  for (const double load : {0.2, 0.5, 0.8}) {
+    sim::SimOptions so;
+    so.offered_load = load;
+    so.duration_us = 3.0;
+    const struct {
+      const char* name;
+      const SynthesisResult* r;
+    } routers[] = {{"XRing", &xr}, {"ORNoC", &ornoc}, {"ORing", &oring}};
+    for (const auto& router : routers) {
+      const sim::SimReport rep =
+          sim::simulate(router.r->design, router.r->metrics, so);
+      char ber[32];
+      std::snprintf(ber, sizeof ber, "%.1e", rep.worst_ber);
+      t.add_row({report::num(load, 1), router.name,
+                 report::num(rep.aggregate_throughput_gbps, 1),
+                 report::num(rep.avg_latency_ns, 1), ber,
+                 report::num(rep.energy_per_bit_pj, 2)});
+    }
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("(all three are contention-free; XRing wins on energy via its\n"
+              " lower laser power, and on BER via zero first-order noise)\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// The introduction's claim, quantified: "ring routers save MRR-tuning
+// power" compared to crossbars. Every micro-ring must be thermally locked
+// to its resonance; this bench counts the rings of each router and the
+// resulting tuning power.
+
+#include <cstdio>
+
+#include "analysis/tuning.hpp"
+#include "report/table.hpp"
+#include "xring/synthesizer.hpp"
+
+int main() {
+  using namespace xring;
+  std::printf("=== MRR inventory and thermal tuning power ===\n\n");
+
+  for (const int n : {8, 16}) {
+    const auto fp = netlist::Floorplan::standard(n);
+    report::Table t({"router", "modulators", "drops", "residue", "switching",
+                     "total MRRs", "tuning (W)"});
+
+    const crossbar::LambdaRouter lambda(n);
+    const crossbar::Gwor gwor(n);
+    const crossbar::Light light(n);
+    for (const crossbar::Topology* topo :
+         {static_cast<const crossbar::Topology*>(&lambda),
+          static_cast<const crossbar::Topology*>(&gwor),
+          static_cast<const crossbar::Topology*>(&light)}) {
+      const analysis::MrrInventory inv = analysis::count_mrrs(*topo);
+      t.add_row({topo->name(), std::to_string(inv.modulators),
+                 std::to_string(inv.drop_filters), "-",
+                 std::to_string(inv.switching), std::to_string(inv.total()),
+                 report::num(analysis::tuning_power_w(inv), 3)});
+    }
+
+    Synthesizer synth(fp);
+    SynthesisOptions opt;
+    opt.mapping.max_wavelengths = n;
+    const SynthesisResult r = synth.run(opt);
+    const analysis::MrrInventory inv = analysis::count_mrrs(r.design);
+    t.add_row({"XRing", std::to_string(inv.modulators),
+               std::to_string(inv.drop_filters),
+               std::to_string(inv.residue_filters),
+               std::to_string(inv.cse_mrrs), std::to_string(inv.total()),
+               report::num(analysis::tuning_power_w(inv), 3)});
+
+    std::printf("%d-node network\n%s\n", n, t.to_string().c_str());
+  }
+  std::printf("(0.1 mW locking power per ring; ring routers carry no\n"
+              " switching fabric, so their ring count is ~2-3 per signal)\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Side-by-side comparison of every router family in the library on one
+// network: XRing, the ring baselines (ORNoC, ORing) and the crossbar
+// topologies under all three synthesis styles.
+//
+// Usage: compare_routers [nodes]   (nodes in {8, 16, 32}, default 16)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/oring.hpp"
+#include "baseline/ornoc.hpp"
+#include "crossbar/physical.hpp"
+#include "report/table.hpp"
+#include "xring/sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xring;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 16;
+  if (n != 8 && n != 16 && n != 32) {
+    std::fprintf(stderr, "usage: %s [8|16|32]\n", argv[0]);
+    return 1;
+  }
+
+  const auto params = phys::Parameters::oring();
+  const auto fp = netlist::Floorplan::standard(n);
+  report::Table t({"router", "#wl", "il_w (dB)", "L (mm)", "C", "P (W)",
+                   "#s", "SNR_w (dB)"});
+
+  // Crossbars (no PDN model; laser power therefore omitted).
+  const crossbar::LambdaRouter lambda(n);
+  const crossbar::Gwor gwor(n);
+  const crossbar::Light light(n);
+  const struct {
+    const char* name;
+    const crossbar::Topology* topo;
+    crossbar::SynthesisStyle style;
+  } xbars[] = {
+      {"lambda-router (naive P&R)", &lambda, crossbar::SynthesisStyle::kNaive},
+      {"lambda-router (planarized)", &lambda,
+       crossbar::SynthesisStyle::kPlanarized},
+      {"GWOR (compact)", &gwor, crossbar::SynthesisStyle::kCompact},
+      {"Light (compact)", &light, crossbar::SynthesisStyle::kCompact},
+  };
+  for (const auto& x : xbars) {
+    const auto m =
+        crossbar::PhysicalSynthesis(*x.topo, fp, x.style, params).evaluate();
+    t.add_row({x.name, std::to_string(m.wavelengths),
+               report::num(m.il_worst_db, 2), report::num(m.worst_path_mm, 1),
+               std::to_string(m.worst_crossings), "-", "-", "-"});
+  }
+
+  // Ring routers with PDNs, each at its min-power #wl setting.
+  Synthesizer synth(fp);
+  const auto ring = ring::build_ring(fp, synth.oracle(), {});
+  auto add_ring_row = [&](const char* name, const SweepResult& r) {
+    const auto& m = r.result.metrics;
+    t.add_row({name, std::to_string(m.wavelengths),
+               report::num(m.il_worst_db, 2), report::num(m.worst_path_mm, 1),
+               std::to_string(m.worst_crossings),
+               report::num(m.total_power_w, 2),
+               std::to_string(m.noisy_signals), report::snr(m.snr_worst_db)});
+  };
+  add_ring_row("ORNoC + comb PDN", sweep(
+                                       [&](int wl) {
+                                         baseline::OrnocOptions o;
+                                         o.max_wavelengths = wl;
+                                         o.params = params;
+                                         return baseline::synthesize_ornoc(
+                                             fp, ring, o);
+                                       },
+                                       SweepGoal::kMinPower, 2, n));
+  add_ring_row("ORing + comb PDN", sweep(
+                                       [&](int wl) {
+                                         baseline::OringOptions o;
+                                         o.max_wavelengths = wl;
+                                         o.params = params;
+                                         return baseline::synthesize_oring(
+                                             fp, ring, o);
+                                       },
+                                       SweepGoal::kMinPower, 2, n));
+  add_ring_row("XRing + tree PDN", sweep(
+                                       [&](int wl) {
+                                         SynthesisOptions o;
+                                         o.mapping.max_wavelengths = wl;
+                                         o.params = params;
+                                         return synth.run_with_ring(o, ring);
+                                       },
+                                       SweepGoal::kMinPower, 2, n));
+
+  std::printf("%d-node all-to-all network\n%s", n, t.to_string().c_str());
+  std::printf("(crossbar il_w has no PDN; ring il_w includes its PDN feed)\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart: synthesize a 16-node XRing router and print what came out.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "xring/synthesizer.hpp"
+
+int main() {
+  using namespace xring;
+
+  // 1. Describe the network: node count and positions. Here the standard
+  //    16-core floorplan (4x4 grid, 2 mm pitch).
+  const netlist::Floorplan floorplan = netlist::Floorplan::standard(16);
+
+  // 2. Run the four-step synthesis with default options: MILP ring
+  //    construction, shortcuts, signal mapping + openings, tree PDN.
+  const Synthesizer synthesizer(floorplan);
+  const SynthesisResult result = synthesizer.run();
+
+  // 3. Inspect the design.
+  const analysis::RouterDesign& d = result.design;
+  std::printf("ring tour        :");
+  for (const netlist::NodeId v : d.ring.tour.order()) std::printf(" %d", v);
+  std::printf("\nring length      : %.1f mm\n",
+              d.ring.tour.total_length() / 1000.0);
+  std::printf("ring crossings   : %d\n", d.ring.crossings);
+  std::printf("shortcuts        : %zu\n", d.shortcuts.shortcuts.size());
+  for (const shortcut::Shortcut& s : d.shortcuts.shortcuts) {
+    std::printf("  n%d <-> n%d  length %.1f mm, gain %.1f mm%s\n", s.a, s.b,
+                s.length / 1000.0, s.gain / 1000.0,
+                s.crossing_partner >= 0 ? " (crossed -> CSE)" : "");
+  }
+  std::printf("ring waveguides  : %zu (openings:", d.mapping.waveguides.size());
+  for (const mapping::RingWaveguide& w : d.mapping.waveguides) {
+    std::printf(" n%d", w.opening);
+  }
+  std::printf(")\n");
+
+  // 4. Inspect the evaluation.
+  const analysis::RouterMetrics& m = result.metrics;
+  std::printf("\nwavelengths      : %d\n", m.wavelengths);
+  std::printf("worst loss       : %.2f dB (%.2f dB excl. PDN)\n",
+              m.il_worst_db, m.il_star_worst_db);
+  std::printf("worst path       : %.1f mm, %d crossings\n", m.worst_path_mm,
+              m.worst_crossings);
+  std::printf("laser power      : %.2f W\n", m.total_power_w);
+  std::printf("noisy signals    : %d of %d\n", m.noisy_signals,
+              static_cast<int>(m.signals.size()));
+  std::printf("synthesis time   : %.3f s\n", result.seconds);
+  return 0;
+}

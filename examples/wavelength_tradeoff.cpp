@@ -1,0 +1,49 @@
+// The #wl design-space series behind Tables II/III: how the wavelength
+// budget trades laser power, waveguide count and SNR for one network. The
+// sweep layer picks single points from this curve; this example prints the
+// whole series so the trade-off is visible.
+//
+// Usage: wavelength_tradeoff [nodes]   (default 16)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/oring.hpp"
+#include "report/table.hpp"
+#include "xring/synthesizer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xring;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 16;
+  if (n != 8 && n != 16 && n != 32) {
+    std::fprintf(stderr, "usage: %s [8|16|32]\n", argv[0]);
+    return 1;
+  }
+
+  const auto fp = netlist::Floorplan::standard(n);
+  Synthesizer synth(fp);
+  const auto ring = ring::build_ring(fp, synth.oracle(), {});
+
+  report::Table t({"#wl cap", "XRing wgs", "XRing P (W)", "XRing il* (dB)",
+                   "ORing wgs", "ORing P (W)", "ORing SNR_w"});
+  for (int wl = 2; wl <= n; ++wl) {
+    SynthesisOptions xo;
+    xo.mapping.max_wavelengths = wl;
+    const auto xr = synth.run_with_ring(xo, ring);
+
+    baseline::OringOptions oo;
+    oo.max_wavelengths = wl;
+    const auto orr = baseline::synthesize_oring(fp, ring, oo);
+
+    t.add_row({std::to_string(wl), std::to_string(xr.metrics.waveguides),
+               report::num(xr.metrics.total_power_w, 3),
+               report::num(xr.metrics.il_star_worst_db, 2),
+               std::to_string(orr.metrics.waveguides),
+               report::num(orr.metrics.total_power_w, 3),
+               report::snr(orr.metrics.snr_worst_db)});
+  }
+  std::printf("%d-node network: wavelength budget trade-off\n%s", n,
+              t.to_string().c_str());
+  std::printf("(each row is a full synthesis at that #wl cap)\n");
+  return 0;
+}

@@ -1,0 +1,221 @@
+#include "analysis/crosstalk.hpp"
+
+#include <cmath>
+
+#include "phys/units.hpp"
+
+namespace xring::analysis {
+
+namespace {
+
+constexpr double kNegligibleMw = 1e-15;
+
+/// Walks noise injected on ring waveguide `w` at node `at`, travelling the
+/// waveguide's transmission direction, until a wavelength-matched receiver
+/// absorbs it, the opening terminates it, or a full lap decays it.
+void walk_ring_noise(const AnalysisContext& ctx, int w, NodeId at,
+                     int wavelength, double power_mw,
+                     std::vector<double>& noise_out) {
+  if (power_mw < kNegligibleMw) return;
+  const RouterDesign& d = ctx.design();
+  const phys::LossParams& lp = d.params.loss;
+  const ring::Tour& tour = d.ring.tour;
+  const mapping::RingWaveguide& wg = d.mapping.waveguides[w];
+  const double scale = d.ring_scale(w);
+  const int n = tour.size();
+  const int step = wg.dir == mapping::Direction::kCw ? 1 : -1;
+  const double absorb_db = lp.drop_db + lp.photodetector_db;
+
+  int pos = tour.position(at);
+  for (int travelled = 0; travelled < n; ++travelled) {
+    // Propagate over the hop to the next node. For cw travel from position
+    // p the hop index is p; for ccw travel it is p-1.
+    const int hop = wg.dir == mapping::Direction::kCw ? pos : pos - 1;
+    const double hop_mm = tour.hop_length(hop) / 1000.0 * scale;
+    power_mw *= phys::db_to_linear(-hop_mm * lp.propagation_db_per_mm);
+    pos += step;
+    const NodeId u = tour.at(pos);
+    if (power_mw < kNegligibleMw) return;
+
+    // Receiver bank first: a matched drop-MRR absorbs the noise into its
+    // photodetector.
+    const auto receivers = d.receivers_on(w, u, wavelength);
+    if (!receivers.empty()) {
+      noise_out[receivers.front()] += power_mw * phys::db_to_linear(-absorb_db);
+      return;
+    }
+    // The opening cut sits between the receiver and sender banks.
+    if (wg.opening == u) return;
+    // Attenuation by the node's off-resonance devices and PDN crossings.
+    const int rx_mrrs = d.params.crosstalk.residue_filter ? 2 : 1;
+    double node_db =
+        (rx_mrrs * d.receivers_at(w, u) + d.senders_at(w, u)) * lp.through_db;
+    if (d.has_pdn) node_db += d.pdn.crossings_at[w][u] * lp.crossing_db;
+    power_mw *= phys::db_to_linear(-node_db);
+  }
+}
+
+/// Power of signal `id` at the shortcut crossing point, given its laser.
+double power_at_crossing(const RouterDesign& d,
+                         const std::vector<double>& laser_mw, SignalId id,
+                         const LossBreakdown& loss, double src_to_x_mm) {
+  const int wl = d.mapping.routes[id].wavelength;
+  const double before_db = loss.pdn_db + loss.coupler_db + loss.modulator_db +
+                           src_to_x_mm * d.params.loss.propagation_db_per_mm;
+  return laser_mw[wl] * phys::db_to_linear(-before_db);
+}
+
+/// Distance (mm) from `from` along shortcut `sc`'s chord to its crossing.
+double chord_to_crossing_mm(const RouterDesign& d, int sc, NodeId from) {
+  const shortcut::Shortcut& s = d.shortcuts.shortcuts[sc];
+  if (!s.crossing) return 0.0;
+  const geom::Point p = d.floorplan->position(from);
+  const geom::LRoute route(p, d.floorplan->position(s.a == from ? s.b : s.a),
+                           s.order);
+  // Walk the L-route accumulating distance to the crossing point.
+  geom::Coord travelled = 0;
+  for (const geom::Segment& seg : route.segments()) {
+    if (geom::contains(seg, *s.crossing)) {
+      travelled += geom::manhattan(seg.a, *s.crossing);
+      break;
+    }
+    travelled += seg.length();
+  }
+  return travelled / 1000.0;
+}
+
+/// Delivers noise travelling on shortcut `sc`'s waveguide toward `end` to a
+/// matched receiver there, attenuated by the remaining chord propagation.
+void deliver_shortcut_noise(const RouterDesign& d, int sc, NodeId end,
+                            int wavelength, double power_mw, double travel_mm,
+                            std::vector<double>& noise_out) {
+  if (power_mw < kNegligibleMw) return;
+  const phys::LossParams& lp = d.params.loss;
+  power_mw *= phys::db_to_linear(-travel_mm * lp.propagation_db_per_mm);
+  for (std::size_t i = 0; i < d.mapping.routes.size(); ++i) {
+    const mapping::SignalRoute& r = d.mapping.routes[i];
+    if (r.wavelength != wavelength) continue;
+    const auto& sig = d.traffic.signal(static_cast<SignalId>(i));
+    if (sig.dst != end) continue;
+    const bool on_this_chord =
+        (r.kind == mapping::RouteKind::kShortcut && r.shortcut == sc) ||
+        (r.kind == mapping::RouteKind::kCse &&
+         d.shortcuts.cse_routes[r.cse].shortcut_out == sc);
+    if (!on_this_chord) continue;
+    noise_out[i] +=
+        power_mw * phys::db_to_linear(-(lp.drop_db + lp.photodetector_db));
+    return;  // the matched drop-MRR absorbs the noise
+  }
+}
+
+}  // namespace
+
+std::vector<double> compute_noise(const AnalysisContext& ctx,
+                                  const std::vector<LossBreakdown>& losses,
+                                  const std::vector<double>& laser_mw) {
+  const RouterDesign& d = ctx.design();
+  const phys::LossParams& lp = d.params.loss;
+  const phys::CrosstalkParams& xt = d.params.crosstalk;
+  const ring::Tour& tour = d.ring.tour;
+  const double kx = phys::db_to_linear(xt.crossing_db);
+  const double kres = phys::db_to_linear(xt.mrr_drop_residue_db);
+
+  std::vector<double> noise(d.traffic.size(), 0.0);
+  const int wavelengths = static_cast<int>(laser_mw.size());
+
+  // --- 1. Comb-PDN laser leakage ---------------------------------------
+  // Every PDN x ring crossing scatters a fraction of the continuous-wave
+  // power (all wavelengths the laser emits) into the crossed waveguide.
+  if (d.has_pdn) {
+    for (const pdn::CrossingTap& tap : d.pdn.taps) {
+      for (int wl = 0; wl < wavelengths; ++wl) {
+        if (laser_mw[wl] <= 0.0) continue;
+        const double leak =
+            laser_mw[wl] *
+            phys::db_to_linear(-(tap.attenuation_db + lp.coupler_db)) * kx;
+        walk_ring_noise(ctx, tap.waveguide, tap.node, wl, leak, noise);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < d.mapping.routes.size(); ++i) {
+    const SignalId id = static_cast<SignalId>(i);
+    const mapping::SignalRoute& r = d.mapping.routes[i];
+    const auto& sig = d.traffic.signal(id);
+
+    // --- 2. Shortcut-pair crossing leaks -------------------------------
+    if (r.kind == mapping::RouteKind::kShortcut) {
+      const shortcut::Shortcut& sc = d.shortcuts.shortcuts[r.shortcut];
+      if (sc.crossing_partner >= 0) {
+        const double to_x_mm = chord_to_crossing_mm(d, r.shortcut, sig.src);
+        const double p_at_x =
+            power_at_crossing(d, laser_mw, id, losses[i], to_x_mm);
+        const shortcut::Shortcut& partner =
+            d.shortcuts.shortcuts[sc.crossing_partner];
+        // The leak enters the partner chord and drifts toward both of its
+        // ends; a matched receiver at either end catches it.
+        for (const NodeId end : {partner.a, partner.b}) {
+          const double rest_mm =
+              partner.length / 1000.0 -
+              chord_to_crossing_mm(d, sc.crossing_partner, end);
+          deliver_shortcut_noise(d, sc.crossing_partner, end, r.wavelength,
+                                 p_at_x * kx, rest_mm, noise);
+        }
+      }
+    }
+
+    // --- 3. CSE drop residue --------------------------------------------
+    // The fraction of a CSE-switched signal that fails to couple continues
+    // straight along the inbound chord to its far end.
+    if (r.kind == mapping::RouteKind::kCse) {
+      const shortcut::CseRoute& cse = d.shortcuts.cse_routes[r.cse];
+      const shortcut::Shortcut& in = d.shortcuts.shortcuts[cse.shortcut_in];
+      const double to_x_mm = chord_to_crossing_mm(d, cse.shortcut_in, cse.src);
+      const double p_at_x =
+          power_at_crossing(d, laser_mw, id, losses[i], to_x_mm);
+      const NodeId far_end = in.a == cse.src ? in.b : in.a;
+      const double rest_mm = in.length / 1000.0 - to_x_mm;
+      deliver_shortcut_noise(d, cse.shortcut_in, far_end, r.wavelength,
+                             p_at_x * kres, rest_mm, noise);
+    }
+
+    // --- 3b. Receiver drop residue (only without the Fig. 5(b) filter) --
+    // Without the extra MRR+terminator, the fraction of the signal that is
+    // not coupled into its photodetector keeps travelling the waveguide and
+    // becomes first-order noise for downstream same-wavelength receivers.
+    if (!xt.residue_filter &&
+        (r.kind == mapping::RouteKind::kRingCw ||
+         r.kind == mapping::RouteKind::kRingCcw)) {
+      const double at_receiver =
+          laser_mw[r.wavelength] *
+          phys::db_to_linear(-(losses[i].total_db() - lp.drop_db -
+                               lp.photodetector_db));
+      walk_ring_noise(ctx, r.waveguide, sig.dst, r.wavelength,
+                      at_receiver * kres, noise);
+    }
+
+    // --- 4. Residual ring-geometry crossings ----------------------------
+    // Only degraded constructions (Fig. 2(c) ablation) have them: a signal
+    // passing such a crossing leaks onto another arc of its own waveguide.
+    if ((r.kind == mapping::RouteKind::kRingCw ||
+         r.kind == mapping::RouteKind::kRingCcw) &&
+        d.ring.crossings > 0) {
+      const mapping::Direction dir = d.mapping.waveguides[r.waveguide].dir;
+      for (const int h : mapping::occupied_hops(tour, sig.src, sig.dst, dir)) {
+        for (int g = 0; g < tour.size(); ++g) {
+          const int crossings = ctx.hop_crossings(h, g);
+          if (crossings == 0) continue;
+          const double p =
+              laser_mw[r.wavelength] *
+              phys::db_to_linear(-losses[i].total_db() / 2.0);  // mid-path
+          walk_ring_noise(ctx, r.waveguide, tour.at(g), r.wavelength,
+                          p * kx * crossings, noise);
+        }
+      }
+    }
+  }
+
+  return noise;
+}
+
+}  // namespace xring::analysis

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "analysis/loss.hpp"
+
+namespace xring::analysis {
+
+/// First-order crosstalk result: the total noise power (mW) reaching each
+/// signal's photodetector on its own wavelength.
+///
+/// Modelled sources (per Nikdast et al. [14], first order only):
+///  * comb-PDN crossings leaking continuous-wave laser power (all used
+///    wavelengths) into the crossed ring waveguide,
+///  * signals passing a shortcut-pair crossing leaking into the partner
+///    shortcut's waveguides,
+///  * the uncoupled residue of a CSE drop continuing to the chord's far end,
+///  * residual ring-geometry crossings (only present in degraded ablation
+///    constructions) leaking between arcs of the same waveguide.
+///
+/// Leaked power travels in the waveguide's transmission direction and is
+/// absorbed by the first wavelength-matched receiver; openings terminate it.
+/// Residue noise at photodetector drop-MRRs is removed by the MRR+terminator
+/// of Fig. 5(b) and therefore never contributes, exactly as the paper
+/// assumes.
+std::vector<double> compute_noise(const AnalysisContext& ctx,
+                                  const std::vector<LossBreakdown>& losses,
+                                  const std::vector<double>& laser_mw);
+
+}  // namespace xring::analysis

@@ -1,0 +1,41 @@
+#include "analysis/design.hpp"
+
+namespace xring::analysis {
+
+double RouterDesign::ring_scale(int waveguide) const {
+  const double base = static_cast<double>(ring.tour.total_length());
+  if (base <= 0) return 1.0;
+  const double spacing =
+      params.geometry.ring_spacing_um(floorplan ? floorplan->size()
+                                                : ring.tour.size());
+  return (base + 8.0 * spacing * waveguide) / base;
+}
+
+int RouterDesign::receivers_at(int waveguide, NodeId v) const {
+  int count = 0;
+  for (const SignalId id : mapping.waveguides[waveguide].signals) {
+    if (traffic.signal(id).dst == v) ++count;
+  }
+  return count;
+}
+
+int RouterDesign::senders_at(int waveguide, NodeId v) const {
+  int count = 0;
+  for (const SignalId id : mapping.waveguides[waveguide].signals) {
+    if (traffic.signal(id).src == v) ++count;
+  }
+  return count;
+}
+
+std::vector<SignalId> RouterDesign::receivers_on(int waveguide, NodeId v,
+                                                 int wl) const {
+  std::vector<SignalId> out;
+  for (const SignalId id : mapping.waveguides[waveguide].signals) {
+    if (traffic.signal(id).dst == v && mapping.routes[id].wavelength == wl) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace xring::analysis

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <vector>
+
+#include "mapping/opening.hpp"
+#include "mapping/wavelength.hpp"
+#include "netlist/traffic.hpp"
+#include "pdn/pdn.hpp"
+#include "phys/parameters.hpp"
+#include "ring/tour.hpp"
+#include "shortcut/shortcut.hpp"
+
+namespace xring::analysis {
+
+using netlist::NodeId;
+using netlist::SignalId;
+
+/// A fully synthesized ring router: everything the loss and crosstalk
+/// engines need to evaluate it. Produced by xring::Synthesizer and by the
+/// baseline implementations (ORNoC, ORing).
+struct RouterDesign {
+  const netlist::Floorplan* floorplan = nullptr;
+  netlist::Traffic traffic;
+  ring::RingGeometry ring;
+  shortcut::ShortcutPlan shortcuts;
+  mapping::Mapping mapping;
+  pdn::PdnResult pdn;
+  bool has_pdn = false;
+  phys::Parameters params;
+
+  /// Physical length multiplier of ring waveguide `w`: nested copies of the
+  /// ring are offset outward by the inter-ring spacing, and offsetting a
+  /// simple rectilinear closed curve by d adds exactly 8d to its perimeter
+  /// (4 net convex corners x 2d each). Arc lengths scale proportionally.
+  double ring_scale(int waveguide) const;
+
+  /// Number of receiver drop-MRRs of node `v` on ring waveguide `w` (one
+  /// per signal terminating there; doubled by the residue-filter MRR of
+  /// Fig. 5(b) in the loss model, not here).
+  int receivers_at(int waveguide, NodeId v) const;
+
+  /// Number of modulators of node `v` on ring waveguide `w`.
+  int senders_at(int waveguide, NodeId v) const;
+
+  /// All signals terminating at node `v` on ring waveguide `w` with
+  /// wavelength `wl` (at most one by arc-disjointness, but returned as a
+  /// list so the crosstalk engine can stay assumption-free).
+  std::vector<SignalId> receivers_on(int waveguide, NodeId v, int wl) const;
+};
+
+/// Per-signal analysis record.
+struct SignalReport {
+  double il_db = 0.0;        ///< full insertion loss incl. PDN feed & coupler
+  double il_star_db = 0.0;   ///< insertion loss excluding PDN feed (il* in
+                             ///< Table II) — still includes on-path losses
+  double path_mm = 0.0;      ///< geometric path length sender → receiver
+  int crossings = 0;         ///< waveguide crossings passed on the path
+  int through_mrrs = 0;      ///< off-resonance MRRs passed
+  double noise_mw = 0.0;     ///< first-order noise power at the receiver
+  double signal_mw = 0.0;    ///< received signal power
+  double snr_db = 0.0;       ///< 10*log10(signal/noise); +inf encoded as
+                             ///< kNoNoiseSnr when noise is zero
+};
+
+constexpr double kNoNoiseSnr = 1e9;
+
+/// Whole-router evaluation (the columns of Tables I-III).
+struct RouterMetrics {
+  int wavelengths = 0;          ///< #wl
+  int waveguides = 0;
+  double il_worst_db = 0.0;     ///< il_w (full loss incl. PDN when present)
+  double il_star_worst_db = 0;  ///< il*_w (PDN feed excluded)
+  double worst_path_mm = 0.0;   ///< L: path length of the max-loss signal
+  int worst_crossings = 0;      ///< C: crossings passed by that signal
+  double total_power_w = 0.0;   ///< P: total electrical laser power
+  int noisy_signals = 0;        ///< #s
+  double snr_worst_db = kNoNoiseSnr;  ///< SNR_w (kNoNoiseSnr if all clean)
+  /// Optical output power of each wavelength's laser (mW), sized by the
+  /// worst-loss signal on that wavelength: P = 10^((il_w + S)/10).
+  std::vector<double> laser_mw;
+  std::vector<SignalReport> signals;
+};
+
+}  // namespace xring::analysis

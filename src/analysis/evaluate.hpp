@@ -1,0 +1,14 @@
+#pragma once
+
+#include "analysis/crosstalk.hpp"
+#include "analysis/design.hpp"
+#include "analysis/loss.hpp"
+
+namespace xring::analysis {
+
+/// Evaluates a complete router design: per-signal losses, per-wavelength
+/// laser powers (P = 10^((il_w + S)/10)), first-order crosstalk, SNRs, and
+/// the aggregate columns of the paper's tables.
+RouterMetrics evaluate(const RouterDesign& design);
+
+}  // namespace xring::analysis

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "analysis/design.hpp"
+
+namespace xring::analysis {
+
+/// Photonic path latency. WRONoC paths are contention-free by construction
+/// (wavelengths are reserved at design time), so latency is pure
+/// time-of-flight: path length times the group index over c. This backs the
+/// low-latency claim the paper's introduction makes for WRONoCs.
+struct LatencyReport {
+  std::vector<double> per_signal_ps;
+  double worst_ps = 0.0;
+  double mean_ps = 0.0;
+};
+
+/// Computes time-of-flight latency from the evaluated metrics.
+/// `group_index` defaults to 4.2, a typical silicon-waveguide group index.
+LatencyReport compute_latency(const RouterMetrics& metrics,
+                              double group_index = 4.2);
+
+}  // namespace xring::analysis

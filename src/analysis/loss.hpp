@@ -1,0 +1,67 @@
+#pragma once
+
+#include "analysis/design.hpp"
+#include "geom/lshape.hpp"
+
+namespace xring::analysis {
+
+/// Itemized insertion loss of one signal path. Units: dB (losses are
+/// positive magnitudes), mm, counts.
+struct LossBreakdown {
+  double propagation_db = 0.0;
+  double modulator_db = 0.0;
+  double drop_db = 0.0;
+  double through_db = 0.0;
+  double crossing_db = 0.0;
+  double bend_db = 0.0;
+  double photodetector_db = 0.0;
+  double pdn_db = 0.0;      ///< laser → sender feed (0 without PDN)
+  double coupler_db = 0.0;  ///< off-chip coupling (0 without PDN)
+
+  double path_mm = 0.0;
+  int crossings = 0;
+  int through_mrrs = 0;
+  int bends = 0;
+
+  /// il*: the on-path router loss, excluding everything before the sender.
+  double star_db() const {
+    return propagation_db + modulator_db + drop_db + through_db +
+           crossing_db + bend_db + photodetector_db;
+  }
+  /// il: full loss the laser must overcome.
+  double total_db() const { return star_db() + pdn_db + coupler_db; }
+};
+
+/// Shared precomputation for analyzing one design: per-hop realized routes
+/// and the hop-vs-hop crossing matrix of the ring geometry (non-zero only
+/// for deliberately degraded constructions, e.g. the Fig. 2(c) ablation).
+class AnalysisContext {
+ public:
+  explicit AnalysisContext(const RouterDesign& design);
+
+  const RouterDesign& design() const { return *design_; }
+  const geom::LRoute& hop_route(int hop) const { return hop_routes_[hop]; }
+
+  /// Crossings between the realized routes of two distinct hops.
+  int hop_crossings(int a, int b) const {
+    return hop_cross_[static_cast<std::size_t>(a) * hops_ + b];
+  }
+
+  /// Number of ring-geometry crossings a signal covering `hops` passes.
+  int ring_geometry_crossings(const std::vector<int>& hops) const;
+
+  /// Direction changes (bends) along the concatenated hop routes.
+  int bends_on_hops(const std::vector<int>& hops) const;
+
+ private:
+  const RouterDesign* design_;
+  int hops_ = 0;
+  std::vector<geom::LRoute> hop_routes_;
+  std::vector<int> hop_cross_;
+};
+
+/// Computes the full loss breakdown of one signal. Unrouted signals yield a
+/// zeroed breakdown (they cannot occur in a complete synthesis).
+LossBreakdown signal_loss(const AnalysisContext& ctx, SignalId id);
+
+}  // namespace xring::analysis

@@ -1,0 +1,49 @@
+#include "analysis/tuning.hpp"
+
+#include <set>
+
+namespace xring::analysis {
+
+MrrInventory count_mrrs(const RouterDesign& design) {
+  MrrInventory inv;
+  for (std::size_t i = 0; i < design.mapping.routes.size(); ++i) {
+    const mapping::SignalRoute& r = design.mapping.routes[i];
+    if (r.kind == mapping::RouteKind::kUnrouted) continue;
+    inv.modulators += 1;
+    inv.drop_filters += 1;
+    if (design.params.crosstalk.residue_filter) inv.residue_filters += 1;
+    if (r.kind == mapping::RouteKind::kCse) inv.cse_mrrs += 1;
+  }
+  return inv;
+}
+
+MrrInventory count_mrrs(const crossbar::Topology& topology) {
+  MrrInventory inv;
+  const int n = topology.nodes();
+  inv.modulators = n * (n - 1);
+  inv.drop_filters = n * (n - 1);
+  // Switching fabric: the distinct stage elements paths traverse. Counting
+  // per-path stages overcounts shared elements, so estimate the fabric as
+  // the maximum simultaneous structure: stages summed over one row of
+  // sources (each stage element carries two rings).
+  std::set<std::pair<int, int>> elements;
+  for (crossbar::NodeId s = 0; s < n; ++s) {
+    for (crossbar::NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const auto p = topology.path(s, d);
+      // A path through `stages` stages at rail offset min(s,d) occupies one
+      // element per stage; identify elements by (stage, rail diagonal).
+      for (int st = 0; st < p.stages; ++st) {
+        elements.insert({st, (s + d) % n});
+      }
+    }
+  }
+  inv.switching = 2 * static_cast<int>(elements.size());
+  return inv;
+}
+
+double tuning_power_w(const MrrInventory& inventory, double per_mrr_mw) {
+  return inventory.total() * per_mrr_mw / 1000.0;
+}
+
+}  // namespace xring::analysis

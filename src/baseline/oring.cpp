@@ -1,0 +1,41 @@
+#include "baseline/oring.hpp"
+
+#include <chrono>
+
+namespace xring::baseline {
+
+SynthesisResult synthesize_oring(const netlist::Floorplan& floorplan,
+                                 const ring::RingBuildResult& ring,
+                                 const OringOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+
+  SynthesisResult out;
+  out.ring_stats = ring;
+
+  analysis::RouterDesign& d = out.design;
+  d.floorplan = &floorplan;
+  d.traffic = netlist::Traffic::all_to_all(floorplan.size());
+  d.ring = ring.geometry;
+  d.params = options.params;
+
+  // ORing's assignment == XRing's Step 3 without shortcuts; the empty
+  // shortcut plan routes everything over the rings.
+  mapping::MappingOptions mo;
+  mo.max_wavelengths = options.max_wavelengths;
+  mo.use_shortcuts = false;
+  d.mapping = mapping::assign_wavelengths(d.ring.tour, d.traffic, d.shortcuts,
+                                          mo);
+
+  if (options.with_pdn) {
+    d.pdn = pdn::comb_pdn(d.ring.tour, d.mapping, d.params);
+    d.has_pdn = true;
+  }
+
+  out.metrics = analysis::evaluate(d);
+  out.seconds = ring.seconds + std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count();
+  return out;
+}
+
+}  // namespace xring::baseline

@@ -1,0 +1,38 @@
+#include "baseline/ornoc.hpp"
+
+#include <chrono>
+
+#include "mapping/ornoc_assignment.hpp"
+
+namespace xring::baseline {
+
+SynthesisResult synthesize_ornoc(const netlist::Floorplan& floorplan,
+                                 const ring::RingBuildResult& ring,
+                                 const OrnocOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+
+  SynthesisResult out;
+  out.ring_stats = ring;
+
+  analysis::RouterDesign& d = out.design;
+  d.floorplan = &floorplan;
+  d.traffic = netlist::Traffic::all_to_all(floorplan.size());
+  d.ring = ring.geometry;
+  d.params = options.params;
+
+  d.mapping = mapping::ornoc_assignment(d.ring.tour, d.traffic,
+                                        options.max_wavelengths);
+
+  if (options.with_pdn) {
+    d.pdn = pdn::comb_pdn(d.ring.tour, d.mapping, d.params);
+    d.has_pdn = true;
+  }
+
+  out.metrics = analysis::evaluate(d);
+  out.seconds = ring.seconds + std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count();
+  return out;
+}
+
+}  // namespace xring::baseline

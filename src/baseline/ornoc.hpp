@@ -1,0 +1,24 @@
+#pragma once
+
+#include "analysis/evaluate.hpp"
+#include "ring/builder.hpp"
+#include "xring/synthesizer.hpp"
+
+namespace xring::baseline {
+
+/// ORNoC [10] baseline (Table II): same constructed ring waveguides as
+/// XRing (the paper does exactly this, since ORNoC proposes no ring
+/// construction method), ORNoC's own wavelength assignment, no shortcuts,
+/// no openings, and — when `with_pdn` — the comb PDN of [17], whose branches
+/// cross the ring waveguides.
+struct OrnocOptions {
+  int max_wavelengths = 16;
+  bool with_pdn = true;
+  phys::Parameters params = phys::Parameters::oring();
+};
+
+SynthesisResult synthesize_ornoc(const netlist::Floorplan& floorplan,
+                                 const ring::RingBuildResult& ring,
+                                 const OrnocOptions& options);
+
+}  // namespace xring::baseline

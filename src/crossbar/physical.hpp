@@ -1,0 +1,75 @@
+#pragma once
+
+#include <memory>
+
+#include "crossbar/topology.hpp"
+#include "geom/lshape.hpp"
+
+namespace xring::crossbar {
+
+/// The physical-synthesis styles standing in for the three design tools of
+/// Table I (see DESIGN.md's substitution table). All three place the router
+/// as a box at the die centre and wire every node to its input/output port;
+/// they differ in port ordering and routing discipline, which is exactly
+/// where the tools' crossing/length trade-offs come from:
+enum class SynthesisStyle {
+  /// Proton+-like: ports in node-id order on opposite box sides, direct
+  /// L-routes. Minimal wire length, maximal crossings.
+  kNaive,
+  /// PlanarONoC-like: crossing-free embedding bought with long detours —
+  /// few crossings, much longer worst-case wires.
+  kPlanarized,
+  /// ToPro-like: angular port ordering and compact routing — a balance of
+  /// both.
+  kCompact,
+};
+
+std::string to_string(SynthesisStyle s);
+
+/// Per-signal physical result.
+struct CrossbarPath {
+  double length_mm = 0.0;
+  int crossings = 0;   ///< topology + layout crossings passed
+  int drops = 0;
+  int throughs = 0;
+  double il_db = 0.0;
+};
+
+/// Aggregate columns of Table I.
+struct CrossbarMetrics {
+  int wavelengths = 0;
+  double il_worst_db = 0.0;
+  double worst_path_mm = 0.0;  ///< L of the max-loss signal
+  int worst_crossings = 0;     ///< C of the max-loss signal
+  double seconds = 0.0;
+};
+
+/// Places and routes a crossbar topology on a floorplan and evaluates every
+/// all-to-all signal path.
+class PhysicalSynthesis {
+ public:
+  PhysicalSynthesis(const Topology& topology,
+                    const netlist::Floorplan& floorplan, SynthesisStyle style,
+                    const phys::Parameters& params);
+
+  CrossbarPath path(NodeId src, NodeId dst) const;
+  CrossbarMetrics evaluate() const;
+
+ private:
+  const Topology* topology_;
+  const netlist::Floorplan* floorplan_;
+  SynthesisStyle style_;
+  phys::Parameters params_;
+
+  geom::Point box_center_;
+  geom::Coord box_half_width_ = 0;
+  std::vector<int> in_rank_;   ///< node -> input-port rank
+  std::vector<int> out_rank_;  ///< node -> output-port rank
+  std::vector<geom::LRoute> in_access_;   ///< node -> route to input port
+  std::vector<geom::LRoute> out_access_;  ///< node -> route from output port
+
+  geom::Point in_port(int rank) const;
+  geom::Point out_port(int rank) const;
+};
+
+}  // namespace xring::crossbar

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/floorplan.hpp"
+#include "phys/parameters.hpp"
+
+namespace xring::crossbar {
+
+using netlist::NodeId;
+
+/// In-topology device counts of one signal path through a crossbar router.
+/// The physical layer adds access wiring and layout crossings on top.
+struct LogicalPath {
+  int drops = 1;        ///< on-resonance MRR couplings
+  int throughs = 0;     ///< off-resonance MRR passes
+  int crossings = 0;    ///< waveguide crossings inside the topology
+  int stages = 0;       ///< switching stages traversed (sets internal length)
+};
+
+/// A WRONoC crossbar logical topology: per-path device counts plus the
+/// wavelength budget. Concrete classes implement the three routers the
+/// paper's Table I compares against.
+class Topology {
+ public:
+  explicit Topology(int nodes) : nodes_(nodes) {}
+  virtual ~Topology() = default;
+
+  int nodes() const { return nodes_; }
+  virtual std::string name() const = 0;
+  /// Number of wavelengths the topology needs for all-to-all traffic.
+  virtual int wavelengths() const = 0;
+  virtual LogicalPath path(NodeId src, NodeId dst) const = 0;
+
+  /// The wavelength routing the topology realizes: which λ carries src→dst.
+  /// WRONoC correctness requires that, seen from any single sender or any
+  /// single receiver, all its signals use distinct wavelengths (tested as a
+  /// property over all sizes).
+  virtual int wavelength(NodeId src, NodeId dst) const = 0;
+
+ protected:
+  int nodes_;
+};
+
+/// λ-router [6]: a diamond of 2x2 parallel switching elements, planar (no
+/// in-topology crossings); every signal traverses all N stages, coupling at
+/// the elements its wavelength resonates with. Needs N wavelengths.
+class LambdaRouter final : public Topology {
+ public:
+  using Topology::Topology;
+  std::string name() const override { return "lambda-router"; }
+  int wavelengths() const override { return nodes_; }
+  LogicalPath path(NodeId src, NodeId dst) const override;
+  /// The λ-router's diagonal scheme: λ_{(i+j) mod N}.
+  int wavelength(NodeId src, NodeId dst) const override;
+};
+
+/// GWOR [7]: a grid of crossing switching elements built around waveguide
+/// crossings; N-1 wavelengths, fewer MRR passes than the λ-router but
+/// in-topology crossings on most paths.
+class Gwor final : public Topology {
+ public:
+  using Topology::Topology;
+  std::string name() const override { return "GWOR"; }
+  int wavelengths() const override { return nodes_ - 1; }
+  LogicalPath path(NodeId src, NodeId dst) const override;
+  /// Distance-based scheme: λ_{((dst - src) mod N) - 1}.
+  int wavelength(NodeId src, NodeId dst) const override;
+};
+
+/// Light [9]: a scalable topology that minimizes the number of MRRs a
+/// signal passes; N-1 wavelengths, short stage counts.
+class Light final : public Topology {
+ public:
+  using Topology::Topology;
+  std::string name() const override { return "Light"; }
+  int wavelengths() const override { return nodes_ - 1; }
+  LogicalPath path(NodeId src, NodeId dst) const override;
+  /// Distance-based scheme, like GWOR's.
+  int wavelength(NodeId src, NodeId dst) const override;
+};
+
+}  // namespace xring::crossbar

@@ -1,0 +1,59 @@
+#include "geom/closed_path.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xring::geom {
+
+ClosedPath::ClosedPath(const Polyline& line) : segments_(line.segments()) {
+  if (segments_.size() < 3) {
+    throw std::invalid_argument("closed path needs at least 3 segments");
+  }
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i].b != segments_[(i + 1) % segments_.size()].a) {
+      throw std::invalid_argument("polyline is not a closed chain");
+    }
+    starts_.push_back(length_);
+    length_ += segments_[i].length();
+  }
+  if (length_ <= 0) throw std::invalid_argument("zero-length closed path");
+}
+
+Point ClosedPath::at(Coord arc) const {
+  const Coord a = normalize(arc);
+  // Find the segment containing coordinate a.
+  auto it = std::upper_bound(starts_.begin(), starts_.end(), a);
+  const std::size_t idx = static_cast<std::size_t>(it - starts_.begin()) - 1;
+  const Segment& s = segments_[idx];
+  const Coord into = a - starts_[idx];
+  const Coord dx = s.b.x > s.a.x ? 1 : (s.b.x < s.a.x ? -1 : 0);
+  const Coord dy = s.b.y > s.a.y ? 1 : (s.b.y < s.a.y ? -1 : 0);
+  return {s.a.x + dx * into, s.a.y + dy * into};
+}
+
+Coord ClosedPath::forward_distance(Coord from_arc, Coord to_arc) const {
+  return normalize(normalize(to_arc) - normalize(from_arc));
+}
+
+Polyline ClosedPath::subpath(Coord from_arc, Coord to_arc) const {
+  Polyline out;
+  const Coord from = normalize(from_arc);
+  const Coord distance = forward_distance(from_arc, to_arc);
+  if (distance == 0) return out;
+
+  Coord walked = 0;
+  Coord pos = from;
+  while (walked < distance) {
+    auto it = std::upper_bound(starts_.begin(), starts_.end(), pos);
+    const std::size_t idx = static_cast<std::size_t>(it - starts_.begin()) - 1;
+    const Segment& s = segments_[idx];
+    const Coord seg_end = starts_[idx] + s.length();
+    const Coord step = std::min(seg_end - pos, distance - walked);
+    out.append(Segment{at(pos), at(pos + step)});
+    walked += step;
+    pos = normalize(pos + step);
+  }
+  return out;
+}
+
+}  // namespace xring::geom

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "geom/polyline.hpp"
+
+namespace xring::geom {
+
+/// Arc-length parameterization of a closed rectilinear polyline: maps arc
+/// coordinates (µm along the curve from its first vertex) to points and
+/// extracts sub-paths between coordinates. Used to realize PDN waveguides
+/// that run in the channel alongside a ring.
+class ClosedPath {
+ public:
+  /// Requires a connected closed chain (each segment starts where the
+  /// previous ended, last ends at the first's start).
+  explicit ClosedPath(const Polyline& line);
+
+  Coord length() const { return length_; }
+
+  /// Point at arc coordinate (taken modulo the length; negatives wrap).
+  Point at(Coord arc) const;
+
+  /// The sub-path walking forward (in segment order) from `from_arc` to
+  /// `to_arc`. If from == to the result is empty; a full lap is not
+  /// representable (use the polyline itself).
+  Polyline subpath(Coord from_arc, Coord to_arc) const;
+
+  /// Forward walking distance from one arc coordinate to another.
+  Coord forward_distance(Coord from_arc, Coord to_arc) const;
+
+ private:
+  Coord normalize(Coord arc) const {
+    return ((arc % length_) + length_) % length_;
+  }
+
+  std::vector<Segment> segments_;
+  std::vector<Coord> starts_;  ///< arc coordinate of each segment's start
+  Coord length_ = 0;
+};
+
+}  // namespace xring::geom

@@ -1,0 +1,61 @@
+#include "geom/lshape.hpp"
+
+namespace xring::geom {
+
+LRoute::LRoute(Point from, Point to, LOrder order)
+    : from_(from), to_(to), order_(order) {
+  bend_ = order == LOrder::kVerticalFirst ? Point{from.x, to.y}
+                                          : Point{to.x, from.y};
+  auto push_if_real = [this](Point a, Point b) {
+    if (a != b) segments_.push_back(Segment{a, b});
+  };
+  push_if_real(from_, bend_);
+  push_if_real(bend_, to_);
+}
+
+std::array<LRoute, 2> l_route_options(Point from, Point to) {
+  return {LRoute(from, to, LOrder::kVerticalFirst),
+          LRoute(from, to, LOrder::kHorizontalFirst)};
+}
+
+bool routes_cross(const LRoute& a, const LRoute& b) {
+  return crossing_count(a, b) > 0;
+}
+
+int crossing_count(const LRoute& a, const LRoute& b) {
+  int n = 0;
+  for (const Segment& s : a.segments()) {
+    for (const Segment& t : b.segments()) {
+      if (crosses(s, t)) ++n;
+    }
+  }
+  return n;
+}
+
+bool routes_overlap(const LRoute& a, const LRoute& b) {
+  for (const Segment& s : a.segments()) {
+    for (const Segment& t : b.segments()) {
+      if (classify(s, t) == Touch::kOverlap) return true;
+    }
+  }
+  return false;
+}
+
+bool edges_conflict(Point a_from, Point a_to, Point b_from, Point b_to) {
+  // Edges sharing an endpoint are never conflicting: they can always join at
+  // the shared node without a transversal crossing (the ring visits the node).
+  if (a_from == b_from || a_from == b_to || a_to == b_from || a_to == b_to) {
+    return false;
+  }
+  // Only transversal crossings disqualify an option pair. Collinear overlap
+  // is legal: physical waveguides have width and run in parallel at a small
+  // offset, which the integer grid of node coordinates cannot represent.
+  for (const LRoute& ra : l_route_options(a_from, a_to)) {
+    for (const LRoute& rb : l_route_options(b_from, b_to)) {
+      if (!routes_cross(ra, rb)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace xring::geom

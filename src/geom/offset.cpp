@@ -1,0 +1,113 @@
+#include "geom/offset.hpp"
+
+#include <stdexcept>
+
+namespace xring::geom {
+
+namespace {
+
+/// Axis-aligned unit direction of a -> b (must differ in exactly one axis).
+Point direction(const Point& a, const Point& b) {
+  return {b.x > a.x ? 1 : (b.x < a.x ? -1 : 0),
+          b.y > a.y ? 1 : (b.y < a.y ? -1 : 0)};
+}
+
+/// Removes vertices whose incoming and outgoing directions coincide
+/// (collinear continuation). Throws on U-turns: the curve is not simple.
+std::vector<Point> simplify_cycle(std::vector<Point> v) {
+  for (bool changed = true; changed && v.size() > 2;) {
+    changed = false;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const Point& prev = v[(i + v.size() - 1) % v.size()];
+      const Point& here = v[i];
+      const Point& next = v[(i + 1) % v.size()];
+      const Point din = direction(prev, here);
+      const Point dout = direction(here, next);
+      if (din == dout) {
+        v.erase(v.begin() + static_cast<std::ptrdiff_t>(i));
+        changed = true;
+        break;
+      }
+      if (din.x == -dout.x && din.y == -dout.y) {
+        throw std::invalid_argument("closed curve makes a U-turn (not simple)");
+      }
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+std::optional<std::vector<Point>> closed_vertices(const Polyline& line) {
+  const auto& segments = line.segments();
+  if (segments.size() < 4) return std::nullopt;
+  std::vector<Point> vertices;
+  vertices.reserve(segments.size());
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (segments[i].b != segments[(i + 1) % segments.size()].a) {
+      return std::nullopt;  // not a connected closed chain
+    }
+    vertices.push_back(segments[i].a);
+  }
+  return vertices;
+}
+
+long long signed_area2(const std::vector<Point>& v) {
+  long long area2 = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const Point& a = v[i];
+    const Point& b = v[(i + 1) % v.size()];
+    area2 += static_cast<long long>(a.x) * b.y -
+             static_cast<long long>(b.x) * a.y;
+  }
+  return area2;
+}
+
+Polyline offset_closed(const Polyline& line, Coord distance, bool inward) {
+  const auto vertices_opt = closed_vertices(line);
+  if (!vertices_opt) {
+    throw std::invalid_argument("polyline is not a closed chain");
+  }
+  std::vector<Point> v = simplify_cycle(*vertices_opt);
+  if (v.size() < 4) throw std::invalid_argument("degenerate closed curve");
+
+  const bool ccw = signed_area2(v) > 0;
+  // Outward normal: right of travel for CCW curves, left for CW. Inward
+  // flips it.
+  const bool to_right = ccw != inward;
+
+  const std::size_t n = v.size();
+  // Shift every edge along its outward normal, then intersect consecutive
+  // shifted edges. For perpendicular rectilinear edges the intersection is
+  // simply (x of the vertical edge, y of the horizontal edge).
+  struct Shifted {
+    Point a, b;
+    bool horizontal;
+  };
+  std::vector<Shifted> edges(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = v[i];
+    const Point& b = v[(i + 1) % n];
+    const Point d = direction(a, b);
+    const Point normal = to_right ? Point{d.y, -d.x} : Point{-d.y, d.x};
+    edges[i] = {Point{a.x + normal.x * distance, a.y + normal.y * distance},
+                Point{b.x + normal.x * distance, b.y + normal.y * distance},
+                d.y == 0};
+  }
+
+  std::vector<Point> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Shifted& e0 = edges[(i + n - 1) % n];
+    const Shifted& e1 = edges[i];
+    // New vertex i = intersection of edge (i-1) and edge i.
+    out[i] = e0.horizontal ? Point{e1.a.x, e0.a.y} : Point{e0.a.x, e1.a.y};
+  }
+
+  Polyline result;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.append(Segment{out[i], out[(i + 1) % n]});
+  }
+  return result;
+}
+
+}  // namespace xring::geom

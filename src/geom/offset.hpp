@@ -1,0 +1,33 @@
+#pragma once
+
+#include <optional>
+
+#include "geom/polyline.hpp"
+
+namespace xring::geom {
+
+/// The vertex cycle of a closed rectilinear polyline (consecutive segments
+/// share endpoints; the last segment ends where the first begins). Returns
+/// nullopt if the polyline is not a closed chain.
+std::optional<std::vector<Point>> closed_vertices(const Polyline& line);
+
+/// Twice the signed area of a closed rectilinear vertex cycle (positive for
+/// counter-clockwise orientation).
+long long signed_area2(const std::vector<Point>& vertices);
+
+/// Offsets a simple closed rectilinear polyline by `distance` to the
+/// outside (or inside when `inward`). Each segment shifts perpendicular to
+/// itself; adjacent perpendicular segments re-join at their intersection.
+/// Collinear runs are merged first.
+///
+/// For a simple rectilinear closed curve, the outward offset is exactly
+/// 8*distance longer than the original (each of the 4 net convex corners
+/// adds 2*distance) — the fact the analysis engine's per-ring length scale
+/// rests on, verified in the tests against this exact construction.
+///
+/// Precondition: `distance` is small enough that the offset stays simple
+/// (no feature of the curve is narrower than 2*distance). That always holds
+/// for ring-waveguide spacing (tens of µm) against mm-scale node pitches.
+Polyline offset_closed(const Polyline& line, Coord distance, bool inward);
+
+}  // namespace xring::geom

@@ -1,0 +1,9 @@
+#include "geom/point.hpp"
+
+namespace xring::geom {
+
+std::string to_string(const Point& p) {
+  return "(" + std::to_string(p.x) + ", " + std::to_string(p.y) + ")";
+}
+
+}  // namespace xring::geom

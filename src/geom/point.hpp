@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+namespace xring::geom {
+
+/// Coordinate type: integer micrometres. Keeping coordinates integral makes
+/// every intersection predicate in this library exact, which matters because
+/// the synthesis flow makes accept/reject decisions on "do these waveguides
+/// cross" — a single wrong answer produces an illegal router.
+using Coord = std::int64_t;
+
+/// A point on the chip plane, in micrometres.
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+  friend auto operator<=>(const Point&, const Point&) = default;
+};
+
+/// Manhattan (rectilinear) distance between two points, in micrometres.
+/// All waveguides in this library are routed rectilinearly, so this is the
+/// exact wire length of any shortest L-shaped route between the points.
+inline Coord manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// True if the two points share an x or y coordinate, i.e. a single straight
+/// horizontal or vertical segment connects them.
+inline bool axis_aligned(const Point& a, const Point& b) {
+  return a.x == b.x || a.y == b.y;
+}
+
+std::string to_string(const Point& p);
+
+}  // namespace xring::geom
+
+template <>
+struct std::hash<xring::geom::Point> {
+  std::size_t operator()(const xring::geom::Point& p) const noexcept {
+    const std::size_t hx = std::hash<xring::geom::Coord>{}(p.x);
+    const std::size_t hy = std::hash<xring::geom::Coord>{}(p.y);
+    return hx ^ (hy + 0x9e3779b97f4a7c15ULL + (hx << 6) + (hx >> 2));
+  }
+};

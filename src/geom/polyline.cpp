@@ -1,0 +1,58 @@
+#include "geom/polyline.hpp"
+
+namespace xring::geom {
+
+Polyline::Polyline(std::vector<Segment> segments)
+    : segments_(std::move(segments)) {}
+
+Polyline Polyline::through(const std::vector<Point>& points,
+                           const std::vector<LOrder>& orders) {
+  Polyline line;
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    const LOrder order = i < orders.size() ? orders[i] : LOrder::kVerticalFirst;
+    line.append(LRoute(points[i], points[i + 1], order));
+  }
+  return line;
+}
+
+Coord Polyline::length() const {
+  Coord total = 0;
+  for (const Segment& s : segments_) total += s.length();
+  return total;
+}
+
+int Polyline::crossings_with(const Segment& s) const {
+  int n = 0;
+  for (const Segment& t : segments_) {
+    if (crosses(s, t)) ++n;
+  }
+  return n;
+}
+
+int Polyline::crossings_with(const LRoute& r) const {
+  int n = 0;
+  for (const Segment& s : r.segments()) n += crossings_with(s);
+  return n;
+}
+
+int Polyline::crossings_with(const Polyline& other) const {
+  int n = 0;
+  for (const Segment& s : other.segments()) n += crossings_with(s);
+  return n;
+}
+
+int Polyline::self_crossings() const {
+  int n = 0;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    for (std::size_t j = i + 1; j < segments_.size(); ++j) {
+      if (crosses(segments_[i], segments_[j])) ++n;
+    }
+  }
+  return n;
+}
+
+void Polyline::append(const LRoute& r) {
+  for (const Segment& s : r.segments()) segments_.push_back(s);
+}
+
+}  // namespace xring::geom

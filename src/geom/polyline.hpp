@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/lshape.hpp"
+#include "geom/segment.hpp"
+
+namespace xring::geom {
+
+/// An ordered rectilinear polyline (sequence of axis-aligned segments), used
+/// to represent a realized waveguide: a ring, a shortcut chord, or a PDN
+/// branch. Exposes length and crossing queries against other geometry.
+class Polyline {
+ public:
+  Polyline() = default;
+  explicit Polyline(std::vector<Segment> segments);
+
+  /// Builds a polyline by concatenating L-routes between consecutive points,
+  /// using the given per-hop leg orders.
+  static Polyline through(const std::vector<Point>& points,
+                          const std::vector<LOrder>& orders);
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  bool empty() const { return segments_.empty(); }
+
+  Coord length() const;
+
+  /// Number of transversal crossings with a single segment.
+  int crossings_with(const Segment& s) const;
+
+  /// Number of transversal crossings with an L-route.
+  int crossings_with(const LRoute& r) const;
+
+  /// Number of transversal crossings with another polyline.
+  int crossings_with(const Polyline& other) const;
+
+  /// Number of transversal self-crossings between non-adjacent segments.
+  /// A legal waveguide has zero.
+  int self_crossings() const;
+
+  void append(Segment s) { segments_.push_back(s); }
+  void append(const LRoute& r);
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+}  // namespace xring::geom

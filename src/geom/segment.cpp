@@ -1,0 +1,97 @@
+#include "geom/segment.hpp"
+
+#include <algorithm>
+
+namespace xring::geom {
+
+namespace {
+
+struct Interval {
+  Coord lo;
+  Coord hi;
+};
+
+Interval span_x(const Segment& s) {
+  return {std::min(s.a.x, s.b.x), std::max(s.a.x, s.b.x)};
+}
+
+Interval span_y(const Segment& s) {
+  return {std::min(s.a.y, s.b.y), std::max(s.a.y, s.b.y)};
+}
+
+bool overlaps(Interval u, Interval v) { return u.lo <= v.hi && v.lo <= u.hi; }
+
+bool inside(Coord c, Interval iv) { return iv.lo <= c && c <= iv.hi; }
+
+bool strictly_inside(Coord c, Interval iv) { return iv.lo < c && c < iv.hi; }
+
+bool is_endpoint_of(const Point& p, const Segment& s) {
+  return p == s.a || p == s.b;
+}
+
+/// Classification when both segments are parallel horizontals/verticals or
+/// degenerate points.
+Touch classify_collinear_family(const Segment& s, const Segment& t) {
+  const Interval sx = span_x(s), tx = span_x(t);
+  const Interval sy = span_y(s), ty = span_y(t);
+  if (!overlaps(sx, tx) || !overlaps(sy, ty)) return Touch::kNone;
+  // Bounding boxes overlap. For parallel axis-aligned segments this means
+  // they lie on the same line (else no overlap in the thin dimension) or
+  // touch at a corner point.
+  const Coord ox_lo = std::max(sx.lo, tx.lo), ox_hi = std::min(sx.hi, tx.hi);
+  const Coord oy_lo = std::max(sy.lo, ty.lo), oy_hi = std::min(sy.hi, ty.hi);
+  if (ox_lo == ox_hi && oy_lo == oy_hi) {
+    // Single shared point.
+    const Point p{ox_lo, oy_lo};
+    if (is_endpoint_of(p, s) || is_endpoint_of(p, t)) return Touch::kEndpoint;
+    // A degenerate segment sitting in the interior of the other.
+    return Touch::kOverlap;
+  }
+  return Touch::kOverlap;
+}
+
+}  // namespace
+
+Touch classify(const Segment& s, const Segment& t) {
+  const bool s_h = s.horizontal(), s_v = s.vertical();
+  const bool t_h = t.horizontal(), t_v = t.vertical();
+
+  // Perpendicular pair: the only configuration that can truly cross.
+  if ((s_h && t_v) || (s_v && t_h)) {
+    const Segment& h = s_h ? s : t;
+    const Segment& v = s_h ? t : s;
+    const Interval hx = span_x(h);
+    const Interval vy = span_y(v);
+    if (!inside(v.a.x, hx) || !inside(h.a.y, vy)) return Touch::kNone;
+    const Point p{v.a.x, h.a.y};
+    if (strictly_inside(p.x, hx) && strictly_inside(p.y, vy)) {
+      return Touch::kCross;
+    }
+    return Touch::kEndpoint;
+  }
+
+  // Parallel (or degenerate) pair.
+  return classify_collinear_family(s, t);
+}
+
+bool crosses(const Segment& s, const Segment& t) {
+  return classify(s, t) == Touch::kCross;
+}
+
+bool contains(const Segment& s, const Point& p) {
+  return inside(p.x, span_x(s)) && inside(p.y, span_y(s)) &&
+         (s.a.x == s.b.x ? p.x == s.a.x : p.y == s.a.y);
+}
+
+bool contains_interior(const Segment& s, const Point& p) {
+  return contains(s, p) && p != s.a && p != s.b;
+}
+
+std::optional<Point> crossing_point(const Segment& s, const Segment& t) {
+  if (classify(s, t) != Touch::kCross) return std::nullopt;
+  const Segment& h = s.horizontal() ? s : t;
+  const Segment& v = s.horizontal() ? t : s;
+  return Point{v.a.x, h.a.y};
+}
+
+}  // namespace xring::geom

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geom/point.hpp"
+
+namespace xring::geom {
+
+/// An axis-aligned (horizontal or vertical) waveguide segment.
+/// Degenerate segments (a == b) are allowed and intersect nothing but
+/// points that equal them; they arise when an L-route degenerates to a
+/// straight route.
+struct Segment {
+  Point a;
+  Point b;
+
+  bool horizontal() const { return a.y == b.y && a.x != b.x; }
+  bool vertical() const { return a.x == b.x && a.y != b.y; }
+  bool degenerate() const { return a == b; }
+  Coord length() const { return manhattan(a, b); }
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+/// How two axis-aligned segments touch each other.
+enum class Touch {
+  kNone,      ///< disjoint
+  kEndpoint,  ///< they meet only at an endpoint of at least one segment
+  kCross,     ///< interiors intersect transversally (a real waveguide crossing)
+  kOverlap,   ///< collinear with a shared sub-segment (illegal overlap)
+};
+
+/// Classifies the interaction of two axis-aligned segments.
+Touch classify(const Segment& s, const Segment& t);
+
+/// True if the segments' *interiors* intersect transversally — i.e. routing
+/// both as waveguides would create a physical waveguide crossing. Touching
+/// at endpoints (segments joining at a node or a bend) is not a crossing.
+bool crosses(const Segment& s, const Segment& t);
+
+/// True if the point lies on the segment (endpoints included).
+bool contains(const Segment& s, const Point& p);
+
+/// True if the point lies strictly inside the segment (endpoints excluded).
+bool contains_interior(const Segment& s, const Point& p);
+
+/// The crossing point of two transversally crossing segments, if any.
+std::optional<Point> crossing_point(const Segment& s, const Segment& t);
+
+}  // namespace xring::geom

@@ -1,0 +1,368 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace xring::lp {
+
+std::string to_string(Status s) {
+  switch (s) {
+    case Status::kOptimal: return "optimal";
+    case Status::kInfeasible: return "infeasible";
+    case Status::kUnbounded: return "unbounded";
+    case Status::kIterationLimit: return "iteration-limit";
+  }
+  return "unknown";
+}
+
+int Problem::add_variable(double lo, double hi, double objective) {
+  if (lo > hi) throw std::invalid_argument("variable bounds inverted");
+  objective_.push_back(objective);
+  lower_.push_back(lo);
+  upper_.push_back(hi);
+  columns_.emplace_back();
+  return num_variables() - 1;
+}
+
+int Problem::add_constraint(Sense sense, double rhs) {
+  senses_.push_back(sense);
+  rhs_.push_back(rhs);
+  return num_constraints() - 1;
+}
+
+void Problem::add_term(int row, int var, double coefficient) {
+  assert(row >= 0 && row < num_constraints());
+  assert(var >= 0 && var < num_variables());
+  auto& col = columns_[var];
+  for (auto& [r, c] : col) {
+    if (r == row) {
+      c += coefficient;
+      return;
+    }
+  }
+  col.emplace_back(row, coefficient);
+}
+
+int Problem::add_constraint(const std::vector<std::pair<int, double>>& terms,
+                            Sense sense, double rhs) {
+  const int row = add_constraint(sense, rhs);
+  for (const auto& [var, coef] : terms) add_term(row, var, coef);
+  return row;
+}
+
+void Problem::set_bounds(int var, double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument("variable bounds inverted");
+  lower_[var] = lo;
+  upper_[var] = hi;
+}
+
+namespace {
+
+/// Where a nonbasic variable currently rests.
+enum class At { kLower, kUpper, kBasic };
+
+struct State {
+  int m = 0;        // rows
+  int n = 0;        // total columns (struct + slack + artificial)
+  int n_struct = 0; // structural columns
+  int first_artificial = 0;
+
+  // Per-column data.
+  std::vector<std::vector<std::pair<int, double>>> cols;
+  std::vector<double> lo, hi;
+  std::vector<double> cost;        // active objective
+  std::vector<double> real_cost;   // phase-2 objective
+  std::vector<At> where;
+  std::vector<double> value;       // current value of every variable
+
+  std::vector<double> b;           // equality right-hand side
+
+  // Basis.
+  std::vector<int> basis;              // basis[i] = column basic in row i
+  std::vector<double> binv;            // dense m*m row-major basis inverse
+
+  double tol = 1e-8;
+
+  double& binv_at(int i, int j) { return binv[static_cast<std::size_t>(i) * m + j]; }
+  double binv_at(int i, int j) const { return binv[static_cast<std::size_t>(i) * m + j]; }
+};
+
+/// w = Binv * A_col (sparse column).
+void ftran(const State& s, int col, std::vector<double>& w) {
+  std::fill(w.begin(), w.end(), 0.0);
+  for (const auto& [r, a] : s.cols[col]) {
+    for (int i = 0; i < s.m; ++i) w[i] += s.binv_at(i, r) * a;
+  }
+}
+
+/// y = c_B^T * Binv.
+void btran(const State& s, std::vector<double>& y) {
+  std::fill(y.begin(), y.end(), 0.0);
+  for (int i = 0; i < s.m; ++i) {
+    const double cb = s.cost[s.basis[i]];
+    if (cb == 0.0) continue;
+    for (int j = 0; j < s.m; ++j) y[j] += cb * s.binv_at(i, j);
+  }
+}
+
+double reduced_cost(const State& s, const std::vector<double>& y, int col) {
+  double d = s.cost[col];
+  for (const auto& [r, a] : s.cols[col]) d -= y[r] * a;
+  return d;
+}
+
+/// Recomputes basic variable values from scratch:
+/// x_B = Binv * (b - A_N x_N).
+void recompute_basics(State& s) {
+  std::vector<double> rhs = s.b;
+  for (int j = 0; j < s.n; ++j) {
+    if (s.where[j] == At::kBasic) continue;
+    const double v = s.value[j];
+    if (v == 0.0) continue;
+    for (const auto& [r, a] : s.cols[j]) rhs[r] -= a * v;
+  }
+  for (int i = 0; i < s.m; ++i) {
+    double v = 0.0;
+    for (int j = 0; j < s.m; ++j) v += s.binv_at(i, j) * rhs[j];
+    s.value[s.basis[i]] = v;
+  }
+}
+
+/// One bounded-variable simplex phase on the current `cost` vector.
+/// Returns kOptimal when no improving column exists.
+Status iterate(State& s, int& iterations, int max_iterations) {
+  std::vector<double> y(s.m), w(s.m);
+  int stall = 0;  // iterations since last objective improvement (Bland trigger)
+
+  while (iterations < max_iterations) {
+    ++iterations;
+    btran(s, y);
+
+    // Pricing: pick the entering column. Dantzig rule normally; Bland's rule
+    // (lowest eligible index) once degeneracy stalls progress, which
+    // guarantees termination.
+    const bool bland = stall > 2 * (s.m + 8);
+    int enter = -1;
+    double best = s.tol;
+    int direction = 0;  // +1: entering increases from lower, -1: decreases from upper
+    for (int j = 0; j < s.n; ++j) {
+      if (s.where[j] == At::kBasic) continue;
+      if (s.lo[j] == s.hi[j]) continue;  // fixed, never enters
+      const double d = reduced_cost(s, y, j);
+      if (s.where[j] == At::kLower && d < -s.tol) {
+        if (bland) { enter = j; direction = +1; break; }
+        if (-d > best) { best = -d; enter = j; direction = +1; }
+      } else if (s.where[j] == At::kUpper && d > s.tol) {
+        if (bland) { enter = j; direction = -1; break; }
+        if (d > best) { best = d; enter = j; direction = -1; }
+      }
+    }
+    if (enter < 0) return Status::kOptimal;
+
+    ftran(s, enter, w);
+
+    // Ratio test. The entering variable moves by t in `direction`; each basic
+    // variable i changes by -direction * w[i] * t.
+    double t_max = s.hi[enter] - s.lo[enter];  // bound-flip limit
+    int leave = -1;         // row index of the leaving basic variable
+    int leave_to = 0;       // -1: leaves to lower bound, +1: leaves to upper
+    for (int i = 0; i < s.m; ++i) {
+      const double wi = direction * w[i];
+      const int bi = s.basis[i];
+      if (wi > s.tol) {
+        const double room = s.value[bi] - s.lo[bi];
+        const double t = room / wi;
+        if (t < t_max - s.tol || (t < t_max + s.tol && leave >= 0 && bi < s.basis[leave])) {
+          t_max = std::max(t, 0.0);
+          leave = i;
+          leave_to = -1;
+        }
+      } else if (wi < -s.tol) {
+        if (s.hi[bi] == kInfinity) continue;
+        const double room = s.hi[bi] - s.value[bi];
+        const double t = room / (-wi);
+        if (t < t_max - s.tol || (t < t_max + s.tol && leave >= 0 && bi < s.basis[leave])) {
+          t_max = std::max(t, 0.0);
+          leave = i;
+          leave_to = +1;
+        }
+      }
+    }
+
+    if (t_max == kInfinity) return Status::kUnbounded;
+    stall = t_max > s.tol ? 0 : stall + 1;
+
+    // Apply the step to all basic variables and the entering variable.
+    if (t_max > 0.0) {
+      for (int i = 0; i < s.m; ++i) {
+        s.value[s.basis[i]] -= direction * w[i] * t_max;
+      }
+      s.value[enter] += direction * t_max;
+    }
+
+    if (leave < 0) {
+      // Pure bound flip: entering variable travels to its opposite bound.
+      s.where[enter] = direction > 0 ? At::kUpper : At::kLower;
+      s.value[enter] = direction > 0 ? s.hi[enter] : s.lo[enter];
+      continue;
+    }
+
+    // Basis change: `enter` becomes basic in row `leave`.
+    const int out = s.basis[leave];
+    s.where[out] = leave_to < 0 ? At::kLower : At::kUpper;
+    s.value[out] = leave_to < 0 ? s.lo[out] : s.hi[out];
+    s.where[enter] = At::kBasic;
+    s.basis[leave] = enter;
+
+    // Update the dense basis inverse: standard eta update with pivot w[leave].
+    const double piv = w[leave];
+    if (std::abs(piv) < 1e-12) return Status::kIterationLimit;  // numeric failure
+    for (int j = 0; j < s.m; ++j) s.binv_at(leave, j) /= piv;
+    for (int i = 0; i < s.m; ++i) {
+      if (i == leave) continue;
+      const double f = w[i];
+      if (f == 0.0) continue;
+      for (int j = 0; j < s.m; ++j) {
+        s.binv_at(i, j) -= f * s.binv_at(leave, j);
+      }
+    }
+  }
+  return Status::kIterationLimit;
+}
+
+double objective_value(const State& s, const std::vector<double>& cost) {
+  double v = 0.0;
+  for (int j = 0; j < s.n; ++j) v += cost[j] * s.value[j];
+  return v;
+}
+
+}  // namespace
+
+Solution solve(const Problem& p, const SolveOptions& options) {
+  State s;
+  s.m = p.num_constraints();
+  s.n_struct = p.num_variables();
+  s.tol = options.tolerance;
+  s.b = p.rhs();
+
+  // Structural columns.
+  s.cols = p.columns();
+  for (int j = 0; j < s.n_struct; ++j) {
+    s.lo.push_back(p.lower_bound(j));
+    s.hi.push_back(p.upper_bound(j));
+    const double c = p.objective()[j];
+    s.real_cost.push_back(p.maximize() ? -c : c);
+  }
+
+  // Slack columns turn every inequality into an equality.
+  for (int i = 0; i < s.m; ++i) {
+    const Sense sense = p.senses()[i];
+    if (sense == Sense::kEq) continue;
+    s.cols.push_back({{i, sense == Sense::kLe ? 1.0 : -1.0}});
+    s.lo.push_back(0.0);
+    s.hi.push_back(kInfinity);
+    s.real_cost.push_back(0.0);
+  }
+
+  // Artificial columns provide the initial identity basis. Their sign is
+  // chosen after nonbasic values are fixed so each starts feasible (>= 0).
+  s.first_artificial = static_cast<int>(s.cols.size());
+  s.n = s.first_artificial + s.m;
+
+  s.where.assign(s.n, At::kLower);
+  s.value.assign(s.n, 0.0);
+  s.lo.resize(s.n, 0.0);
+  s.hi.resize(s.n, kInfinity);
+  s.real_cost.resize(s.n, 0.0);
+
+  // Nonbasic structural/slack variables start at the finite bound closest to
+  // zero (variables with only infinite upper bounds start at their lower).
+  for (int j = 0; j < s.first_artificial; ++j) {
+    if (s.lo[j] == -kInfinity && s.hi[j] == kInfinity) {
+      // Free variables are not needed by any caller in this library.
+      throw std::invalid_argument("free variables are unsupported");
+    }
+    if (s.lo[j] != -kInfinity) {
+      s.where[j] = At::kLower;
+      s.value[j] = s.lo[j];
+    } else {
+      s.where[j] = At::kUpper;
+      s.value[j] = s.hi[j];
+    }
+  }
+
+  // Residual of each row given the nonbasic values decides artificial signs.
+  std::vector<double> residual = s.b;
+  for (int j = 0; j < s.first_artificial; ++j) {
+    if (s.value[j] == 0.0) continue;
+    for (const auto& [r, a] : s.cols[j]) residual[r] -= a * s.value[j];
+  }
+  s.basis.resize(s.m);
+  for (int i = 0; i < s.m; ++i) {
+    const double sign = residual[i] >= 0.0 ? 1.0 : -1.0;
+    s.cols.push_back({{i, sign}});
+    const int col = s.first_artificial + i;
+    s.basis[i] = col;
+    s.where[col] = At::kBasic;
+    s.value[col] = std::abs(residual[i]);
+  }
+
+  // Identity basis inverse, scaled by artificial signs.
+  s.binv.assign(static_cast<std::size_t>(s.m) * s.m, 0.0);
+  for (int i = 0; i < s.m; ++i) {
+    s.binv_at(i, i) = residual[i] >= 0.0 ? 1.0 : -1.0;
+  }
+
+  Solution out;
+
+  // Phase 1: minimize the sum of artificials.
+  s.cost.assign(s.n, 0.0);
+  for (int i = 0; i < s.m; ++i) s.cost[s.first_artificial + i] = 1.0;
+  Status st = iterate(s, out.iterations, options.max_iterations);
+  if (st == Status::kIterationLimit) {
+    out.status = st;
+    return out;
+  }
+  const double infeas = objective_value(s, s.cost);
+  if (infeas > 1e-6) {
+    out.status = Status::kInfeasible;
+    return out;
+  }
+
+  // Phase 2: fix artificials at zero and optimize the real objective.
+  for (int i = 0; i < s.m; ++i) {
+    const int col = s.first_artificial + i;
+    s.lo[col] = 0.0;
+    s.hi[col] = 0.0;
+    if (s.where[col] != At::kBasic) s.value[col] = 0.0;
+  }
+  s.cost = s.real_cost;
+  recompute_basics(s);
+  st = iterate(s, out.iterations, options.max_iterations);
+  out.status = st == Status::kUnbounded ? Status::kUnbounded : st;
+  if (st != Status::kOptimal) return out;
+
+  out.status = Status::kOptimal;
+  out.x.assign(s.n_struct, 0.0);
+  for (int j = 0; j < s.n_struct; ++j) out.x[j] = s.value[j];
+  double obj = 0.0;
+  for (int j = 0; j < s.n_struct; ++j) obj += s.real_cost[j] * s.value[j];
+  out.objective = p.maximize() ? -obj : obj;
+
+  // Duals and reduced costs from the optimal basis, flipped back into the
+  // caller's objective sense (internally everything is a minimization).
+  std::vector<double> y(s.m);
+  btran(s, y);
+  const double sense = p.maximize() ? -1.0 : 1.0;
+  out.duals.resize(s.m);
+  for (int i = 0; i < s.m; ++i) out.duals[i] = sense * y[i];
+  out.reduced_costs.resize(s.n_struct);
+  for (int j = 0; j < s.n_struct; ++j) {
+    out.reduced_costs[j] = sense * reduced_cost(s, y, j);
+  }
+  return out;
+}
+
+}  // namespace xring::lp

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace xring::lp {
+
+/// Direction of a linear constraint.
+enum class Sense { kLe, kGe, kEq };
+
+/// Outcome of an LP solve.
+enum class Status { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+std::string to_string(Status s);
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// A linear program over bounded continuous variables:
+///
+///   minimize   c'x
+///   subject to a_i'x  (<= | >= | =)  b_i      for every row i
+///              lo_j <= x_j <= hi_j            for every variable j
+///
+/// Columns are stored sparsely; the solver is a revised primal simplex with
+/// explicit basis inverse and full bounded-variable support (nonbasic
+/// variables rest at either bound, bound flips are handled without pivots).
+/// This is the substrate that replaces Gurobi for the XRing MILP model.
+class Problem {
+ public:
+  /// Adds a variable with bounds [lo, hi] and objective coefficient c.
+  /// Returns its column index.
+  int add_variable(double lo, double hi, double objective);
+
+  /// Starts a new empty constraint; returns its row index.
+  int add_constraint(Sense sense, double rhs);
+
+  /// Adds `coefficient * x[var]` to constraint `row`. Coefficients for the
+  /// same (row, var) pair accumulate.
+  void add_term(int row, int var, double coefficient);
+
+  /// Convenience: adds a full constraint at once.
+  int add_constraint(const std::vector<std::pair<int, double>>& terms,
+                     Sense sense, double rhs);
+
+  void set_maximize(bool maximize) { maximize_ = maximize; }
+  bool maximize() const { return maximize_; }
+
+  int num_variables() const { return static_cast<int>(objective_.size()); }
+  int num_constraints() const { return static_cast<int>(rhs_.size()); }
+
+  double lower_bound(int var) const { return lower_[var]; }
+  double upper_bound(int var) const { return upper_[var]; }
+  void set_bounds(int var, double lo, double hi);
+
+  // Internal accessors used by the solver.
+  const std::vector<double>& objective() const { return objective_; }
+  const std::vector<double>& rhs() const { return rhs_; }
+  const std::vector<Sense>& senses() const { return senses_; }
+  const std::vector<std::vector<std::pair<int, double>>>& columns() const {
+    return columns_;
+  }
+
+ private:
+  std::vector<double> objective_;
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<std::vector<std::pair<int, double>>> columns_;  // per variable
+  std::vector<double> rhs_;
+  std::vector<Sense> senses_;
+  bool maximize_ = false;
+};
+
+struct SolveOptions {
+  int max_iterations = 200000;
+  double tolerance = 1e-8;
+};
+
+struct Solution {
+  Status status = Status::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;  ///< values of the structural variables
+  /// Dual values (simplex multipliers) per constraint row at the optimum,
+  /// in the caller's objective sense: for a maximization, y_i is the rate
+  /// at which the optimum grows per unit of slack added to row i. Strong
+  /// duality (b'y == c'x for feasible bounded problems with inactive
+  /// variable bounds) is exercised in the tests.
+  std::vector<double> duals;
+  /// Reduced cost per structural variable at the optimum (objective sense
+  /// of the caller).
+  std::vector<double> reduced_costs;
+  int iterations = 0;
+};
+
+/// Solves the LP with a two-phase revised bounded-variable primal simplex.
+Solution solve(const Problem& problem, const SolveOptions& options = {});
+
+}  // namespace xring::lp

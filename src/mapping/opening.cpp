@@ -1,0 +1,164 @@
+#include "mapping/opening.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace xring::mapping {
+
+int passing_signals(const ring::Tour& tour, const netlist::Traffic& traffic,
+                    const Mapping& mapping, int w, NodeId node) {
+  int count = 0;
+  const RingWaveguide& wg = mapping.waveguides[w];
+  for (const SignalId id : wg.signals) {
+    const auto& sig = traffic.signal(id);
+    for (const NodeId v : interior_nodes(tour, sig.src, sig.dst, wg.dir)) {
+      if (v == node) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+namespace {
+
+/// Moves `id` off waveguide `from` onto another same-direction waveguide,
+/// keeping its direction and updating the route. When `allow_new` a fresh
+/// waveguide is opened as a last resort. Returns {moved, waveguide added}.
+std::pair<bool, bool> relocate(const ring::Tour& tour,
+                               const netlist::Traffic& traffic,
+                               Mapping& mapping, int from, SignalId id,
+                               int max_wavelengths, bool allow_new) {
+  const Direction dir = mapping.waveguides[from].dir;
+  for (int w = 0; w < static_cast<int>(mapping.waveguides.size()); ++w) {
+    if (w == from || mapping.waveguides[w].dir != dir) continue;
+    for (int wl = 0; wl < max_wavelengths; ++wl) {
+      if (!fits(tour, traffic, mapping, w, wl, id)) continue;
+      auto& sigs = mapping.waveguides[from].signals;
+      sigs.erase(std::remove(sigs.begin(), sigs.end(), id), sigs.end());
+      mapping.waveguides[w].signals.push_back(id);
+      mapping.routes[id].waveguide = w;
+      mapping.routes[id].wavelength = wl;
+      return {true, false};
+    }
+  }
+  if (!allow_new) return {false, false};
+  // Fallback: fresh waveguide. Its own opening is chosen when the loop in
+  // create_openings reaches it (waveguides are processed by index).
+  RingWaveguide nw;
+  nw.dir = dir;
+  mapping.waveguides.push_back(std::move(nw));
+  const int w = static_cast<int>(mapping.waveguides.size()) - 1;
+  auto& sigs = mapping.waveguides[from].signals;
+  sigs.erase(std::remove(sigs.begin(), sigs.end(), id), sigs.end());
+  mapping.waveguides[w].signals.push_back(id);
+  mapping.routes[id].waveguide = w;
+  mapping.routes[id].wavelength = 0;
+  return {true, true};
+}
+
+/// Signals on waveguide `w` whose arcs pass through `node`.
+std::vector<SignalId> signals_passing(const ring::Tour& tour,
+                                      const netlist::Traffic& traffic,
+                                      const Mapping& mapping, int w,
+                                      NodeId node) {
+  std::vector<SignalId> out;
+  const Direction dir = mapping.waveguides[w].dir;
+  for (const SignalId id : mapping.waveguides[w].signals) {
+    const auto& sig = traffic.signal(id);
+    const auto interior = interior_nodes(tour, sig.src, sig.dst, dir);
+    if (std::find(interior.begin(), interior.end(), node) != interior.end()) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+OpeningStats create_openings(const ring::Tour& tour,
+                             const netlist::Traffic& traffic, Mapping& mapping,
+                             const MappingOptions& mapping_options,
+                             const OpeningOptions& options) {
+  OpeningStats stats;
+  if (!options.enable) return stats;
+
+  // Index loop, not range-for: relocation may append waveguides, which must
+  // then get their own openings too.
+  for (int w = 0; w < static_cast<int>(mapping.waveguides.size()); ++w) {
+    // Candidate nodes ordered by how many signals pass them (the paper's
+    // "nodes passed by the least number of signals"); ties broken by tour
+    // position for determinism.
+    std::vector<std::pair<int, NodeId>> candidates;
+    for (int pos = 0; pos < tour.size(); ++pos) {
+      const NodeId v = tour.at(pos);
+      candidates.emplace_back(passing_signals(tour, traffic, mapping, w, v),
+                              v);
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+
+    // Try candidates in order, committing the first whose passing signals
+    // can all be relocated within the *existing* waveguides (moving a
+    // signal "should not exceed the #wl or pass the opening node" —
+    // Sec. III-C). A transactional copy keeps failed attempts side-effect
+    // free.
+    bool placed = false;
+    for (const auto& [count, node] : candidates) {
+      if (count == 0) {
+        mapping.waveguides[w].opening = node;
+        placed = true;
+        break;
+      }
+      Mapping trial = mapping;
+      bool ok = true;
+      int moved_here = 0;
+      for (const SignalId id :
+           signals_passing(tour, traffic, mapping, w, node)) {
+        const auto [moved, added] =
+            relocate(tour, traffic, trial, w, id,
+                     mapping_options.max_wavelengths, /*allow_new=*/false);
+        (void)added;
+        if (!moved) {
+          ok = false;
+          break;
+        }
+        ++moved_here;
+      }
+      if (ok) {
+        mapping = std::move(trial);
+        mapping.waveguides[w].opening = node;
+        stats.relocated_signals += moved_here;
+        placed = true;
+        break;
+      }
+    }
+
+    // Last resort: the least-passed candidate, overflowing onto a fresh
+    // waveguide (which then gets its own opening later in this loop).
+    if (!placed) {
+      const NodeId node = candidates.front().second;
+      for (const SignalId id :
+           signals_passing(tour, traffic, mapping, w, node)) {
+        const auto [moved, added] =
+            relocate(tour, traffic, mapping, w, id,
+                     mapping_options.max_wavelengths, /*allow_new=*/true);
+        stats.relocated_signals += moved ? 1 : 0;
+        stats.extra_waveguides += added ? 1 : 0;
+      }
+      mapping.waveguides[w].opening = node;
+    }
+  }
+
+  int max_wl = -1;
+  for (const SignalRoute& r : mapping.routes) {
+    max_wl = std::max(max_wl, r.wavelength);
+  }
+  mapping.wavelengths_used = max_wl + 1;
+  return stats;
+}
+
+}  // namespace xring::mapping

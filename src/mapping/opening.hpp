@@ -1,0 +1,35 @@
+#pragma once
+
+#include "mapping/wavelength.hpp"
+
+namespace xring::mapping {
+
+struct OpeningOptions {
+  /// When false, waveguides stay unbroken (models routers whose PDN must
+  /// cross the rings instead — the baseline configuration).
+  bool enable = true;
+};
+
+/// Statistics of the opening phase (exposed for tests and benches).
+struct OpeningStats {
+  int relocated_signals = 0;
+  int extra_waveguides = 0;
+};
+
+/// Step 3's second half (Sec. III-C): for every ring waveguide, pick the
+/// node passed by the fewest signals as its opening, relocate those passing
+/// signals to other waveguides of the same direction (respecting #wl and
+/// already-fixed openings), and record the opening. Relocation falls back to
+/// a fresh waveguide when no existing one fits, so the phase always
+/// succeeds; every ring waveguide ends up with an opening through which the
+/// PDN reaches the senders without crossing any ring waveguide.
+OpeningStats create_openings(const ring::Tour& tour,
+                             const netlist::Traffic& traffic, Mapping& mapping,
+                             const MappingOptions& mapping_options,
+                             const OpeningOptions& options = {});
+
+/// Number of signals on waveguide `w` whose arc passes *through* `node`.
+int passing_signals(const ring::Tour& tour, const netlist::Traffic& traffic,
+                    const Mapping& mapping, int w, NodeId node);
+
+}  // namespace xring::mapping

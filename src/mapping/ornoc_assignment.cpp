@@ -1,0 +1,66 @@
+#include "mapping/ornoc_assignment.hpp"
+
+#include <algorithm>
+
+namespace xring::mapping {
+
+Mapping ornoc_assignment(const ring::Tour& tour,
+                         const netlist::Traffic& traffic,
+                         int max_wavelengths) {
+  Mapping m;
+  m.routes.assign(traffic.size(), SignalRoute{});
+
+  for (const auto& sig : traffic.signals()) {
+    const geom::Coord cw = tour.arc_length_cw(sig.src, sig.dst);
+    const geom::Coord ccw = tour.arc_length_ccw(sig.src, sig.dst);
+    const Direction shorter = cw <= ccw ? Direction::kCw : Direction::kCcw;
+    const Direction longer =
+        shorter == Direction::kCw ? Direction::kCcw : Direction::kCw;
+
+    // ORNoC packs aggressively: it exhausts existing (waveguide, λ) slots —
+    // accepting the long way around the ring — before it ever adds a
+    // waveguide. This is what keeps its resource count low and its
+    // worst-case path close to the full perimeter.
+    int chosen_w = -1, chosen_wl = -1;
+    Direction chosen_dir = shorter;
+    for (const Direction dir : {shorter, longer}) {
+      for (int w = 0; w < static_cast<int>(m.waveguides.size()) && chosen_w < 0;
+           ++w) {
+        if (m.waveguides[w].dir != dir) continue;
+        // `fits` checks overlap for the direction of waveguide w, so the
+        // signal's occupied arc follows that waveguide's direction.
+        for (int wl = 0; wl < max_wavelengths; ++wl) {
+          if (fits(tour, traffic, m, w, wl, sig.id)) {
+            chosen_w = w;
+            chosen_wl = wl;
+            chosen_dir = dir;
+            break;
+          }
+        }
+      }
+      if (chosen_w >= 0) break;
+    }
+    if (chosen_w < 0) {
+      RingWaveguide nw;
+      nw.dir = shorter;
+      m.waveguides.push_back(std::move(nw));
+      chosen_w = static_cast<int>(m.waveguides.size()) - 1;
+      chosen_wl = 0;
+      chosen_dir = shorter;
+    }
+
+    SignalRoute& r = m.routes[sig.id];
+    r.kind = chosen_dir == Direction::kCw ? RouteKind::kRingCw
+                                          : RouteKind::kRingCcw;
+    r.waveguide = chosen_w;
+    r.wavelength = chosen_wl;
+    m.waveguides[chosen_w].signals.push_back(sig.id);
+  }
+
+  int max_wl = -1;
+  for (const SignalRoute& r : m.routes) max_wl = std::max(max_wl, r.wavelength);
+  m.wavelengths_used = max_wl + 1;
+  return m;
+}
+
+}  // namespace xring::mapping

@@ -1,0 +1,188 @@
+#include "mapping/wavelength.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace xring::mapping {
+
+int Mapping::ring_waveguides(Direction dir) const {
+  int n = 0;
+  for (const RingWaveguide& w : waveguides) {
+    if (w.dir == dir) ++n;
+  }
+  return n;
+}
+
+std::vector<int> occupied_hops(const ring::Tour& tour, NodeId src, NodeId dst,
+                               Direction dir) {
+  return dir == Direction::kCw ? tour.hops_on_arc_cw(src, dst)
+                               : tour.hops_on_arc_cw(dst, src);
+}
+
+std::vector<NodeId> interior_nodes(const ring::Tour& tour, NodeId src,
+                                   NodeId dst, Direction dir) {
+  const NodeId from = dir == Direction::kCw ? src : dst;
+  const NodeId to = dir == Direction::kCw ? dst : src;
+  std::vector<NodeId> out;
+  const int hops = tour.hops_cw(from, to);
+  const int start = tour.position(from);
+  for (int h = 1; h < hops; ++h) out.push_back(tour.at(start + h));
+  return out;
+}
+
+bool fits(const ring::Tour& tour, const netlist::Traffic& traffic,
+          const Mapping& mapping, int waveguide, int wavelength,
+          SignalId signal) {
+  const RingWaveguide& w = mapping.waveguides[waveguide];
+  const auto& sig = traffic.signal(signal);
+
+  // An already-fixed opening must not lie inside the signal's arc.
+  if (w.opening != -1) {
+    for (const NodeId v : interior_nodes(tour, sig.src, sig.dst, w.dir)) {
+      if (v == w.opening) return false;
+    }
+  }
+
+  const std::vector<int> mine = occupied_hops(tour, sig.src, sig.dst, w.dir);
+  std::vector<bool> covered(tour.size(), false);
+  for (const int h : mine) covered[h] = true;
+
+  for (const SignalId other : w.signals) {
+    if (other == signal) continue;
+    if (mapping.routes[other].wavelength != wavelength) continue;
+    const auto& o = traffic.signal(other);
+    for (const int h : occupied_hops(tour, o.src, o.dst, w.dir)) {
+      if (covered[h]) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Adds a new empty ring waveguide of the given direction; returns its index.
+int new_waveguide(Mapping& m, Direction dir) {
+  RingWaveguide w;
+  w.dir = dir;
+  m.waveguides.push_back(std::move(w));
+  return static_cast<int>(m.waveguides.size()) - 1;
+}
+
+/// Places a ring-routed signal first-fit over the waveguides of its
+/// direction, creating a new waveguide if every (waveguide, λ) slot under
+/// the #wl cap is blocked. Returns the (waveguide, wavelength) used.
+std::pair<int, int> place_on_ring(const ring::Tour& tour,
+                                  const netlist::Traffic& traffic, Mapping& m,
+                                  Direction dir, SignalId id,
+                                  int max_wavelengths) {
+  for (int w = 0; w < static_cast<int>(m.waveguides.size()); ++w) {
+    if (m.waveguides[w].dir != dir) continue;
+    for (int wl = 0; wl < max_wavelengths; ++wl) {
+      if (fits(tour, traffic, m, w, wl, id)) return {w, wl};
+    }
+  }
+  return {new_waveguide(m, dir), 0};
+}
+
+}  // namespace
+
+Mapping assign_wavelengths(const ring::Tour& tour,
+                           const netlist::Traffic& traffic,
+                           const shortcut::ShortcutPlan& shortcuts,
+                           const MappingOptions& options) {
+  Mapping m;
+  m.routes.assign(traffic.size(), SignalRoute{});
+
+  // --- Shortcut-supported signals -------------------------------------
+  // Wavelength discipline (Sec. III-C): signals on shortcuts that cross
+  // nothing share λ0; a crossed pair uses λ0 and λ1 so the crossing's leak
+  // never matches the other shortcut's receivers; CSE-routed signals use λ2
+  // upward, distinct from both.
+  if (options.use_shortcuts) {
+    for (const auto& sig : traffic.signals()) {
+      const int sc = shortcuts.shortcuts.empty()
+                         ? -1
+                         : shortcuts.find(sig.src, sig.dst);
+      if (sc < 0) continue;
+      SignalRoute& r = m.routes[sig.id];
+      r.kind = RouteKind::kShortcut;
+      r.shortcut = sc;
+      const shortcut::Shortcut& s = shortcuts.shortcuts[sc];
+      if (s.crossing_partner < 0) {
+        r.wavelength = 0;
+      } else {
+        // The lower-indexed shortcut of the pair takes λ0, its partner λ1.
+        r.wavelength = sc < s.crossing_partner ? 0 : 1;
+      }
+    }
+
+    // CSE-routed signals: only mapped when the CSE path is strictly shorter
+    // than the best ring arc (shortcuts must benefit the network).
+    for (std::size_t c = 0; c < shortcuts.cse_routes.size(); ++c) {
+      const shortcut::CseRoute& route = shortcuts.cse_routes[c];
+      // Locate the corresponding traffic signal, if any.
+      for (const auto& sig : traffic.signals()) {
+        if (sig.src != route.src || sig.dst != route.dst) continue;
+        SignalRoute& r = m.routes[sig.id];
+        if (r.kind == RouteKind::kShortcut) break;  // direct shortcut wins
+        const geom::Coord ring_len =
+            std::min(tour.arc_length_cw(sig.src, sig.dst),
+                     tour.arc_length_ccw(sig.src, sig.dst));
+        const bool better_than_current =
+            r.kind != RouteKind::kCse ||
+            route.length < shortcuts.cse_routes[r.cse].length;
+        if (route.length < ring_len && better_than_current) {
+          r.kind = RouteKind::kCse;
+          r.cse = static_cast<int>(c);
+          // Fig. 7(b) uses two distinct CSE wavelengths (λ3/λ4 there): CSE
+          // routes entering from the pair's lower-indexed shortcut take λ2,
+          // those entering from its partner take λ3. This keeps every CSE
+          // drop residue off the other CSE route's receiver, which shares
+          // the residue's waveguide span.
+          r.wavelength = route.shortcut_in < route.shortcut_out ? 2 : 3;
+        }
+        break;
+      }
+    }
+  }
+
+  // --- Ring-routed signals ---------------------------------------------
+  // First-fit-decreasing in the shorter direction (the ORing method XRing
+  // adopts): longer arcs are placed first because they are hardest to pack.
+  std::vector<SignalId> ring_signals;
+  for (const auto& sig : traffic.signals()) {
+    if (m.routes[sig.id].kind == RouteKind::kUnrouted) {
+      ring_signals.push_back(sig.id);
+    }
+  }
+  auto shorter_arc = [&](SignalId id) {
+    const auto& sig = traffic.signal(id);
+    return std::min(tour.arc_length_cw(sig.src, sig.dst),
+                    tour.arc_length_ccw(sig.src, sig.dst));
+  };
+  std::stable_sort(ring_signals.begin(), ring_signals.end(),
+                   [&](SignalId x, SignalId y) {
+                     return shorter_arc(x) > shorter_arc(y);
+                   });
+
+  for (const SignalId id : ring_signals) {
+    const auto& sig = traffic.signal(id);
+    const geom::Coord cw = tour.arc_length_cw(sig.src, sig.dst);
+    const geom::Coord ccw = tour.arc_length_ccw(sig.src, sig.dst);
+    const Direction dir = cw <= ccw ? Direction::kCw : Direction::kCcw;
+    const auto [w, wl] = place_on_ring(tour, traffic, m, dir, id,
+                                       options.max_wavelengths);
+    SignalRoute& r = m.routes[id];
+    r.kind = dir == Direction::kCw ? RouteKind::kRingCw : RouteKind::kRingCcw;
+    r.waveguide = w;
+    r.wavelength = wl;
+    m.waveguides[w].signals.push_back(id);
+  }
+
+  int max_wl = -1;
+  for (const SignalRoute& r : m.routes) max_wl = std::max(max_wl, r.wavelength);
+  m.wavelengths_used = max_wl + 1;
+  return m;
+}
+
+}  // namespace xring::mapping

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/traffic.hpp"
+#include "ring/tour.hpp"
+#include "shortcut/shortcut.hpp"
+
+namespace xring::mapping {
+
+using netlist::NodeId;
+using netlist::SignalId;
+
+/// Travel direction on the ring. Clockwise is tour order (waveguide family
+/// r1 in the paper), counter-clockwise the reverse (r2).
+enum class Direction { kCw, kCcw };
+
+/// How a signal reaches its destination.
+enum class RouteKind {
+  kRingCw,    ///< on a clockwise ring waveguide
+  kRingCcw,   ///< on a counter-clockwise ring waveguide
+  kShortcut,  ///< directly over a shortcut chord
+  kCse,       ///< over two crossed shortcuts, switching at the CSE
+  kUnrouted,
+};
+
+/// Per-signal routing decision.
+struct SignalRoute {
+  RouteKind kind = RouteKind::kUnrouted;
+  int waveguide = -1;   ///< ring waveguide index (into Mapping::waveguides)
+  int wavelength = -1;
+  int shortcut = -1;    ///< index into ShortcutPlan::shortcuts (kShortcut)
+  int cse = -1;         ///< index into ShortcutPlan::cse_routes (kCse)
+};
+
+/// One ring waveguide instance: a full circular copy of the constructed ring
+/// geometry carrying signals in one direction, later broken at `opening`.
+struct RingWaveguide {
+  Direction dir = Direction::kCw;
+  NodeId opening = -1;  ///< -1 until Step 3's opening phase ran
+  std::vector<SignalId> signals;
+};
+
+struct MappingOptions {
+  /// Maximum number of wavelengths usable on one ring waveguide (#wl). The
+  /// sweep layer varies this to find min-power / max-SNR settings.
+  int max_wavelengths = 16;
+  bool use_shortcuts = true;
+};
+
+/// The complete Step 3 result.
+struct Mapping {
+  std::vector<SignalRoute> routes;        ///< indexed by SignalId
+  std::vector<RingWaveguide> waveguides;
+
+  /// Distinct wavelengths used anywhere (the tables' #wl column).
+  int wavelengths_used = 0;
+
+  int ring_waveguides(Direction dir) const;
+};
+
+/// The directed arc a ring-routed signal occupies, as tour hop indices.
+/// Clockwise signals cover the cw arc src→dst; counter-clockwise signals
+/// physically cover the hops of the cw arc dst→src.
+std::vector<int> occupied_hops(const ring::Tour& tour, NodeId src, NodeId dst,
+                               Direction dir);
+
+/// Interior nodes of the occupied arc (nodes the signal passes *through*;
+/// endpoints excluded). A waveguide opening at any of these blocks the path.
+std::vector<NodeId> interior_nodes(const ring::Tour& tour, NodeId src,
+                                   NodeId dst, Direction dir);
+
+/// XRing's signal mapping (Sec. III-C): shortcut-supported signals first
+/// (shortcut wavelength rules: one shared λ for non-crossed shortcuts,
+/// distinct λs for a crossed pair, further λs for CSE-routed signals), then
+/// first-fit-decreasing of the remaining signals onto ring waveguides in
+/// their shorter direction, opening new waveguides when #wl is exhausted.
+/// Openings are NOT chosen here; see opening.hpp.
+Mapping assign_wavelengths(const ring::Tour& tour,
+                           const netlist::Traffic& traffic,
+                           const shortcut::ShortcutPlan& shortcuts,
+                           const MappingOptions& options = {});
+
+/// True if the signal can be added to (waveguide, wavelength) without arc
+/// overlap with same-wavelength signals and without passing the waveguide's
+/// opening (when already fixed). Shared helper of mapping and opening steps.
+bool fits(const ring::Tour& tour, const netlist::Traffic& traffic,
+          const Mapping& mapping, int waveguide, int wavelength,
+          SignalId signal);
+
+}  // namespace xring::mapping

@@ -1,0 +1,234 @@
+#include "milp/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace xring::milp {
+
+std::string to_string(MipStatus s) {
+  switch (s) {
+    case MipStatus::kOptimal: return "optimal";
+    case MipStatus::kFeasible: return "feasible";
+    case MipStatus::kInfeasible: return "infeasible";
+    case MipStatus::kUnbounded: return "unbounded";
+    case MipStatus::kNoSolution: return "no-solution";
+  }
+  return "unknown";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A search node is the list of branching decisions that produced it plus the
+/// LP bound of its parent (used as the best-first priority).
+struct Node {
+  std::vector<std::pair<int, double>> fixings;  // (var, value in {0,1})
+  double bound;  // parent's LP objective, in minimization sense
+  int depth = 0;
+};
+
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.bound != b.bound) return a.bound > b.bound;  // min-heap on bound
+    return a.depth < b.depth;                          // prefer deeper (dive)
+  }
+};
+
+/// LP problem mirroring the MILP; rows grow as lazy constraints arrive.
+lp::Problem build_lp(const Model& model) {
+  lp::Problem p;
+  p.set_maximize(false);  // objective sign normalized below
+  const double sign = model.maximize() ? -1.0 : 1.0;
+  for (int v = 0; v < model.num_variables(); ++v) {
+    p.add_variable(model.lower(v), model.upper(v), sign * model.objective(v));
+  }
+  for (const Constraint& c : model.constraints()) {
+    p.add_constraint(c.terms, c.sense, c.rhs);
+  }
+  return p;
+}
+
+void append_rows(lp::Problem& p, const std::vector<Constraint>& rows) {
+  for (const Constraint& c : rows) p.add_constraint(c.terms, c.sense, c.rhs);
+}
+
+bool is_integral(const Model& model, const std::vector<double>& x, double tol) {
+  for (int v = 0; v < model.num_variables(); ++v) {
+    if (model.type(v) != VarType::kBinary) continue;
+    if (std::abs(x[v] - std::round(x[v])) > tol) return false;
+  }
+  return true;
+}
+
+/// Checks a point against every *explicit* model constraint (used to vet
+/// warm starts, whose origin is a heuristic outside the solver).
+bool satisfies(const Model& model, const std::vector<double>& x) {
+  constexpr double tol = 1e-6;
+  for (const Constraint& c : model.constraints()) {
+    double lhs = 0.0;
+    for (const auto& [var, coef] : c.terms) lhs += coef * x[var];
+    switch (c.sense) {
+      case Sense::kLe: if (lhs > c.rhs + tol) return false; break;
+      case Sense::kGe: if (lhs < c.rhs - tol) return false; break;
+      case Sense::kEq: if (std::abs(lhs - c.rhs) > tol) return false; break;
+    }
+  }
+  for (int v = 0; v < model.num_variables(); ++v) {
+    if (x[v] < model.lower(v) - tol || x[v] > model.upper(v) + tol) return false;
+  }
+  return true;
+}
+
+double objective_of(const Model& model, const std::vector<double>& x) {
+  double obj = 0.0;
+  for (int v = 0; v < model.num_variables(); ++v) {
+    obj += model.objective(v) * x[v];
+  }
+  return obj;
+}
+
+}  // namespace
+
+MipResult solve(const Model& model, const BnbOptions& options) {
+  const auto start = Clock::now();
+  const double sign = model.maximize() ? -1.0 : 1.0;
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  MipResult result;
+  lp::Problem relaxation = build_lp(model);
+
+  double incumbent_obj = lp::kInfinity;  // minimization sense
+  std::vector<double> incumbent;
+
+  // Vet the warm start: it must satisfy every explicit constraint, be
+  // integral, and survive the lazy handler.
+  if (options.warm_start &&
+      static_cast<int>(options.warm_start->size()) == model.num_variables() &&
+      satisfies(model, *options.warm_start) &&
+      is_integral(model, *options.warm_start, options.integrality_tolerance)) {
+    std::vector<Constraint> cuts;
+    if (options.lazy_handler) cuts = options.lazy_handler(*options.warm_start);
+    if (cuts.empty()) {
+      incumbent = *options.warm_start;
+      incumbent_obj = sign * objective_of(model, incumbent);
+      result.status = MipStatus::kFeasible;
+    } else {
+      append_rows(relaxation, cuts);
+      result.lazy_constraints_added += static_cast<int>(cuts.size());
+    }
+  }
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+  open.push(Node{{}, -lp::kInfinity, 0});
+
+  std::vector<double> saved_lo(model.num_variables());
+  std::vector<double> saved_hi(model.num_variables());
+  for (int v = 0; v < model.num_variables(); ++v) {
+    saved_lo[v] = model.lower(v);
+    saved_hi[v] = model.upper(v);
+  }
+
+  bool hit_limit = false;
+  bool lp_trouble = false;
+
+  while (!open.empty()) {
+    if (elapsed() > options.time_limit_seconds ||
+        result.nodes >= options.node_limit) {
+      hit_limit = true;
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+    if (incumbent_obj < lp::kInfinity &&
+        node.bound >= incumbent_obj - std::abs(incumbent_obj) * options.gap - 1e-9) {
+      continue;  // pruned by an incumbent found after the node was queued
+    }
+    ++result.nodes;
+
+    // Apply this node's fixings.
+    for (const auto& [var, val] : node.fixings) {
+      relaxation.set_bounds(var, val, val);
+    }
+    lp::Solution rel = lp::solve(relaxation);
+    // Restore bounds immediately; the LP problem object is shared.
+    for (const auto& [var, val] : node.fixings) {
+      relaxation.set_bounds(var, saved_lo[var], saved_hi[var]);
+    }
+
+    if (rel.status == lp::Status::kInfeasible) continue;
+    if (rel.status == lp::Status::kUnbounded) {
+      if (node.fixings.empty() && incumbent.empty()) {
+        result.status = MipStatus::kUnbounded;
+        result.seconds = elapsed();
+        return result;
+      }
+      continue;
+    }
+    if (rel.status == lp::Status::kIterationLimit) {
+      lp_trouble = true;
+      continue;
+    }
+
+    const double bound = rel.objective;  // minimization sense (normalized)
+    if (bound >= incumbent_obj - 1e-9) continue;
+
+    if (is_integral(model, rel.x, options.integrality_tolerance)) {
+      // Round exactly-integral values to kill drift before the lazy check.
+      for (int v = 0; v < model.num_variables(); ++v) {
+        if (model.type(v) == VarType::kBinary) rel.x[v] = std::round(rel.x[v]);
+      }
+      std::vector<Constraint> cuts;
+      if (options.lazy_handler) cuts = options.lazy_handler(rel.x);
+      if (!cuts.empty()) {
+        append_rows(relaxation, cuts);
+        result.lazy_constraints_added += static_cast<int>(cuts.size());
+        // Re-queue the same node: its LP now sees the new rows.
+        open.push(node);
+        continue;
+      }
+      incumbent = rel.x;
+      incumbent_obj = bound;
+      continue;
+    }
+
+    // Branch on the most fractional binary variable.
+    int branch_var = -1;
+    double best_frac = options.integrality_tolerance;
+    for (int v = 0; v < model.num_variables(); ++v) {
+      if (model.type(v) != VarType::kBinary) continue;
+      const double f = std::abs(rel.x[v] - std::round(rel.x[v]));
+      if (f > best_frac) {
+        best_frac = f;
+        branch_var = v;
+      }
+    }
+    if (branch_var < 0) continue;  // defensive: integral handled above
+
+    for (const double val : {1.0, 0.0}) {
+      Node child = node;
+      child.fixings.emplace_back(branch_var, val);
+      child.bound = bound;
+      child.depth = node.depth + 1;
+      open.push(child);
+    }
+  }
+
+  result.seconds = elapsed();
+  if (!incumbent.empty()) {
+    result.x = incumbent;
+    result.objective = sign * incumbent_obj;
+    result.status =
+        (hit_limit || lp_trouble) ? MipStatus::kFeasible : MipStatus::kOptimal;
+  } else if (hit_limit || lp_trouble) {
+    result.status = MipStatus::kNoSolution;
+  } else {
+    result.status = MipStatus::kInfeasible;
+  }
+  return result;
+}
+
+}  // namespace xring::milp

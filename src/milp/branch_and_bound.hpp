@@ -1,0 +1,57 @@
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <optional>
+
+#include "milp/model.hpp"
+
+namespace xring::milp {
+
+enum class MipStatus {
+  kOptimal,    ///< proven optimal
+  kFeasible,   ///< incumbent found, search stopped early (time/node limit)
+  kInfeasible,
+  kUnbounded,
+  kNoSolution, ///< search stopped early with no incumbent
+};
+
+std::string to_string(MipStatus s);
+
+struct MipResult {
+  MipStatus status = MipStatus::kNoSolution;
+  double objective = 0.0;
+  std::vector<double> x;
+  long nodes = 0;
+  int lazy_constraints_added = 0;
+  double seconds = 0.0;
+};
+
+/// Called whenever the search finds an integer-feasible point. The handler
+/// may return violated constraints ("lazy constraints") that are then added
+/// to the model globally; the candidate is rejected and its node re-solved.
+/// Returning an empty vector accepts the candidate as feasible.
+///
+/// XRing uses this for the waveguide-crossing conflict constraints (paper
+/// Eq. 3): instead of materializing O(|E|^2) rows up front, only the rows
+/// violated by an actual candidate tour are ever added.
+using LazyConstraintHandler =
+    std::function<std::vector<Constraint>(const std::vector<double>& x)>;
+
+struct BnbOptions {
+  double time_limit_seconds = 60.0;
+  long node_limit = 1'000'000;
+  double integrality_tolerance = 1e-6;
+  /// Relative optimality gap at which the search stops.
+  double gap = 1e-9;
+  /// Optional warm-start point; if integer-feasible (and lazy-accepted) it
+  /// seeds the incumbent and tightens pruning from the first node.
+  std::optional<std::vector<double>> warm_start;
+  LazyConstraintHandler lazy_handler;
+};
+
+/// Solves the model by LP-relaxation branch & bound (best-first search,
+/// most-fractional branching, global lazy-constraint pool).
+MipResult solve(const Model& model, const BnbOptions& options = {});
+
+}  // namespace xring::milp

@@ -1,0 +1,93 @@
+#include "milp/lp_format.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "lp/simplex.hpp"
+
+namespace xring::milp {
+
+namespace {
+
+void write_terms(std::ostream& out, const Terms& terms) {
+  bool first = true;
+  for (const auto& [var, coef] : terms) {
+    if (coef == 0.0) continue;
+    if (first) {
+      if (coef < 0) out << "- ";
+    } else {
+      out << (coef < 0 ? " - " : " + ");
+    }
+    const double mag = std::abs(coef);
+    if (mag != 1.0) out << mag << " ";
+    out << "x" << var;
+    first = false;
+  }
+  if (first) out << "0 x0";  // LP format needs at least one term
+}
+
+}  // namespace
+
+void write_lp_format(const Model& model, std::ostream& out,
+                     const std::string& name) {
+  out << "\\ " << name << " — " << model.num_variables() << " variables, "
+      << model.num_constraints() << " constraints\n";
+  out << (model.maximize() ? "Maximize" : "Minimize") << "\n obj: ";
+  Terms objective;
+  for (int v = 0; v < model.num_variables(); ++v) {
+    if (model.objective(v) != 0.0) objective.emplace_back(v, model.objective(v));
+  }
+  write_terms(out, objective);
+  out << "\nSubject To\n";
+  for (int c = 0; c < model.num_constraints(); ++c) {
+    const Constraint& row = model.constraints()[c];
+    out << " c" << c << ": ";
+    write_terms(out, row.terms);
+    switch (row.sense) {
+      case Sense::kLe: out << " <= "; break;
+      case Sense::kGe: out << " >= "; break;
+      case Sense::kEq: out << " = "; break;
+    }
+    out << row.rhs << "\n";
+  }
+
+  out << "Bounds\n";
+  for (int v = 0; v < model.num_variables(); ++v) {
+    if (model.type(v) == VarType::kBinary) continue;  // declared below
+    const double lo = model.lower(v), hi = model.upper(v);
+    out << " ";
+    if (lo == -lp::kInfinity) {
+      out << "-inf <= ";
+    } else {
+      out << lo << " <= ";
+    }
+    out << "x" << v;
+    if (hi == lp::kInfinity) {
+      out << " <= +inf";
+    } else {
+      out << " <= " << hi;
+    }
+    out << "\n";
+  }
+
+  bool any_binary = false;
+  for (int v = 0; v < model.num_variables(); ++v) {
+    any_binary |= model.type(v) == VarType::kBinary;
+  }
+  if (any_binary) {
+    out << "Binary\n";
+    for (int v = 0; v < model.num_variables(); ++v) {
+      if (model.type(v) == VarType::kBinary) out << " x" << v << "\n";
+    }
+  }
+  out << "End\n";
+}
+
+std::string to_lp_format(const Model& model, const std::string& name) {
+  std::ostringstream out;
+  write_lp_format(model, out, name);
+  return out.str();
+}
+
+}  // namespace xring::milp

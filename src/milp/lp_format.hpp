@@ -1,0 +1,21 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "milp/model.hpp"
+
+namespace xring::milp {
+
+/// Writes the model in CPLEX LP file format, the lingua franca of MILP
+/// solvers. Lets users dump any model this library builds (the ring
+/// construction TSP, the optimal shortcut selection) and cross-check it
+/// with an external solver — the interoperability story for the Gurobi
+/// substitution documented in DESIGN.md.
+void write_lp_format(const Model& model, std::ostream& out,
+                     const std::string& name = "xring_model");
+
+std::string to_lp_format(const Model& model,
+                         const std::string& name = "xring_model");
+
+}  // namespace xring::milp

@@ -1,0 +1,32 @@
+#include "milp/model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xring::milp {
+
+int Model::add_variable(VarType type, double lo, double hi, double objective) {
+  if (type == VarType::kBinary) {
+    lo = std::max(lo, 0.0);
+    hi = std::min(hi, 1.0);
+  }
+  if (lo > hi) throw std::invalid_argument("variable bounds inverted");
+  types_.push_back(type);
+  lower_.push_back(lo);
+  upper_.push_back(hi);
+  objective_.push_back(objective);
+  return num_variables() - 1;
+}
+
+int Model::add_constraint(Constraint c) {
+  for (const auto& [var, coef] : c.terms) {
+    if (var < 0 || var >= num_variables()) {
+      throw std::out_of_range("constraint references unknown variable");
+    }
+    (void)coef;
+  }
+  constraints_.push_back(std::move(c));
+  return num_constraints() - 1;
+}
+
+}  // namespace xring::milp

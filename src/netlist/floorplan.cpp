@@ -1,0 +1,78 @@
+#include "netlist/floorplan.hpp"
+
+#include <stdexcept>
+
+namespace xring::netlist {
+
+Floorplan::Floorplan(std::vector<Node> nodes, geom::Coord die_width_um,
+                     geom::Coord die_height_um)
+    : nodes_(std::move(nodes)),
+      die_width_(die_width_um),
+      die_height_(die_height_um) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].id = static_cast<NodeId>(i);
+    if (nodes_[i].name.empty()) {
+      std::string name = "n";
+      name += std::to_string(i);
+      nodes_[i].name = std::move(name);
+    }
+  }
+}
+
+Floorplan Floorplan::grid(int rows, int cols, geom::Coord pitch_um,
+                          geom::Point origin) {
+  if (rows <= 0 || cols <= 0) throw std::invalid_argument("empty grid");
+  std::vector<Node> nodes;
+  nodes.reserve(static_cast<std::size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      Node n;
+      n.position = {origin.x + c * pitch_um, origin.y + r * pitch_um};
+      nodes.push_back(n);
+    }
+  }
+  return Floorplan(std::move(nodes), (cols + 1) * pitch_um,
+                   (rows + 1) * pitch_um);
+}
+
+Floorplan Floorplan::ring_layout(int rows, int cols, geom::Coord pitch_um,
+                                 geom::Point origin) {
+  if (rows < 2 || cols < 2) throw std::invalid_argument("degenerate boundary");
+  std::vector<Node> nodes;
+  // Walk the boundary of the rows x cols grid clockwise from the origin
+  // corner, so node ids follow the physical loop (as in the paper's Fig. 2).
+  for (int c = 0; c < cols; ++c) {
+    nodes.push_back(Node{0, {origin.x + c * pitch_um, origin.y}, ""});
+  }
+  for (int r = 1; r < rows; ++r) {
+    nodes.push_back(
+        Node{0, {origin.x + (cols - 1) * pitch_um, origin.y + r * pitch_um}, ""});
+  }
+  for (int c = cols - 2; c >= 0; --c) {
+    nodes.push_back(
+        Node{0, {origin.x + c * pitch_um, origin.y + (rows - 1) * pitch_um}, ""});
+  }
+  for (int r = rows - 2; r >= 1; --r) {
+    nodes.push_back(Node{0, {origin.x, origin.y + r * pitch_um}, ""});
+  }
+  return Floorplan(std::move(nodes), (cols + 1) * pitch_um,
+                   (rows + 1) * pitch_um);
+}
+
+Floorplan Floorplan::standard(int nodes, geom::Coord pitch_um) {
+  // Regular-mesh CPU floorplans as in [15]/[20]: the network interfaces sit
+  // at the cores, i.e. on a full grid. This is the arrangement behind the
+  // paper's Fig. 2 example (a serpentine ring over a 16-node grid, where
+  // physically adjacent row-end nodes are far apart along the ring — the
+  // situation shortcuts exist to fix). The 32-node die extends the 16-node
+  // one, as the paper describes.
+  switch (nodes) {
+    case 8: return grid(2, 4, pitch_um);
+    case 16: return grid(4, 4, pitch_um);
+    case 32: return grid(4, 8, pitch_um);
+    default:
+      throw std::invalid_argument("standard floorplans exist for 8/16/32 nodes");
+  }
+}
+
+}  // namespace xring::netlist

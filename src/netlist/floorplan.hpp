@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/point.hpp"
+
+namespace xring::netlist {
+
+/// Index of a network node (a processing element's optical network
+/// interface, owning one sender and one receiver per peer it talks to).
+using NodeId = int;
+
+/// A single network node placed on the die.
+struct Node {
+  NodeId id = 0;
+  geom::Point position;  ///< micrometres
+  std::string name;
+};
+
+/// The physical arrangement of the network nodes on the chip. XRing's inputs
+/// are exactly this: the number of nodes and where they sit (Sec. I: "based
+/// on the number and position of network nodes").
+class Floorplan {
+ public:
+  Floorplan() = default;
+  Floorplan(std::vector<Node> nodes, geom::Coord die_width_um,
+            geom::Coord die_height_um);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+  const geom::Point& position(NodeId id) const { return nodes_.at(id).position; }
+
+  geom::Coord die_width() const { return die_width_; }
+  geom::Coord die_height() const { return die_height_; }
+
+  /// Manhattan distance between two nodes, in micrometres.
+  geom::Coord distance(NodeId a, NodeId b) const {
+    return geom::manhattan(position(a), position(b));
+  }
+
+  /// Regular grid of `rows x cols` nodes with the given pitch (µm). The
+  /// first node sits at `origin`; ids run row-major. This matches the
+  /// regular-mesh CPU floorplans of [15]/[20] used in the paper's tests.
+  static Floorplan grid(int rows, int cols, geom::Coord pitch_um,
+                        geom::Point origin = {0, 0});
+
+  /// Nodes along the boundary of a `rows x cols` grid, walked clockwise —
+  /// the peripheral arrangement ring routers are designed for (paper
+  /// Figs. 2 and 7). Holds 2*rows + 2*cols - 4 nodes.
+  static Floorplan ring_layout(int rows, int cols, geom::Coord pitch_um,
+                               geom::Point origin = {0, 0});
+
+  /// The paper's three test networks (substituted layouts; see DESIGN.md):
+  /// 8/16/32 nodes around the boundary of a 3x3 / 5x5 / 9x9 grid. Pitch
+  /// defaults to 2 mm, a typical core size.
+  static Floorplan standard(int nodes, geom::Coord pitch_um = 2000);
+
+ private:
+  std::vector<Node> nodes_;
+  geom::Coord die_width_ = 0;
+  geom::Coord die_height_ = 0;
+};
+
+}  // namespace xring::netlist

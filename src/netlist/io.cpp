@@ -1,0 +1,74 @@
+#include "netlist/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace xring::netlist {
+
+Floorplan read_floorplan(std::istream& in) {
+  geom::Coord width = 0, height = 0;
+  std::vector<Node> nodes;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive)) continue;  // blank or comment-only line
+    if (directive == "die") {
+      if (!(ls >> width >> height) || width <= 0 || height <= 0) {
+        throw std::invalid_argument("line " + std::to_string(lineno) +
+                                    ": malformed die directive");
+      }
+    } else if (directive == "node") {
+      Node n;
+      if (!(ls >> n.name >> n.position.x >> n.position.y)) {
+        throw std::invalid_argument("line " + std::to_string(lineno) +
+                                    ": malformed node directive");
+      }
+      nodes.push_back(std::move(n));
+    } else {
+      throw std::invalid_argument("line " + std::to_string(lineno) +
+                                  ": unknown directive '" + directive + "'");
+    }
+  }
+  if (nodes.empty()) throw std::invalid_argument("floorplan has no nodes");
+  if (width == 0 || height == 0) {
+    // Derive the die from the node bounding box with a one-pitch margin.
+    geom::Coord max_x = 0, max_y = 0;
+    for (const Node& n : nodes) {
+      max_x = std::max(max_x, n.position.x);
+      max_y = std::max(max_y, n.position.y);
+    }
+    width = max_x + 1000;
+    height = max_y + 1000;
+  }
+  return Floorplan(std::move(nodes), width, height);
+}
+
+Floorplan load_floorplan(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open floorplan file: " + path);
+  return read_floorplan(in);
+}
+
+void write_floorplan(const Floorplan& floorplan, std::ostream& out) {
+  out << "# xring floorplan: " << floorplan.size() << " nodes\n";
+  out << "die " << floorplan.die_width() << " " << floorplan.die_height()
+      << "\n";
+  for (const Node& n : floorplan.nodes()) {
+    out << "node " << n.name << " " << n.position.x << " " << n.position.y
+        << "\n";
+  }
+}
+
+void save_floorplan(const Floorplan& floorplan, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write floorplan file: " + path);
+  write_floorplan(floorplan, out);
+}
+
+}  // namespace xring::netlist

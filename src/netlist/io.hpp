@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/floorplan.hpp"
+
+namespace xring::netlist {
+
+/// Plain-text floorplan format, one directive per line:
+///
+///   # comment
+///   die <width_um> <height_um>
+///   node <name> <x_um> <y_um>
+///
+/// Node ids are assigned in file order. The format is deliberately trivial
+/// so floorplans can be written by hand or emitted by other tools.
+Floorplan read_floorplan(std::istream& in);
+Floorplan load_floorplan(const std::string& path);
+
+void write_floorplan(const Floorplan& floorplan, std::ostream& out);
+void save_floorplan(const Floorplan& floorplan, const std::string& path);
+
+}  // namespace xring::netlist

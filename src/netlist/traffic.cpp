@@ -1,0 +1,81 @@
+#include "netlist/traffic.hpp"
+
+#include <stdexcept>
+
+namespace xring::netlist {
+
+Traffic::Traffic(std::vector<Signal> signals) : signals_(std::move(signals)) {
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    signals_[i].id = static_cast<SignalId>(i);
+    if (signals_[i].src == signals_[i].dst) {
+      throw std::invalid_argument("signal with identical endpoints");
+    }
+  }
+}
+
+Traffic Traffic::permutation(int nodes, int shift) {
+  if (nodes < 2 || shift % nodes == 0) {
+    throw std::invalid_argument("permutation shift maps nodes to themselves");
+  }
+  std::vector<Signal> signals;
+  signals.reserve(nodes);
+  for (NodeId s = 0; s < nodes; ++s) {
+    signals.push_back(Signal{0, s, (s + shift) % nodes});
+  }
+  return Traffic(std::move(signals));
+}
+
+Traffic Traffic::hotspot(int nodes, NodeId hub) {
+  if (hub < 0 || hub >= nodes) throw std::invalid_argument("hub out of range");
+  std::vector<Signal> signals;
+  signals.reserve(2 * (nodes - 1));
+  for (NodeId v = 0; v < nodes; ++v) {
+    if (v == hub) continue;
+    signals.push_back(Signal{0, v, hub});
+    signals.push_back(Signal{0, hub, v});
+  }
+  return Traffic(std::move(signals));
+}
+
+Traffic Traffic::bit_reversal(int nodes) {
+  if (nodes < 2 || (nodes & (nodes - 1)) != 0) {
+    throw std::invalid_argument("bit reversal needs a power-of-two size");
+  }
+  int bits = 0;
+  while ((1 << bits) < nodes) ++bits;
+  std::vector<Signal> signals;
+  for (NodeId s = 0; s < nodes; ++s) {
+    NodeId d = 0;
+    for (int b = 0; b < bits; ++b) {
+      if (s & (1 << b)) d |= 1 << (bits - 1 - b);
+    }
+    if (d != s) signals.push_back(Signal{0, s, d});
+  }
+  return Traffic(std::move(signals));
+}
+
+Traffic Traffic::transpose(int rows, int cols) {
+  if (rows != cols) throw std::invalid_argument("transpose needs a square grid");
+  std::vector<Signal> signals;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (r == c) continue;
+      signals.push_back(Signal{0, r * cols + c, c * cols + r});
+    }
+  }
+  return Traffic(std::move(signals));
+}
+
+Traffic Traffic::all_to_all(int nodes) {
+  std::vector<Signal> signals;
+  signals.reserve(static_cast<std::size_t>(nodes) * (nodes - 1));
+  for (NodeId s = 0; s < nodes; ++s) {
+    for (NodeId d = 0; d < nodes; ++d) {
+      if (s == d) continue;
+      signals.push_back(Signal{0, s, d});
+    }
+  }
+  return Traffic(std::move(signals));
+}
+
+}  // namespace xring::netlist

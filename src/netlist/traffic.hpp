@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/floorplan.hpp"
+
+namespace xring::netlist {
+
+/// Identifier of a communication demand (one directed sender→receiver pair).
+using SignalId = int;
+
+/// A directed communication demand between two distinct nodes. WRONoCs
+/// reserve a collision-free path and a wavelength for every demand at design
+/// time; the paper's workload is full all-to-all traffic.
+struct Signal {
+  SignalId id = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+};
+
+/// The set of demands a router must serve.
+class Traffic {
+ public:
+  Traffic() = default;
+  explicit Traffic(std::vector<Signal> signals);
+
+  int size() const { return static_cast<int>(signals_.size()); }
+  const std::vector<Signal>& signals() const { return signals_; }
+  const Signal& signal(SignalId id) const { return signals_.at(id); }
+
+  /// Full all-to-all traffic: every node sends to every other node
+  /// (paper Sec. IV-A: "a node sends signals to all other nodes except for
+  /// itself"), N*(N-1) signals in total.
+  static Traffic all_to_all(int nodes);
+
+  /// Cyclic permutation: node i sends to (i + shift) mod N. One signal per
+  /// node; shift must not be a multiple of N.
+  static Traffic permutation(int nodes, int shift = 1);
+
+  /// Hotspot: every node exchanges traffic with one hub node (memory
+  /// controller pattern): 2*(N-1) signals.
+  static Traffic hotspot(int nodes, NodeId hub);
+
+  /// Bit-reversal permutation (N must be a power of two): node i sends to
+  /// the bit-reversed index of i; fixed points are skipped.
+  static Traffic bit_reversal(int nodes);
+
+  /// Transpose on a rows x cols grid id space: node (r, c) sends to (c, r);
+  /// requires rows == cols; diagonal nodes are skipped.
+  static Traffic transpose(int rows, int cols);
+
+ private:
+  std::vector<Signal> signals_;
+};
+
+}  // namespace xring::netlist

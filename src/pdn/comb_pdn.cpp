@@ -1,0 +1,71 @@
+#include <algorithm>
+#include <cmath>
+
+#include "pdn/pdn.hpp"
+#include "phys/units.hpp"
+
+namespace xring::pdn {
+
+PdnResult comb_pdn(const ring::Tour& tour, const Mapping& mapping,
+                   const phys::Parameters& params,
+                   const std::vector<bool>& node_has_shortcut) {
+  const int n = tour.size();
+  const int W = static_cast<int>(mapping.waveguides.size());
+  const double stage_db = splitter_stage_db(params.loss);
+  const double prop = params.loss.propagation_db_per_mm;
+
+  PdnResult out;
+  out.ring_feed_db.assign(W, std::vector<double>(n, 0.0));
+  out.shortcut_feed_db.assign(n, -1.0);  // baselines have no shortcuts
+  out.crossings_at.assign(W, std::vector<int>(n, 0));
+
+  // The comb PDN of [17]: a trunk outside the outermost ring, and one
+  // radial power waveguide per node that dives inward, tapping the sender
+  // bank of every ring level through a splitter. The radial physically
+  // crosses each ring waveguide it passes (all but the innermost, where it
+  // terminates) — this is the crossing (and laser-leak) source that XRing's
+  // openings eliminate.
+  const int senders = n * W;
+  const int trunk_stages =
+      senders > 1 ? static_cast<int>(std::ceil(std::log2(senders))) : 0;
+
+  for (int pos = 0; pos < n; ++pos) {
+    const NodeId v = tour.at(pos);
+    const double trunk_mm =
+        static_cast<double>(tour.arc_length_cw(tour.at(0), v)) / 1000.0;
+
+    // The radial enters from outside: attenuation accumulates as it crosses
+    // ring W-1, W-2, ... downward. Feed loss of the sender on ring w is the
+    // radial's attenuation when it arrives there.
+    double radial_db = trunk_stages * stage_db + trunk_mm * prop;
+    for (int w = W - 1; w >= 0; --w) {
+      const double radial_mm =
+          (W - w) * params.geometry.ring_spacing_um(n) / 1000.0;
+      out.ring_feed_db[w][v] = radial_db + radial_mm * prop;
+      out.total_length_mm += radial_mm;
+      if (w >= 1) {
+        // Continuing further in means crossing ring waveguide w... except
+        // the radial terminates at ring 0, so every ring except the
+        // innermost is crossed exactly once per node.
+        out.taps.push_back(CrossingTap{w, v, out.ring_feed_db[w][v]});
+        out.crossings_at[w][v] += 1;
+        out.total_crossings += 1;
+        radial_db = out.ring_feed_db[w][v] + params.loss.crossing_db;
+      }
+    }
+    out.total_length_mm += trunk_mm;
+  }
+
+  // Shortcut senders (ablation use only) tap the innermost feed through one
+  // extra splitter stage, mirroring the tree PDN's arrangement.
+  for (NodeId v = 0; v < n && v < static_cast<NodeId>(node_has_shortcut.size());
+       ++v) {
+    if (node_has_shortcut[v]) {
+      out.shortcut_feed_db[v] = out.ring_feed_db[0][v] + stage_db;
+    }
+  }
+
+  return out;
+}
+
+}  // namespace xring::pdn

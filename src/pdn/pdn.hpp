@@ -1,0 +1,87 @@
+#pragma once
+
+#include <vector>
+
+#include "mapping/wavelength.hpp"
+#include "phys/parameters.hpp"
+
+namespace xring::pdn {
+
+using mapping::Mapping;
+using netlist::NodeId;
+
+/// A point where a PDN waveguide crosses a ring waveguide (only the comb
+/// PDN produces these). Besides crossing loss for signals passing the spot,
+/// the crossing leaks continuous-wave laser power into the ring — the
+/// dominant crosstalk source of the baseline routers.
+struct CrossingTap {
+  int waveguide = -1;       ///< ring waveguide being crossed
+  NodeId node = -1;         ///< ring position of the crossing
+  double attenuation_db = 0;  ///< laser → this crossing, in dB
+};
+
+/// One waveguide of the tree PDN, as an arc interval in the channel next to
+/// its ring waveguide: both coordinates are measured along the ring from
+/// the waveguide's opening, in its transmission direction. Recorded so the
+/// layout renderer and geometric verification can realize the tree.
+struct TreeEdge {
+  int waveguide = -1;
+  double from_arc_um = 0.0;
+  double to_arc_um = 0.0;
+  int level = 0;  ///< 0 joins two senders, 1 joins first-level splitters, ...
+};
+
+/// Result of PDN synthesis for a complete router.
+struct PdnResult {
+  /// ring_feed_db[w][v]: loss (dB) from the laser to node v's sender on
+  /// ring waveguide w, including all splitter stages and PDN propagation.
+  std::vector<std::vector<double>> ring_feed_db;
+
+  /// shortcut_feed_db[v]: loss to node v's shortcut sender; negative if the
+  /// node has no shortcut.
+  std::vector<double> shortcut_feed_db;
+
+  /// crossings_at[w][v]: number of PDN branches crossing ring waveguide w
+  /// at node v's position. Zero everywhere for the tree PDN.
+  std::vector<std::vector<int>> crossings_at;
+
+  /// Laser-leak injection points (comb PDN only).
+  std::vector<CrossingTap> taps;
+
+  /// Tree PDN waveguides (tree PDN only; empty for the comb).
+  std::vector<TreeEdge> tree_edges;
+
+  double total_length_mm = 0.0;
+  int total_crossings = 0;
+};
+
+/// Loss of one 1x2 splitter stage: the unavoidable 3.01 dB of a 50 % split
+/// plus the device's excess loss.
+double splitter_stage_db(const phys::LossParams& loss);
+
+/// XRing's Step 4: per ring waveguide, a complete binary tree of splitters
+/// routed in the channel between ring-waveguide pairs, entering through the
+/// waveguide's opening; pairing starts from the opening node's sender and
+/// follows the waveguide direction (Fig. 9). Crossing-free by construction.
+/// Nodes carrying a shortcut receive one extra splitter stage that taps
+/// their feed for the shortcut's dedicated sender. When `traffic` is given,
+/// only nodes that actually source a signal on a waveguide become leaves of
+/// its tree ("all senders along the ring waveguide", Sec. III-D); without
+/// it every node is conservatively assumed to send. Feed entries of nodes
+/// without a sender are negative.
+PdnResult tree_pdn(const ring::Tour& tour, const Mapping& mapping,
+                   const std::vector<bool>& node_has_shortcut,
+                   const phys::Parameters& params,
+                   const netlist::Traffic* traffic = nullptr);
+
+/// The baseline comb PDN (as in ORing [17]): a trunk outside the ring stack
+/// and one radial power waveguide per node that dives inward, tapping every
+/// ring level and physically crossing each ring waveguide except the
+/// innermost. Produces crossing losses on ring signals and laser-leak taps.
+/// `node_has_shortcut` is empty for the baselines; the ablation benches pass
+/// XRing's shortcut set so those senders get tapped feeds too.
+PdnResult comb_pdn(const ring::Tour& tour, const Mapping& mapping,
+                   const phys::Parameters& params,
+                   const std::vector<bool>& node_has_shortcut = {});
+
+}  // namespace xring::pdn

@@ -1,0 +1,160 @@
+#include <algorithm>
+#include <cmath>
+
+#include "pdn/pdn.hpp"
+#include "phys/units.hpp"
+
+namespace xring::pdn {
+
+double splitter_stage_db(const phys::LossParams& loss) {
+  return 10.0 * std::log10(2.0) + loss.splitter_excess_db;
+}
+
+namespace {
+
+/// A point in the PDN tree under construction: arc coordinate (µm along the
+/// ring, measured from the waveguide's opening in its direction) plus the
+/// accumulated loss from this point down to the *worst* leaf below it is not
+/// needed — we instead track, per leaf, the path length and stage count as
+/// the tree is folded level by level.
+struct TreePoint {
+  double arc_um = 0.0;
+  std::vector<NodeId> leaves;  ///< senders fed through this point
+};
+
+}  // namespace
+
+PdnResult tree_pdn(const ring::Tour& tour, const Mapping& mapping,
+                   const std::vector<bool>& node_has_shortcut,
+                   const phys::Parameters& params,
+                   const netlist::Traffic* traffic) {
+  const int n = tour.size();
+  const int W = static_cast<int>(mapping.waveguides.size());
+  const double stage_db = splitter_stage_db(params.loss);
+  const double prop = params.loss.propagation_db_per_mm;
+
+  PdnResult out;
+  out.ring_feed_db.assign(W, std::vector<double>(n, 0.0));
+  out.shortcut_feed_db.assign(n, -1.0);
+  out.crossings_at.assign(W, std::vector<int>(n, 0));
+
+  // Power must first be split across the W per-waveguide trees.
+  const int top_stages = W > 1 ? static_cast<int>(std::ceil(std::log2(W))) : 0;
+  // Top splitters are joined through the openings; the joining waveguides
+  // run in the inter-ring channels, so their length is on the order of the
+  // ring spacing per waveguide hop.
+  const double spacing_mm =
+      params.geometry.ring_spacing_um(n) / 1000.0;
+
+  for (int w = 0; w < W; ++w) {
+    const mapping::RingWaveguide& wg = mapping.waveguides[w];
+    const NodeId opening = wg.opening >= 0 ? wg.opening : tour.at(0);
+
+    // The leaves are "all senders along the ring waveguide" (Sec. III-D):
+    // only nodes that actually source a signal on this waveguide own a
+    // sender there and need power. (Without traffic information every node
+    // is assumed to send — the conservative fallback.)
+    std::vector<bool> has_sender(n, traffic == nullptr);
+    if (traffic != nullptr) {
+      for (const netlist::SignalId id : wg.signals) {
+        has_sender[traffic->signal(id).src] = true;
+      }
+    }
+
+    // Arc coordinate of every sender, measured from the opening node in the
+    // waveguide's direction (the pairing order of Sec. III-D).
+    std::vector<TreePoint> level;
+    level.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      const int pos = tour.position(opening);
+      const int p = wg.dir == mapping::Direction::kCw ? pos + i : pos - i;
+      const NodeId v = tour.at(p);
+      if (!has_sender[v]) continue;
+      double arc = 0.0;
+      if (wg.dir == mapping::Direction::kCw) {
+        arc = static_cast<double>(tour.arc_length_cw(opening, v));
+      } else {
+        arc = static_cast<double>(tour.arc_length_ccw(opening, v));
+      }
+      TreePoint tp;
+      tp.arc_um = arc;
+      tp.leaves = {v};
+      level.push_back(std::move(tp));
+    }
+    if (level.empty()) continue;  // waveguide without senders: no tree
+
+    // leaf accumulators
+    std::vector<double> leaf_length_um(n, 0.0);
+    std::vector<int> leaf_stages(n, 0);
+
+    // Fold pairwise: neighbouring points are joined by a waveguide along the
+    // channel, a splitter sits at its centre. An odd point promotes upward
+    // unpaired (no splitter, no extra length).
+    int fold_level = 0;
+    while (level.size() > 1) {
+      std::vector<TreePoint> next;
+      for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+        const TreePoint& a = level[i];
+        const TreePoint& b = level[i + 1];
+        const double mid = (a.arc_um + b.arc_um) / 2.0;
+        for (const TreePoint* child : {&a, &b}) {
+          const double span = std::abs(child->arc_um - mid);
+          for (const NodeId leaf : child->leaves) {
+            leaf_length_um[tour.position(leaf)] += span;  // keyed by position
+            leaf_stages[tour.position(leaf)] += 1;
+          }
+        }
+        TreePoint merged;
+        merged.arc_um = mid;
+        merged.leaves = a.leaves;
+        merged.leaves.insert(merged.leaves.end(), b.leaves.begin(),
+                             b.leaves.end());
+        next.push_back(std::move(merged));
+        out.total_length_mm +=
+            std::abs(a.arc_um - b.arc_um) / 1000.0;
+        out.tree_edges.push_back(
+            TreeEdge{w, std::min(a.arc_um, b.arc_um),
+                     std::max(a.arc_um, b.arc_um), fold_level});
+      }
+      if (level.size() % 2 == 1) next.push_back(level.back());
+      level = std::move(next);
+      ++fold_level;
+    }
+
+    // Accumulators are keyed by tour position; feed losses by node id.
+    // Nodes without a sender on this waveguide carry no feed.
+    for (int pos = 0; pos < n; ++pos) {
+      const NodeId v = tour.at(pos);
+      out.ring_feed_db[w][v] =
+          has_sender[v]
+              ? leaf_stages[pos] * stage_db +
+                    (leaf_length_um[pos] / 1000.0) * prop +
+                    top_stages * stage_db + top_stages * spacing_mm * prop
+              : -1.0;
+    }
+  }
+
+  // Shortcut senders are extra leaves hanging off their node's feed on the
+  // first waveguide tree that reaches the node, through one additional
+  // splitter stage (an unequal-ratio tap, so the ring sender keeps its
+  // share). A node whose only signals ride shortcuts taps the deepest feed
+  // of waveguide 0's tree instead.
+  for (NodeId v = 0; v < n; ++v) {
+    if (v >= static_cast<NodeId>(node_has_shortcut.size()) ||
+        !node_has_shortcut[v]) {
+      continue;
+    }
+    double feed = -1.0;
+    for (int w = 0; w < W && feed < 0; ++w) {
+      if (out.ring_feed_db[w][v] >= 0) feed = out.ring_feed_db[w][v];
+    }
+    if (feed < 0 && W > 0) {
+      for (const double f : out.ring_feed_db[0]) feed = std::max(feed, f);
+    }
+    out.shortcut_feed_db[v] = std::max(feed, 0.0) + stage_db;
+  }
+
+  return out;
+}
+
+}  // namespace xring::pdn

@@ -1,0 +1,38 @@
+#include "phys/parameters.hpp"
+
+#include <cmath>
+
+namespace xring::phys {
+
+double GeometryParams::ring_spacing_um(int nodes) const {
+  const double levels = nodes > 1 ? std::ceil(std::log2(nodes)) : 1.0;
+  return modulator_um + levels * splitter_um;
+}
+
+Parameters Parameters::proton_plus() {
+  Parameters p;
+  // Loss coefficients as used by PROTON+ [15]: the authors take
+  // 0.274 dB/cm propagation, 0.5 dB drop, 0.005 dB through and 0.04 dB
+  // crossing loss from the device literature.
+  p.loss.propagation_db_per_mm = 0.0274;
+  p.loss.drop_db = 0.5;
+  p.loss.through_db = 0.005;
+  p.loss.crossing_db = 0.15;
+  p.loss.bend_db = 0.005;
+  p.loss.photodetector_db = 0.1;
+  p.loss.modulator_db = 1.0;
+  p.loss.receiver_sensitivity_dbm = -22.3;
+  return p;
+}
+
+Parameters Parameters::oring() {
+  Parameters p = proton_plus();
+  // ORing [17] uses the same device-level loss family; the crosstalk
+  // coefficients follow Nikdast et al. [14].
+  p.loss.splitter_excess_db = 0.2;
+  p.crosstalk.crossing_db = -40.0;
+  p.crosstalk.mrr_through_db = -25.0;
+  return p;
+}
+
+}  // namespace xring::phys

@@ -1,0 +1,85 @@
+#pragma once
+
+namespace xring::phys {
+
+/// Insertion-loss coefficients of the photonic devices. Defaults are the
+/// values commonly used by the papers XRing cites (Proton+ [15] and
+/// ORing [17]); every value is configurable so benches can study
+/// sensitivity. All losses are positive dB magnitudes.
+struct LossParams {
+  /// Propagation loss per millimetre of waveguide (0.274 dB/cm).
+  double propagation_db_per_mm = 0.0274;
+  /// Loss when a signal is coupled into an on-resonance MRR (drop port).
+  double drop_db = 0.5;
+  /// Loss when a signal passes an off-resonance MRR (through port).
+  double through_db = 0.005;
+  /// Loss when a signal passes a waveguide crossing. 0.15 dB is the value
+  /// that makes the paper's Table I self-consistent (the 44 dB worst loss
+  /// of the Proton+ λ-router is dominated by its 255 crossings).
+  double crossing_db = 0.15;
+  /// Loss of a bend in a rectilinear waveguide.
+  double bend_db = 0.005;
+  /// Loss contributed by the photodetector at the receiver.
+  double photodetector_db = 0.1;
+  /// Excess (non-splitting) loss of a 1x2 splitter in the PDN.
+  double splitter_excess_db = 0.2;
+  /// Insertion loss of the modulator at a sender.
+  double modulator_db = 1.0;
+  /// Receiver sensitivity in dBm, used by the laser-power formula.
+  double receiver_sensitivity_dbm = -22.3;
+  /// Off-chip laser to on-chip waveguide coupling loss.
+  double coupler_db = 1.0;
+  /// Electrical-to-optical wall-plug efficiency of the laser source; the
+  /// tables of [17] report electrical watts, which is why baseline powers
+  /// reach tens of watts at 32 nodes.
+  double laser_wall_plug_efficiency = 0.1;
+};
+
+/// First-order crosstalk coefficients, following the formal model of
+/// Nikdast et al. [14]. Values are negative dB (power fraction that leaks).
+struct CrosstalkParams {
+  /// Fraction of power a signal leaks into the transverse waveguide when
+  /// passing a crossing.
+  double crossing_db = -40.0;
+  /// Fraction of power a signal leaks onto an off-resonance MRR's drop path
+  /// when passing it on the through port.
+  double mrr_through_db = -25.0;
+  /// Fraction of power that continues past an on-resonance drop MRR instead
+  /// of being dropped. The paper removes this residue with an extra MRR and
+  /// terminator (Fig. 5(b)), so it only matters when that filter is absent.
+  double mrr_drop_residue_db = -20.0;
+  /// Whether every photodetector drop-MRR carries the extra MRR+terminator
+  /// of Fig. 5(b). On (the paper's configuration) it removes receiver
+  /// residue noise at the cost of one more through-MRR pass for bypassing
+  /// signals; off lets the residue travel on as first-order noise. The
+  /// ablation benches flip this to quantify the Fig. 5 claim.
+  bool residue_filter = true;
+  /// Detection threshold: noise contributions below this power fraction of
+  /// a femtowatt-scale floor are ignored when counting affected signals.
+  double noise_floor_mw = 1e-12;
+};
+
+/// Geometry parameters of the physical design (paper Sec. III-A/D):
+/// the spacing between a pair of ring waveguides that must host the PDN is
+/// A1 + ceil(log2(N)) * A2, with A1 the modulator size and A2 the splitter
+/// size. Units: micrometres.
+struct GeometryParams {
+  double modulator_um = 50.0;   ///< A1
+  double splitter_um = 20.0;    ///< A2
+
+  /// Ring-pair spacing for an N-node network, in micrometres.
+  double ring_spacing_um(int nodes) const;
+};
+
+/// Full parameter set handed through the synthesis and analysis flow.
+struct Parameters {
+  LossParams loss;
+  CrosstalkParams crosstalk;
+  GeometryParams geometry;
+
+  /// Parameter presets matching the paper's three experiment groups.
+  static Parameters proton_plus();  ///< Table I (loss params of [15])
+  static Parameters oring();        ///< Tables II/III (loss of [17], crosstalk of [14])
+};
+
+}  // namespace xring::phys

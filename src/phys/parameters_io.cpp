@@ -1,0 +1,137 @@
+#include "phys/parameters_io.hpp"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace xring::phys {
+
+namespace {
+
+/// Key table: one entry per tunable coefficient. Reading and writing share
+/// it, so the two can never drift apart.
+std::map<std::string, std::function<double&(Parameters&)>> key_table() {
+  using F = std::function<double&(Parameters&)>;
+  std::map<std::string, F> keys;
+  keys["loss.propagation_db_per_mm"] = [](Parameters& p) -> double& {
+    return p.loss.propagation_db_per_mm;
+  };
+  keys["loss.drop_db"] = [](Parameters& p) -> double& { return p.loss.drop_db; };
+  keys["loss.through_db"] = [](Parameters& p) -> double& {
+    return p.loss.through_db;
+  };
+  keys["loss.crossing_db"] = [](Parameters& p) -> double& {
+    return p.loss.crossing_db;
+  };
+  keys["loss.bend_db"] = [](Parameters& p) -> double& { return p.loss.bend_db; };
+  keys["loss.photodetector_db"] = [](Parameters& p) -> double& {
+    return p.loss.photodetector_db;
+  };
+  keys["loss.splitter_excess_db"] = [](Parameters& p) -> double& {
+    return p.loss.splitter_excess_db;
+  };
+  keys["loss.modulator_db"] = [](Parameters& p) -> double& {
+    return p.loss.modulator_db;
+  };
+  keys["loss.receiver_sensitivity_dbm"] = [](Parameters& p) -> double& {
+    return p.loss.receiver_sensitivity_dbm;
+  };
+  keys["loss.coupler_db"] = [](Parameters& p) -> double& {
+    return p.loss.coupler_db;
+  };
+  keys["loss.laser_wall_plug_efficiency"] = [](Parameters& p) -> double& {
+    return p.loss.laser_wall_plug_efficiency;
+  };
+  keys["crosstalk.crossing_db"] = [](Parameters& p) -> double& {
+    return p.crosstalk.crossing_db;
+  };
+  keys["crosstalk.mrr_through_db"] = [](Parameters& p) -> double& {
+    return p.crosstalk.mrr_through_db;
+  };
+  keys["crosstalk.mrr_drop_residue_db"] = [](Parameters& p) -> double& {
+    return p.crosstalk.mrr_drop_residue_db;
+  };
+  keys["crosstalk.noise_floor_mw"] = [](Parameters& p) -> double& {
+    return p.crosstalk.noise_floor_mw;
+  };
+  keys["geometry.modulator_um"] = [](Parameters& p) -> double& {
+    return p.geometry.modulator_um;
+  };
+  keys["geometry.splitter_um"] = [](Parameters& p) -> double& {
+    return p.geometry.splitter_um;
+  };
+  return keys;
+}
+
+}  // namespace
+
+Parameters read_parameters(std::istream& in, Parameters base) {
+  const auto keys = key_table();
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      // Only whitespace may remain.
+      if (line.find_first_not_of(" \t\r") != std::string::npos) {
+        throw std::invalid_argument("line " + std::to_string(lineno) +
+                                    ": expected key = value");
+      }
+      continue;
+    }
+    auto trim = [](std::string s) {
+      const auto b = s.find_first_not_of(" \t\r");
+      const auto e = s.find_last_not_of(" \t\r");
+      return b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
+    };
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+
+    if (key == "crosstalk.residue_filter") {
+      base.crosstalk.residue_filter = value == "true" || value == "1";
+      continue;
+    }
+    const auto it = keys.find(key);
+    if (it == keys.end()) {
+      throw std::invalid_argument("line " + std::to_string(lineno) +
+                                  ": unknown parameter '" + key + "'");
+    }
+    std::istringstream vs(value);
+    double v;
+    if (!(vs >> v)) {
+      throw std::invalid_argument("line " + std::to_string(lineno) +
+                                  ": non-numeric value for '" + key + "'");
+    }
+    it->second(base) = v;
+  }
+  return base;
+}
+
+Parameters load_parameters(const std::string& path, Parameters base) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open parameter file: " + path);
+  return read_parameters(in, base);
+}
+
+void write_parameters(const Parameters& params, std::ostream& out) {
+  out << "# xring device parameters\n";
+  Parameters copy = params;
+  for (const auto& [key, access] : key_table()) {
+    out << key << " = " << access(copy) << "\n";
+  }
+  out << "crosstalk.residue_filter = "
+      << (params.crosstalk.residue_filter ? "true" : "false") << "\n";
+}
+
+void save_parameters(const Parameters& params, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write parameter file: " + path);
+  write_parameters(params, out);
+}
+
+}  // namespace xring::phys

@@ -1,0 +1,4 @@
+#include "phys/units.hpp"
+
+// Header-only; this translation unit exists so the library has a home for
+// future non-inline additions and so the target is a real archive.

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cmath>
+
+namespace xring::phys {
+
+/// Converts a power ratio expressed in decibels to a linear factor.
+/// A loss of `L` dB multiplies power by `db_to_linear(-L)`.
+inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Converts a linear power ratio to decibels.
+inline double linear_to_db(double ratio) { return 10.0 * std::log10(ratio); }
+
+/// Converts absolute power in dBm to milliwatts.
+inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+/// Converts absolute power in milliwatts to dBm.
+inline double mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
+
+/// The paper's laser-power formula (Sec. II-B): the laser driving wavelength
+/// λx must emit P = 10^((il_w + S)/10) mW, where `il_w` is the worst-case
+/// insertion loss (dB) among signals on λx and `S` the receiver sensitivity
+/// (dBm). The result is in milliwatts.
+inline double laser_power_mw(double worst_loss_db, double sensitivity_dbm) {
+  return std::pow(10.0, (worst_loss_db + sensitivity_dbm) / 10.0);
+}
+
+}  // namespace xring::phys

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/design.hpp"
+
+namespace xring::report {
+
+/// Writes a complete human-readable report of a synthesized router and its
+/// evaluation: ring order and geometry, shortcut plan, per-waveguide signal
+/// assignment with openings, PDN summary, and the per-signal metric table.
+/// This is the artifact a designer archives next to the layout; the CLI's
+/// `--report` flag emits it.
+void write_design_report(const analysis::RouterDesign& design,
+                         const analysis::RouterMetrics& metrics,
+                         std::ostream& out);
+
+std::string design_report(const analysis::RouterDesign& design,
+                          const analysis::RouterMetrics& metrics);
+
+}  // namespace xring::report

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xring::report {
+
+/// A fixed-width ASCII table builder used by the benches to print the
+/// paper's tables, plus CSV emission for downstream plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; missing cells print empty, extra cells are rejected.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column-aligned ASCII borders.
+  std::string to_string() const;
+
+  /// Renders as CSV (RFC-4180-style quoting for cells containing commas).
+  std::string to_csv() const;
+
+  int rows() const { return static_cast<int>(rows_.size()); }
+  int columns() const { return static_cast<int>(headers_.size()); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals (benches align on
+/// two decimals like the paper's tables).
+std::string num(double value, int decimals = 2);
+
+/// Formats an SNR value, printing "-" for the no-noise sentinel like the
+/// paper does.
+std::string snr(double snr_db);
+
+}  // namespace xring::report

@@ -1,0 +1,68 @@
+#include "ring/builder.hpp"
+
+#include <chrono>
+
+namespace xring::ring {
+
+RingBuildResult build_ring(const netlist::Floorplan& floorplan,
+                           const ConflictOracle& oracle,
+                           const RingBuildOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  RingBuildResult result;
+
+  const std::vector<NodeId> heuristic = heuristic_tour(floorplan, oracle);
+
+  std::vector<NodeId> tour_order = heuristic;
+  if (options.use_milp) {
+    TspModel tsp(floorplan, oracle, options.conflict_mode);
+
+    milp::BnbOptions bnb;
+    bnb.time_limit_seconds = options.time_limit_seconds;
+    bnb.lazy_handler = tsp.lazy_handler();
+    // Seed the incumbent only when the heuristic tour is itself legal; a
+    // conflicted warm start would be rejected by the solver's vetting anyway.
+    if (tour_conflicts(heuristic, oracle) == 0) {
+      bnb.warm_start = tsp.warm_start_from(heuristic);
+    }
+
+    const milp::MipResult mip = milp::solve(tsp.model(), bnb);
+    result.mip_status = mip.status;
+    result.bnb_nodes = mip.nodes;
+    result.lazy_cuts = mip.lazy_constraints_added;
+
+    if (mip.status == milp::MipStatus::kOptimal ||
+        mip.status == milp::MipStatus::kFeasible) {
+      const auto edges = tsp.selected_edges(mip.x);
+      auto cycles = extract_cycles(edges, floorplan.size());
+      result.subcycles_before_merge = static_cast<int>(cycles.size());
+      std::vector<NodeId> merged =
+          merge_cycles(std::move(cycles), floorplan, oracle);
+      // Post-merge polish: the paper's merge heuristic can leave slack that
+      // a conflict-aware 2-opt removes (it never worsens the penalized
+      // cost). Keep the better of the polished merge and the heuristic tour.
+      two_opt(merged, floorplan, oracle);
+      tour_order = merged;
+    }
+  }
+
+  // Whichever tour is shorter wins, with conflict-freedom dominating length.
+  auto cost = [&](const std::vector<NodeId>& t) {
+    return tour_length(t, floorplan) +
+           HeuristicOptions{}.conflict_penalty * tour_conflicts(t, oracle);
+  };
+  if (cost(heuristic) < cost(tour_order)) tour_order = heuristic;
+
+  result.geometry = realize(Tour(tour_order, &floorplan), floorplan);
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+RingBuildResult build_ring(const netlist::Floorplan& floorplan,
+                           const RingBuildOptions& options) {
+  const ConflictOracle oracle(floorplan);
+  return build_ring(floorplan, oracle, options);
+}
+
+}  // namespace xring::ring

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "ring/heuristic.hpp"
+#include "ring/subcycle.hpp"
+#include "ring/tsp_model.hpp"
+
+namespace xring::ring {
+
+/// Knobs for Step 1.
+struct RingBuildOptions {
+  ConflictMode conflict_mode = ConflictMode::kLazy;
+  /// When false the MILP is skipped and the conflict-aware heuristic tour is
+  /// used directly (the `ablation_features` bench compares both).
+  bool use_milp = true;
+  double time_limit_seconds = 30.0;
+};
+
+/// Outcome of Step 1: the realized ring plus solver diagnostics.
+struct RingBuildResult {
+  RingGeometry geometry;
+  milp::MipStatus mip_status = milp::MipStatus::kNoSolution;
+  long bnb_nodes = 0;
+  int lazy_cuts = 0;
+  int subcycles_before_merge = 1;
+  double seconds = 0.0;
+};
+
+/// Runs the paper's Step 1 end to end: build the modified-TSP MILP, warm
+/// start it with the conflict-aware heuristic, solve, merge sub-cycles, and
+/// realize the tour as rectilinear geometry. Falls back to the heuristic
+/// tour if the solver finds nothing within its budget.
+RingBuildResult build_ring(const netlist::Floorplan& floorplan,
+                           const ConflictOracle& oracle,
+                           const RingBuildOptions& options = {});
+
+/// Convenience overload constructing the oracle internally.
+RingBuildResult build_ring(const netlist::Floorplan& floorplan,
+                           const RingBuildOptions& options = {});
+
+}  // namespace xring::ring

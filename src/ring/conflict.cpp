@@ -1,0 +1,49 @@
+#include "ring/conflict.hpp"
+
+#include <algorithm>
+
+namespace xring::ring {
+
+ConflictOracle::ConflictOracle(const netlist::Floorplan& floorplan)
+    : n_(floorplan.size()) {
+  pairs_ = n_ * (n_ - 1) / 2;
+  table_.assign(static_cast<std::size_t>(pairs_) * pairs_, false);
+
+  // Materialize every unordered node pair once.
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(pairs_);
+  for (NodeId i = 0; i < n_; ++i) {
+    for (NodeId j = i + 1; j < n_; ++j) pairs.emplace_back(i, j);
+  }
+
+  for (int p = 0; p < pairs_; ++p) {
+    for (int q = p + 1; q < pairs_; ++q) {
+      const auto [a1, a2] = pairs[p];
+      const auto [b1, b2] = pairs[q];
+      const bool c = geom::edges_conflict(
+          floorplan.position(a1), floorplan.position(a2),
+          floorplan.position(b1), floorplan.position(b2));
+      table_[static_cast<std::size_t>(p) * pairs_ + q] = c;
+      table_[static_cast<std::size_t>(q) * pairs_ + p] = c;
+    }
+  }
+}
+
+bool ConflictOracle::conflict(NodeId a1, NodeId a2, NodeId b1, NodeId b2) const {
+  if (a1 == a2 || b1 == b2) return false;
+  const NodeId alo = std::min(a1, a2), ahi = std::max(a1, a2);
+  const NodeId blo = std::min(b1, b2), bhi = std::max(b1, b2);
+  if (alo == blo && ahi == bhi) return false;  // same undirected edge
+  const int p = pair_index(alo, ahi);
+  const int q = pair_index(blo, bhi);
+  return table_[static_cast<std::size_t>(p) * pairs_ + q];
+}
+
+bool ConflictOracle::conflict(const EdgeSpace& space, int edge_a,
+                              int edge_b) const {
+  const auto [a1, a2] = space.edge(edge_a);
+  const auto [b1, b2] = space.edge(edge_b);
+  return conflict(a1, a2, b1, b2);
+}
+
+}  // namespace xring::ring

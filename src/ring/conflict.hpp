@@ -1,0 +1,71 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/lshape.hpp"
+#include "netlist/floorplan.hpp"
+
+namespace xring::ring {
+
+using netlist::NodeId;
+
+/// Enumerates the directed edges of the complete graph over N nodes, giving
+/// each a dense index. Edge (i, j) with i != j maps to a stable index used
+/// as the MILP variable id.
+class EdgeSpace {
+ public:
+  explicit EdgeSpace(int nodes) : n_(nodes) {}
+
+  int nodes() const { return n_; }
+  int count() const { return n_ * (n_ - 1); }
+
+  int index(NodeId from, NodeId to) const {
+    // Skip the diagonal: row `from` has n-1 slots.
+    return from * (n_ - 1) + (to < from ? to : to - 1);
+  }
+
+  std::pair<NodeId, NodeId> edge(int index) const {
+    const NodeId from = static_cast<NodeId>(index / (n_ - 1));
+    const int slot = index % (n_ - 1);
+    const NodeId to = slot < from ? slot : slot + 1;
+    return {from, to};
+  }
+
+  int reverse(int index) const {
+    const auto [from, to] = edge(index);
+    return this->index(to, from);
+  }
+
+ private:
+  int n_;
+};
+
+/// Answers the paper's pairwise *conflict* question (Sec. III-A): two edges
+/// conflict iff none of the four combinations of their L-route options can
+/// be implemented without a waveguide crossing. Results are precomputed per
+/// unordered pair of unordered node pairs, so queries are O(1).
+class ConflictOracle {
+ public:
+  explicit ConflictOracle(const netlist::Floorplan& floorplan);
+
+  /// True if edges {a1, a2} and {b1, b2} conflict. Direction is irrelevant:
+  /// an L-route set is symmetric under endpoint swap.
+  bool conflict(NodeId a1, NodeId a2, NodeId b1, NodeId b2) const;
+
+  /// Convenience overload on directed edge indices of `space`.
+  bool conflict(const EdgeSpace& space, int edge_a, int edge_b) const;
+
+  int nodes() const { return n_; }
+
+ private:
+  int pair_index(NodeId lo, NodeId hi) const {
+    // Dense index of the unordered pair {lo, hi}, lo < hi.
+    return lo * n_ - lo * (lo + 1) / 2 + (hi - lo - 1);
+  }
+
+  int n_ = 0;
+  int pairs_ = 0;
+  std::vector<bool> table_;  // pairs_ x pairs_ symmetric matrix
+};
+
+}  // namespace xring::ring

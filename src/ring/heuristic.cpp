@@ -1,0 +1,110 @@
+#include "ring/heuristic.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace xring::ring {
+
+geom::Coord tour_length(const std::vector<NodeId>& order,
+                        const netlist::Floorplan& floorplan) {
+  const int n = static_cast<int>(order.size());
+  geom::Coord total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += floorplan.distance(order[i], order[(i + 1) % n]);
+  }
+  return total;
+}
+
+int tour_conflicts(const std::vector<NodeId>& order,
+                   const ConflictOracle& oracle) {
+  const int n = static_cast<int>(order.size());
+  int conflicts = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (oracle.conflict(order[i], order[(i + 1) % n], order[j],
+                          order[(j + 1) % n])) {
+        ++conflicts;
+      }
+    }
+  }
+  return conflicts;
+}
+
+namespace {
+
+geom::Coord penalized_cost(const std::vector<NodeId>& order,
+                           const netlist::Floorplan& floorplan,
+                           const ConflictOracle& oracle,
+                           const HeuristicOptions& opt) {
+  return tour_length(order, floorplan) +
+         opt.conflict_penalty * tour_conflicts(order, oracle);
+}
+
+}  // namespace
+
+void two_opt(std::vector<NodeId>& order, const netlist::Floorplan& floorplan,
+             const ConflictOracle& oracle, const HeuristicOptions& options) {
+  const int n = static_cast<int>(order.size());
+  geom::Coord cost = penalized_cost(order, floorplan, oracle, options);
+  for (int round = 0; round < options.max_two_opt_rounds; ++round) {
+    bool improved = false;
+    for (int i = 0; i < n - 1; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (i == 0 && j == n - 1) continue;  // full reversal is a no-op
+        std::reverse(order.begin() + i, order.begin() + j + 1);
+        const geom::Coord c = penalized_cost(order, floorplan, oracle, options);
+        if (c < cost) {
+          cost = c;
+          improved = true;
+        } else {
+          std::reverse(order.begin() + i, order.begin() + j + 1);  // undo
+        }
+      }
+    }
+    if (!improved) break;
+  }
+}
+
+std::vector<NodeId> heuristic_tour(const netlist::Floorplan& floorplan,
+                                   const ConflictOracle& oracle,
+                                   const HeuristicOptions& options) {
+  const int n = floorplan.size();
+
+  std::vector<NodeId> best_order;
+  geom::Coord best_cost = std::numeric_limits<geom::Coord>::max();
+
+  // Nearest-neighbour from every start node, each polished by 2-opt; keep
+  // the best. N is at most a few dozen for on-chip networks, so the O(N)
+  // restarts are cheap and markedly improve the warm start.
+  for (NodeId start = 0; start < n; ++start) {
+    std::vector<NodeId> order;
+    std::vector<bool> used(n, false);
+    order.push_back(start);
+    used[start] = true;
+    while (static_cast<int>(order.size()) < n) {
+      const NodeId last = order.back();
+      NodeId best = -1;
+      geom::Coord best_d = std::numeric_limits<geom::Coord>::max();
+      for (NodeId v = 0; v < n; ++v) {
+        if (used[v]) continue;
+        const geom::Coord d = floorplan.distance(last, v);
+        if (d < best_d) {
+          best_d = d;
+          best = v;
+        }
+      }
+      order.push_back(best);
+      used[best] = true;
+    }
+
+    two_opt(order, floorplan, oracle, options);
+    const geom::Coord cost = penalized_cost(order, floorplan, oracle, options);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_order = std::move(order);
+    }
+  }
+  return best_order;
+}
+
+}  // namespace xring::ring

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "ring/conflict.hpp"
+
+namespace xring::ring {
+
+/// Options for the conflict-aware tour heuristic.
+struct HeuristicOptions {
+  /// Penalty (µm) charged per conflicting edge pair in the tour; large
+  /// enough that the 2-opt phase trades length for conflict removal.
+  geom::Coord conflict_penalty = 1'000'000;
+  int max_two_opt_rounds = 64;
+};
+
+/// Conflict-aware nearest-neighbour + 2-opt tour construction (best of all
+/// nearest-neighbour start nodes). Serves two purposes: the warm start that
+/// lets branch & bound prune from node one, and the fallback result when a
+/// caller runs with the MILP disabled (the ablation benches compare both).
+std::vector<NodeId> heuristic_tour(const netlist::Floorplan& floorplan,
+                                   const ConflictOracle& oracle,
+                                   const HeuristicOptions& options = {});
+
+/// In-place 2-opt improvement on the penalized (length + conflict) cost.
+/// Used both inside heuristic_tour and as the post-merge polish of Step 1.
+void two_opt(std::vector<NodeId>& order, const netlist::Floorplan& floorplan,
+             const ConflictOracle& oracle, const HeuristicOptions& options = {});
+
+/// Total Manhattan length of a tour (closing edge included), micrometres.
+geom::Coord tour_length(const std::vector<NodeId>& order,
+                        const netlist::Floorplan& floorplan);
+
+/// Number of conflicting edge pairs in a tour.
+int tour_conflicts(const std::vector<NodeId>& order,
+                   const ConflictOracle& oracle);
+
+}  // namespace xring::ring

@@ -1,0 +1,126 @@
+#include "ring/subcycle.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace xring::ring {
+
+std::vector<Cycle> extract_cycles(
+    const std::vector<std::pair<NodeId, NodeId>>& edges, int nodes) {
+  std::vector<NodeId> next(nodes, -1);
+  for (const auto& [from, to] : edges) {
+    if (next[from] != -1) throw std::invalid_argument("node with out-degree > 1");
+    next[from] = to;
+  }
+  std::vector<bool> seen(nodes, false);
+  std::vector<Cycle> cycles;
+  for (NodeId start = 0; start < nodes; ++start) {
+    if (seen[start] || next[start] == -1) continue;
+    Cycle cycle;
+    NodeId v = start;
+    while (!seen[v]) {
+      seen[v] = true;
+      cycle.push_back(v);
+      v = next[v];
+      if (v == -1) throw std::invalid_argument("selection is not cycle-regular");
+    }
+    cycles.push_back(std::move(cycle));
+  }
+  return cycles;
+}
+
+namespace {
+
+struct Exchange {
+  std::size_t cycle_a = 0, cycle_b = 0;
+  int hop_a = 0, hop_b = 0;  // hop index to remove in each cycle
+  geom::Coord delta = std::numeric_limits<geom::Coord>::max();
+  bool conflict_free = false;
+};
+
+/// All directed edges of a set of cycles, excluding two hops under exchange.
+std::vector<std::pair<NodeId, NodeId>> remaining_edges(
+    const std::vector<Cycle>& cycles, std::size_t skip_cycle_a, int skip_hop_a,
+    std::size_t skip_cycle_b, int skip_hop_b) {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (std::size_t c = 0; c < cycles.size(); ++c) {
+    const int n = static_cast<int>(cycles[c].size());
+    for (int h = 0; h < n; ++h) {
+      if ((c == skip_cycle_a && h == skip_hop_a) ||
+          (c == skip_cycle_b && h == skip_hop_b)) {
+        continue;
+      }
+      out.emplace_back(cycles[c][h], cycles[c][(h + 1) % n]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Cycle merge_cycles(std::vector<Cycle> cycles,
+                   const netlist::Floorplan& floorplan,
+                   const ConflictOracle& oracle) {
+  if (cycles.empty()) throw std::invalid_argument("no cycles to merge");
+
+  while (cycles.size() > 1) {
+    Exchange best;
+    for (std::size_t ca = 0; ca < cycles.size(); ++ca) {
+      for (std::size_t cb = ca + 1; cb < cycles.size(); ++cb) {
+        const Cycle& A = cycles[ca];
+        const Cycle& B = cycles[cb];
+        const int na = static_cast<int>(A.size());
+        const int nb = static_cast<int>(B.size());
+        for (int ha = 0; ha < na; ++ha) {
+          const NodeId a = A[ha], b = A[(ha + 1) % na];
+          for (int hb = 0; hb < nb; ++hb) {
+            const NodeId c = B[hb], d = B[(hb + 1) % nb];
+            // Exchange: remove (a,b) and (c,d); add (a,d) and (c,b).
+            const geom::Coord delta = floorplan.distance(a, d) +
+                                      floorplan.distance(c, b) -
+                                      floorplan.distance(a, b) -
+                                      floorplan.distance(c, d);
+            // Check the inserted edges against each other and against every
+            // edge that stays selected.
+            bool ok = !oracle.conflict(a, d, c, b);
+            if (ok) {
+              for (const auto& [u, v] :
+                   remaining_edges(cycles, ca, ha, cb, hb)) {
+                if (oracle.conflict(a, d, u, v) || oracle.conflict(c, b, u, v)) {
+                  ok = false;
+                  break;
+                }
+              }
+            }
+            const bool better =
+                (ok && !best.conflict_free) ||
+                (ok == best.conflict_free && delta < best.delta);
+            if (better) {
+              best = Exchange{ca, cb, ha, hb, delta, ok};
+            }
+          }
+        }
+      }
+    }
+
+    // Apply the exchange: splice cycle B into cycle A after hop_a. With
+    // e1=(a,b) removed and (a,d) added, B is traversed from d onwards, then
+    // (c,b) re-enters A at b.
+    Cycle& A = cycles[best.cycle_a];
+    Cycle& B = cycles[best.cycle_b];
+    const int na = static_cast<int>(A.size());
+    const int nb = static_cast<int>(B.size());
+    Cycle merged;
+    merged.reserve(A.size() + B.size());
+    // A from b (the node after the removed hop) around to a.
+    for (int i = 0; i < na; ++i) merged.push_back(A[(best.hop_a + 1 + i) % na]);
+    // B from d (the node after the removed hop) around to c.
+    for (int i = 0; i < nb; ++i) merged.push_back(B[(best.hop_b + 1 + i) % nb]);
+    // merged now reads b ... a d ... c, which closes with edge (c, b).
+    cycles[best.cycle_a] = std::move(merged);
+    cycles.erase(cycles.begin() + static_cast<std::ptrdiff_t>(best.cycle_b));
+  }
+  return cycles.front();
+}
+
+}  // namespace xring::ring

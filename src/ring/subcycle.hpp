@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "ring/conflict.hpp"
+#include "ring/tour.hpp"
+
+namespace xring::ring {
+
+/// A directed cycle over a subset of nodes, as it appears in the MILP
+/// optimum before connectivity is enforced.
+using Cycle = std::vector<NodeId>;
+
+/// Splits a degree-1-regular directed edge selection into its cycles.
+/// Precondition: every node has exactly one incoming and one outgoing edge
+/// (guaranteed by Eq. 1).
+std::vector<Cycle> extract_cycles(
+    const std::vector<std::pair<NodeId, NodeId>>& edges, int nodes);
+
+/// The paper's sub-cycle merging heuristic (Sec. III-A, Fig. 6(f)): while
+/// more than one cycle remains, merge the two cycles offering the cheapest
+/// edge exchange — remove e1=(a,b) from S1 and e2=(c,d) from S2, insert
+/// (a,d) and (c,b) — preferring exchanges whose inserted edges are
+/// conflict-free with each other and with every remaining selected edge.
+/// If no fully conflict-free exchange exists the cheapest exchange is taken
+/// anyway (the realization step then reports residual crossings honestly).
+///
+/// Returns the single merged cycle.
+Cycle merge_cycles(std::vector<Cycle> cycles,
+                   const netlist::Floorplan& floorplan,
+                   const ConflictOracle& oracle);
+
+}  // namespace xring::ring

@@ -1,0 +1,111 @@
+#include "ring/tsp_model.hpp"
+
+namespace xring::ring {
+
+TspModel::TspModel(const netlist::Floorplan& floorplan,
+                   const ConflictOracle& oracle, ConflictMode mode)
+    : oracle_(&oracle), edges_(floorplan.size()), mode_(mode) {
+  const int n = floorplan.size();
+
+  // One binary per directed edge; the objective coefficient is the edge's
+  // Manhattan length in micrometres (Eq. 4).
+  for (int e = 0; e < edges_.count(); ++e) {
+    const auto [from, to] = edges_.edge(e);
+    model_.add_binary(static_cast<double>(floorplan.distance(from, to)));
+  }
+
+  // Eq. 1: every vertex has exactly one selected outgoing and one selected
+  // incoming edge.
+  for (NodeId v = 0; v < n; ++v) {
+    milp::Terms out_terms, in_terms;
+    for (NodeId u = 0; u < n; ++u) {
+      if (u == v) continue;
+      out_terms.emplace_back(edges_.index(v, u), 1.0);
+      in_terms.emplace_back(edges_.index(u, v), 1.0);
+    }
+    model_.add_constraint(out_terms, milp::Sense::kEq, 1.0);
+    model_.add_constraint(in_terms, milp::Sense::kEq, 1.0);
+  }
+
+  // Eq. 2: no 2-cycles.
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      model_.add_constraint(
+          {{edges_.index(i, j), 1.0}, {edges_.index(j, i), 1.0}},
+          milp::Sense::kLe, 1.0);
+    }
+  }
+
+  // Eq. 3 up front only in exhaustive mode. A conflict depends only on the
+  // unordered endpoint pairs, so one row covers all four directed
+  // combinations via the sum of both directions of each edge.
+  if (mode_ == ConflictMode::kExhaustive) {
+    for (NodeId a1 = 0; a1 < n; ++a1) {
+      for (NodeId a2 = a1 + 1; a2 < n; ++a2) {
+        for (NodeId b1 = a1; b1 < n; ++b1) {
+          for (NodeId b2 = b1 + 1; b2 < n; ++b2) {
+            if (std::make_pair(b1, b2) <= std::make_pair(a1, a2)) continue;
+            if (!oracle.conflict(a1, a2, b1, b2)) continue;
+            model_.add_constraint({{edges_.index(a1, a2), 1.0},
+                                   {edges_.index(a2, a1), 1.0},
+                                   {edges_.index(b1, b2), 1.0},
+                                   {edges_.index(b2, b1), 1.0}},
+                                  milp::Sense::kLe, 1.0);
+          }
+        }
+      }
+    }
+  }
+}
+
+milp::LazyConstraintHandler TspModel::lazy_handler() const {
+  if (mode_ == ConflictMode::kExhaustive) return nullptr;
+  const ConflictOracle* oracle = oracle_;
+  const EdgeSpace edges = edges_;
+  return [oracle, edges](const std::vector<double>& x) {
+    // Collect the selected directed edges and emit an Eq. 3 row for every
+    // conflicting pair among them.
+    std::vector<int> picked;
+    for (int e = 0; e < edges.count(); ++e) {
+      if (x[e] > 0.5) picked.push_back(e);
+    }
+    std::vector<milp::Constraint> cuts;
+    for (std::size_t i = 0; i < picked.size(); ++i) {
+      for (std::size_t j = i + 1; j < picked.size(); ++j) {
+        if (!oracle->conflict(edges, picked[i], picked[j])) continue;
+        const auto [a1, a2] = edges.edge(picked[i]);
+        const auto [b1, b2] = edges.edge(picked[j]);
+        milp::Constraint c;
+        c.terms = {{edges.index(a1, a2), 1.0},
+                   {edges.index(a2, a1), 1.0},
+                   {edges.index(b1, b2), 1.0},
+                   {edges.index(b2, b1), 1.0}};
+        c.sense = milp::Sense::kLe;
+        c.rhs = 1.0;
+        cuts.push_back(std::move(c));
+      }
+    }
+    return cuts;
+  };
+}
+
+std::vector<double> TspModel::warm_start_from(
+    const std::vector<NodeId>& order) const {
+  std::vector<double> x(edges_.count(), 0.0);
+  const int n = static_cast<int>(order.size());
+  for (int i = 0; i < n; ++i) {
+    x[edges_.index(order[i], order[(i + 1) % n])] = 1.0;
+  }
+  return x;
+}
+
+std::vector<std::pair<NodeId, NodeId>> TspModel::selected_edges(
+    const std::vector<double>& x) const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (int e = 0; e < edges_.count(); ++e) {
+    if (x[e] > 0.5) out.push_back(edges_.edge(e));
+  }
+  return out;
+}
+
+}  // namespace xring::ring

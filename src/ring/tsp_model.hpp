@@ -1,0 +1,56 @@
+#pragma once
+
+#include "milp/branch_and_bound.hpp"
+#include "milp/model.hpp"
+#include "ring/conflict.hpp"
+
+namespace xring::ring {
+
+/// How the waveguide-crossing conflict constraints (paper Eq. 3) enter the
+/// MILP.
+enum class ConflictMode {
+  /// Paper-literal: one row per conflicting pair, materialized up front.
+  /// O(|E|^2) rows; used for small N and for cross-checking.
+  kExhaustive,
+  /// One row per conflicting pair actually violated by a candidate integer
+  /// solution, added through the branch & bound's lazy-constraint callback.
+  /// Reaches the same optimum with far smaller LPs (see DESIGN.md).
+  kLazy,
+};
+
+/// The paper's modified-TSP MILP (Sec. III-A):
+///  * binary b_e per directed edge e,
+///  * in/out degree exactly 1 per vertex        (Eq. 1),
+///  * b_(i,j) + b_(j,i) <= 1                    (Eq. 2),
+///  * conflicting pairs not co-selected         (Eq. 3),
+///  * minimize total Manhattan length           (Eq. 4).
+/// Connectivity is deliberately *not* modelled; sub-cycles in the optimum
+/// are merged afterwards by the paper's heuristic (subcycle.hpp).
+class TspModel {
+ public:
+  TspModel(const netlist::Floorplan& floorplan, const ConflictOracle& oracle,
+           ConflictMode mode);
+
+  const milp::Model& model() const { return model_; }
+  const EdgeSpace& edges() const { return edges_; }
+
+  /// Lazy handler implementing kLazy mode; returns Eq. 3 rows violated by
+  /// the candidate selection. Empty in kExhaustive mode.
+  milp::LazyConstraintHandler lazy_handler() const;
+
+  /// Converts a tour (cyclic node order) into a b_e assignment usable as a
+  /// warm start.
+  std::vector<double> warm_start_from(const std::vector<NodeId>& order) const;
+
+  /// Decodes a solved b_e vector into the selected directed edges.
+  std::vector<std::pair<NodeId, NodeId>> selected_edges(
+      const std::vector<double>& x) const;
+
+ private:
+  const ConflictOracle* oracle_;
+  EdgeSpace edges_;
+  milp::Model model_;
+  ConflictMode mode_;
+};
+
+}  // namespace xring::ring

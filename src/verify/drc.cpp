@@ -1,0 +1,220 @@
+#include "verify/drc.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "mapping/opening.hpp"
+
+namespace xring::verify {
+
+namespace {
+
+using analysis::RouterDesign;
+using mapping::Direction;
+using mapping::RouteKind;
+using netlist::NodeId;
+using netlist::SignalId;
+
+void add(std::vector<Violation>& out, Violation::Rule rule,
+         const std::string& message) {
+  out.push_back(Violation{rule, message});
+}
+
+void check_ring(const RouterDesign& d, std::vector<Violation>& out) {
+  if (d.ring.crossings > 0) {
+    add(out, Violation::Rule::kRingCrossing,
+        "ring realization contains " + std::to_string(d.ring.crossings) +
+            " crossing(s)");
+  }
+}
+
+void check_shortcuts(const RouterDesign& d, const DrcOptions& opt,
+                     std::vector<Violation>& out) {
+  std::vector<int> uses(d.floorplan->size(), 0);
+  for (std::size_t i = 0; i < d.shortcuts.shortcuts.size(); ++i) {
+    const shortcut::Shortcut& s = d.shortcuts.shortcuts[i];
+    uses[s.a]++;
+    uses[s.b]++;
+    const geom::LRoute chord(d.floorplan->position(s.a),
+                             d.floorplan->position(s.b), s.order);
+    if (d.ring.polyline.crossings_with(chord) > 0) {
+      add(out, Violation::Rule::kChordCrossesRing,
+          "shortcut " + std::to_string(s.a) + "-" + std::to_string(s.b) +
+              " crosses a ring waveguide");
+    }
+    if (s.crossing_partner >= 0) {
+      const shortcut::Shortcut& p = d.shortcuts.shortcuts[s.crossing_partner];
+      if (p.crossing_partner != static_cast<int>(i)) {
+        add(out, Violation::Rule::kChordOverdegree,
+            "shortcut " + std::to_string(i) + " has a non-mutual partner");
+      }
+    }
+  }
+  for (NodeId v = 0; v < d.floorplan->size(); ++v) {
+    if (uses[v] > opt.max_shortcuts_per_node) {
+      add(out, Violation::Rule::kShortcutNodeCap,
+          "node " + std::to_string(v) + " has " + std::to_string(uses[v]) +
+              " shortcuts (cap " + std::to_string(opt.max_shortcuts_per_node) +
+              ")");
+    }
+  }
+}
+
+void check_routes(const RouterDesign& d, const DrcOptions& opt,
+                  std::vector<Violation>& out) {
+  for (std::size_t i = 0; i < d.mapping.routes.size(); ++i) {
+    const mapping::SignalRoute& r = d.mapping.routes[i];
+    if (r.kind == RouteKind::kUnrouted || r.wavelength < 0) {
+      add(out, Violation::Rule::kUnroutedSignal,
+          "signal " + std::to_string(i) + " is unrouted");
+      continue;
+    }
+    if (opt.max_wavelengths > 0 &&
+        (r.kind == RouteKind::kRingCw || r.kind == RouteKind::kRingCcw) &&
+        r.wavelength >= opt.max_wavelengths) {
+      add(out, Violation::Rule::kWavelengthCap,
+          "signal " + std::to_string(i) + " uses wavelength " +
+              std::to_string(r.wavelength) + " beyond the cap");
+    }
+  }
+}
+
+void check_arcs(const RouterDesign& d, std::vector<Violation>& out) {
+  const ring::Tour& tour = d.ring.tour;
+  for (std::size_t w = 0; w < d.mapping.waveguides.size(); ++w) {
+    const mapping::RingWaveguide& wg = d.mapping.waveguides[w];
+    for (std::size_t i = 0; i < wg.signals.size(); ++i) {
+      for (std::size_t j = i + 1; j < wg.signals.size(); ++j) {
+        const SignalId a = wg.signals[i], b = wg.signals[j];
+        if (d.mapping.routes[a].wavelength != d.mapping.routes[b].wavelength) {
+          continue;
+        }
+        const auto& sa = d.traffic.signal(a);
+        const auto& sb = d.traffic.signal(b);
+        std::vector<bool> hops(tour.size(), false);
+        for (const int h :
+             mapping::occupied_hops(tour, sa.src, sa.dst, wg.dir)) {
+          hops[h] = true;
+        }
+        for (const int h :
+             mapping::occupied_hops(tour, sb.src, sb.dst, wg.dir)) {
+          if (hops[h]) {
+            add(out, Violation::Rule::kArcOverlap,
+                "signals " + std::to_string(a) + " and " + std::to_string(b) +
+                    " overlap on waveguide " + std::to_string(w) +
+                    " wavelength " +
+                    std::to_string(d.mapping.routes[a].wavelength));
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+void check_openings(const RouterDesign& d, const DrcOptions& opt,
+                    std::vector<Violation>& out) {
+  if (!d.has_pdn || !opt.require_openings) return;
+  for (std::size_t w = 0; w < d.mapping.waveguides.size(); ++w) {
+    const mapping::RingWaveguide& wg = d.mapping.waveguides[w];
+    if (wg.opening < 0) {
+      add(out, Violation::Rule::kOpeningMissing,
+          "waveguide " + std::to_string(w) + " has no opening");
+      continue;
+    }
+    const int passing = mapping::passing_signals(
+        d.ring.tour, d.traffic, d.mapping, static_cast<int>(w), wg.opening);
+    if (passing > 0) {
+      add(out, Violation::Rule::kOpeningBlocked,
+          std::to_string(passing) + " signal(s) pass the opening of waveguide " +
+              std::to_string(w));
+    }
+  }
+}
+
+void check_pdn(const RouterDesign& d, std::vector<Violation>& out) {
+  if (!d.has_pdn) return;
+  for (std::size_t i = 0; i < d.mapping.routes.size(); ++i) {
+    const mapping::SignalRoute& r = d.mapping.routes[i];
+    const auto& sig = d.traffic.signal(static_cast<SignalId>(i));
+    if (r.kind == RouteKind::kRingCw || r.kind == RouteKind::kRingCcw) {
+      if (r.waveguide >= static_cast<int>(d.pdn.ring_feed_db.size()) ||
+          d.pdn.ring_feed_db[r.waveguide][sig.src] < 0) {
+        add(out, Violation::Rule::kPdnMissingFeed,
+            "ring sender of signal " + std::to_string(i) + " has no PDN feed");
+      }
+    } else if (r.kind == RouteKind::kShortcut || r.kind == RouteKind::kCse) {
+      if (sig.src >= static_cast<NodeId>(d.pdn.shortcut_feed_db.size()) ||
+          d.pdn.shortcut_feed_db[sig.src] < 0) {
+        add(out, Violation::Rule::kPdnMissingFeed,
+            "shortcut sender of signal " + std::to_string(i) +
+                " has no PDN feed");
+      }
+    }
+  }
+}
+
+void check_cse_wavelengths(const RouterDesign& d, std::vector<Violation>& out) {
+  // Crossed shortcut pairs must not share a wavelength between their direct
+  // signals (Sec. III-C), or the crossing leak lands on a matched receiver.
+  for (std::size_t i = 0; i < d.mapping.routes.size(); ++i) {
+    const mapping::SignalRoute& ri = d.mapping.routes[i];
+    if (ri.kind != RouteKind::kShortcut) continue;
+    const shortcut::Shortcut& si = d.shortcuts.shortcuts[ri.shortcut];
+    if (si.crossing_partner < 0) continue;
+    for (std::size_t j = 0; j < d.mapping.routes.size(); ++j) {
+      const mapping::SignalRoute& rj = d.mapping.routes[j];
+      if (rj.kind != RouteKind::kShortcut) continue;
+      if (rj.shortcut != si.crossing_partner) continue;
+      if (ri.wavelength == rj.wavelength) {
+        add(out, Violation::Rule::kCseWavelengthClash,
+            "crossed shortcuts " + std::to_string(ri.shortcut) + " and " +
+                std::to_string(rj.shortcut) + " share wavelength " +
+                std::to_string(ri.wavelength));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_string(Violation::Rule rule) {
+  switch (rule) {
+    case Violation::Rule::kRingCrossing: return "ring-crossing";
+    case Violation::Rule::kChordCrossesRing: return "chord-crosses-ring";
+    case Violation::Rule::kChordOverdegree: return "chord-overdegree";
+    case Violation::Rule::kUnroutedSignal: return "unrouted-signal";
+    case Violation::Rule::kWavelengthCap: return "wavelength-cap";
+    case Violation::Rule::kArcOverlap: return "arc-overlap";
+    case Violation::Rule::kOpeningMissing: return "opening-missing";
+    case Violation::Rule::kOpeningBlocked: return "opening-blocked";
+    case Violation::Rule::kShortcutNodeCap: return "shortcut-node-cap";
+    case Violation::Rule::kPdnMissingFeed: return "pdn-missing-feed";
+    case Violation::Rule::kCseWavelengthClash: return "cse-wavelength-clash";
+  }
+  return "unknown";
+}
+
+std::vector<Violation> check(const analysis::RouterDesign& design,
+                             const DrcOptions& options) {
+  std::vector<Violation> out;
+  check_ring(design, out);
+  check_shortcuts(design, options, out);
+  check_routes(design, options, out);
+  check_arcs(design, out);
+  check_openings(design, options, out);
+  check_pdn(design, out);
+  check_cse_wavelengths(design, out);
+  return out;
+}
+
+std::string report(const std::vector<Violation>& violations) {
+  if (violations.empty()) return "clean\n";
+  std::ostringstream out;
+  for (const Violation& v : violations) {
+    out << "[" << to_string(v.rule) << "] " << v.message << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace xring::verify

@@ -1,0 +1,64 @@
+#include "xring/sweep.hpp"
+
+namespace xring {
+
+namespace {
+
+/// Lexicographic goodness: primary goal first, then the others as sane
+/// tie-breakers.
+bool better(SweepGoal goal, const analysis::RouterMetrics& a,
+            const analysis::RouterMetrics& b) {
+  switch (goal) {
+    case SweepGoal::kMinPower:
+      if (a.total_power_w != b.total_power_w) {
+        return a.total_power_w < b.total_power_w;
+      }
+      return a.snr_worst_db > b.snr_worst_db;
+    case SweepGoal::kMaxSnr:
+      if (a.snr_worst_db != b.snr_worst_db) {
+        return a.snr_worst_db > b.snr_worst_db;
+      }
+      return a.total_power_w < b.total_power_w;
+    case SweepGoal::kMinWorstLoss:
+      if (a.il_star_worst_db != b.il_star_worst_db) {
+        return a.il_star_worst_db < b.il_star_worst_db;
+      }
+      return a.total_power_w < b.total_power_w;
+  }
+  return false;
+}
+
+}  // namespace
+
+SweepResult sweep(const SynthesisAtWl& synthesize, SweepGoal goal, int min_wl,
+                  int max_wl) {
+  SweepResult out;
+  bool have = false;
+  for (int wl = min_wl; wl <= max_wl; ++wl) {
+    SynthesisResult r = synthesize(wl);
+    out.seconds += r.seconds;
+    ++out.settings_tried;
+    if (!have || better(goal, r.metrics, out.result.metrics)) {
+      have = true;
+      out.best_wl = wl;
+      out.result = std::move(r);
+    }
+  }
+  return out;
+}
+
+SweepResult sweep_xring(const Synthesizer& synthesizer,
+                        const SynthesisOptions& base, SweepGoal goal,
+                        int min_wl, int max_wl) {
+  const ring::RingBuildResult ring =
+      ring::build_ring(synthesizer.floorplan(), synthesizer.oracle(), base.ring);
+  return sweep(
+      [&](int wl) {
+        SynthesisOptions opt = base;
+        opt.mapping.max_wavelengths = wl;
+        return synthesizer.run_with_ring(opt, ring);
+      },
+      goal, min_wl, max_wl);
+}
+
+}  // namespace xring

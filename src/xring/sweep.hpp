@@ -1,0 +1,36 @@
+#pragma once
+
+#include <functional>
+
+#include "xring/synthesizer.hpp"
+
+namespace xring {
+
+/// What a #wl sweep optimizes for. The paper picks, per router and network,
+/// "the setting of #wl with the minimum power and maximum SNR" (Tables
+/// II/III show both when they differ).
+enum class SweepGoal { kMinPower, kMaxSnr, kMinWorstLoss };
+
+/// A synthesis routine evaluated at one #wl setting; sweeps are generic so
+/// the baselines (ORNoC/ORing) reuse them.
+using SynthesisAtWl = std::function<SynthesisResult(int max_wavelengths)>;
+
+struct SweepResult {
+  int best_wl = 0;
+  SynthesisResult result;
+  int settings_tried = 0;
+  double seconds = 0.0;  ///< total time across all tried settings
+};
+
+/// Tries every #wl in [min_wl, max_wl] and keeps the best setting for the
+/// goal. Ties go to the smaller #wl (cheaper laser bank).
+SweepResult sweep(const SynthesisAtWl& synthesize, SweepGoal goal, int min_wl,
+                  int max_wl);
+
+/// Convenience sweep over the XRing synthesizer itself, reusing one ring
+/// construction across all settings (Step 1 does not depend on #wl).
+SweepResult sweep_xring(const Synthesizer& synthesizer,
+                        const SynthesisOptions& base, SweepGoal goal,
+                        int min_wl, int max_wl);
+
+}  // namespace xring

@@ -1,0 +1,62 @@
+#include "xring/synthesizer.hpp"
+
+#include <chrono>
+
+namespace xring {
+
+Synthesizer::Synthesizer(const netlist::Floorplan& floorplan)
+    : floorplan_(&floorplan), oracle_(floorplan) {}
+
+SynthesisResult Synthesizer::run(const SynthesisOptions& options) const {
+  const ring::RingBuildResult ring =
+      ring::build_ring(*floorplan_, oracle_, options.ring);
+  return run_with_ring(options, ring);
+}
+
+SynthesisResult Synthesizer::run_with_ring(
+    const SynthesisOptions& options, const ring::RingBuildResult& ring) const {
+  const auto start = std::chrono::steady_clock::now();
+
+  SynthesisResult out;
+  out.ring_stats = ring;
+
+  analysis::RouterDesign& d = out.design;
+  d.floorplan = floorplan_;
+  d.traffic = options.traffic
+                  ? *options.traffic
+                  : netlist::Traffic::all_to_all(floorplan_->size());
+  d.ring = ring.geometry;
+  d.params = options.params;
+
+  // Step 2: shortcuts.
+  d.shortcuts = shortcut::build_shortcuts(d.ring, *floorplan_,
+                                          options.shortcuts);
+
+  // Step 3: wavelength assignment, then openings.
+  d.mapping = mapping::assign_wavelengths(d.ring.tour, d.traffic, d.shortcuts,
+                                          options.mapping);
+  out.opening_stats = mapping::create_openings(
+      d.ring.tour, d.traffic, d.mapping, options.mapping, options.openings);
+
+  // Step 4: PDN.
+  if (options.build_pdn) {
+    std::vector<bool> has_shortcut(floorplan_->size(), false);
+    for (const shortcut::Shortcut& s : d.shortcuts.shortcuts) {
+      has_shortcut[s.a] = true;
+      has_shortcut[s.b] = true;
+    }
+    d.pdn = options.pdn_style == SynthesisOptions::PdnStyle::kTree
+                ? pdn::tree_pdn(d.ring.tour, d.mapping, has_shortcut, d.params,
+                                &d.traffic)
+                : pdn::comb_pdn(d.ring.tour, d.mapping, d.params, has_shortcut);
+    d.has_pdn = true;
+  }
+
+  out.metrics = analysis::evaluate(d);
+  out.seconds = ring.seconds + std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count();
+  return out;
+}
+
+}  // namespace xring

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <optional>
+
+#include "analysis/evaluate.hpp"
+#include "mapping/opening.hpp"
+#include "ring/builder.hpp"
+
+namespace xring {
+
+/// All knobs of the four-step XRing flow. Defaults reproduce the paper's
+/// configuration; the ablation benches flip individual features off.
+struct SynthesisOptions {
+  ring::RingBuildOptions ring;
+  shortcut::ShortcutOptions shortcuts;
+  mapping::MappingOptions mapping;
+  mapping::OpeningOptions openings;
+  /// Synthesize the tree PDN (Step 4). Table I compares routers without
+  /// PDNs, Tables II/III with.
+  bool build_pdn = true;
+  /// Step 4 variant: kTree is XRing's crossing-free design; kComb is the
+  /// baseline design of [17] whose radials cross the ring waveguides —
+  /// used by the ablation benches to quantify what the openings buy.
+  enum class PdnStyle { kTree, kComb };
+  PdnStyle pdn_style = PdnStyle::kTree;
+  phys::Parameters params = phys::Parameters::oring();
+  /// Demand set to serve. Defaults to the paper's all-to-all workload;
+  /// partial patterns (permutation, hotspot, ...) are accepted too.
+  std::optional<netlist::Traffic> traffic;
+};
+
+/// Everything a caller gets back: the synthesized design, its evaluation,
+/// and per-step diagnostics.
+struct SynthesisResult {
+  analysis::RouterDesign design;
+  analysis::RouterMetrics metrics;
+  ring::RingBuildResult ring_stats;
+  mapping::OpeningStats opening_stats;
+  double seconds = 0.0;  ///< wall-clock synthesis time (the tables' T)
+};
+
+/// The XRing synthesis pipeline (paper Sec. III):
+///   1. ring waveguide construction (MILP + sub-cycle merge),
+///   2. shortcut construction,
+///   3. signal mapping and ring waveguide opening,
+///   4. tree PDN design.
+/// The returned design is immediately evaluated for losses, laser power and
+/// crosstalk so callers can inspect or tabulate it.
+class Synthesizer {
+ public:
+  explicit Synthesizer(const netlist::Floorplan& floorplan);
+
+  SynthesisResult run(const SynthesisOptions& options = {}) const;
+
+  /// Step 1 is independent of #wl settings; callers sweeping #wl reuse one
+  /// prebuilt ring through this entry point.
+  SynthesisResult run_with_ring(const SynthesisOptions& options,
+                                const ring::RingBuildResult& ring) const;
+
+  const netlist::Floorplan& floorplan() const { return *floorplan_; }
+  const ring::ConflictOracle& oracle() const { return oracle_; }
+
+ private:
+  const netlist::Floorplan* floorplan_;
+  ring::ConflictOracle oracle_;
+};
+
+}  // namespace xring

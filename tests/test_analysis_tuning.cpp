@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "analysis/tuning.hpp"
+#include "xring/synthesizer.hpp"
+
+namespace xring::analysis {
+namespace {
+
+TEST(Tuning, RingRouterCountsFollowSignals) {
+  const auto fp = netlist::Floorplan::standard(16);
+  Synthesizer synth(fp);
+  SynthesisOptions opt;
+  opt.mapping.max_wavelengths = 16;
+  const auto r = synth.run(opt);
+  const MrrInventory inv = count_mrrs(r.design);
+  EXPECT_EQ(inv.modulators, 240);
+  EXPECT_EQ(inv.drop_filters, 240);
+  EXPECT_EQ(inv.residue_filters, 240);  // Fig. 5(b) filter on by default
+  EXPECT_EQ(inv.switching, 0);          // no fabric in a ring router
+  EXPECT_EQ(inv.total(), 720 + inv.cse_mrrs);
+}
+
+TEST(Tuning, ResidueFilterTogglesItsRings) {
+  const auto fp = netlist::Floorplan::standard(8);
+  Synthesizer synth(fp);
+  SynthesisOptions opt;
+  opt.params.crosstalk.residue_filter = false;
+  const auto r = synth.run(opt);
+  EXPECT_EQ(count_mrrs(r.design).residue_filters, 0);
+}
+
+TEST(Tuning, CrossbarsCarrySwitchingFabric) {
+  const crossbar::LambdaRouter lambda(16);
+  const crossbar::Light light(16);
+  const MrrInventory li = count_mrrs(lambda);
+  const MrrInventory gi = count_mrrs(light);
+  EXPECT_GT(li.switching, 0);
+  EXPECT_GT(gi.switching, 0);
+  // Light's design goal is fewer rings than the λ-router.
+  EXPECT_LT(gi.switching, li.switching);
+}
+
+TEST(Tuning, RingRouterBeatsCrossbarsOnTuningPower) {
+  // The paper's introduction claim.
+  const auto fp = netlist::Floorplan::standard(16);
+  Synthesizer synth(fp);
+  SynthesisOptions opt;
+  opt.mapping.max_wavelengths = 16;
+  const auto r = synth.run(opt);
+  const double ring_w = tuning_power_w(count_mrrs(r.design));
+  const double lambda_w = tuning_power_w(count_mrrs(crossbar::LambdaRouter(16)));
+  EXPECT_LT(ring_w, lambda_w);
+}
+
+TEST(Tuning, PowerScalesWithPerRingBudget) {
+  MrrInventory inv;
+  inv.modulators = 100;
+  EXPECT_DOUBLE_EQ(tuning_power_w(inv, 0.1), 0.01);
+  EXPECT_DOUBLE_EQ(tuning_power_w(inv, 1.0), 0.1);
+}
+
+}  // namespace
+}  // namespace xring::analysis

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "baseline/oring.hpp"
+#include "baseline/ornoc.hpp"
+
+namespace xring::baseline {
+namespace {
+
+struct Fixture {
+  explicit Fixture(int n)
+      : fp(netlist::Floorplan::standard(n)), ring(ring::build_ring(fp)) {}
+  netlist::Floorplan fp;
+  ring::RingBuildResult ring;
+};
+
+TEST(Ornoc, SynthesisCompletesAndRoutesAll) {
+  const Fixture f(16);
+  OrnocOptions opt;
+  opt.max_wavelengths = 16;
+  const auto r = synthesize_ornoc(f.fp, f.ring, opt);
+  EXPECT_EQ(static_cast<int>(r.design.mapping.routes.size()), 240);
+  EXPECT_TRUE(r.design.has_pdn);
+  EXPECT_TRUE(r.design.shortcuts.shortcuts.empty());
+  EXPECT_GT(r.metrics.total_power_w, 0.0);
+}
+
+TEST(Ornoc, NoOpeningsNoShortcuts) {
+  const Fixture f(8);
+  OrnocOptions opt;
+  opt.max_wavelengths = 8;
+  const auto r = synthesize_ornoc(f.fp, f.ring, opt);
+  for (const auto& w : r.design.mapping.waveguides) {
+    EXPECT_EQ(w.opening, -1);
+  }
+}
+
+TEST(Ornoc, CombPdnCrossesRings) {
+  const Fixture f(16);
+  OrnocOptions opt;
+  opt.max_wavelengths = 16;
+  const auto r = synthesize_ornoc(f.fp, f.ring, opt);
+  EXPECT_GT(r.design.pdn.total_crossings, 0);
+  EXPECT_FALSE(r.design.pdn.taps.empty());
+}
+
+TEST(Ornoc, WithoutPdnHasNoFeedLossAndNoTaps) {
+  const Fixture f(8);
+  OrnocOptions opt;
+  opt.max_wavelengths = 8;
+  opt.with_pdn = false;
+  const auto r = synthesize_ornoc(f.fp, f.ring, opt);
+  EXPECT_FALSE(r.design.has_pdn);
+  EXPECT_NEAR(r.metrics.il_worst_db, r.metrics.il_star_worst_db, 1e-9);
+}
+
+TEST(Oring, SynthesisCompletesAndRoutesAll) {
+  const Fixture f(16);
+  OringOptions opt;
+  opt.max_wavelengths = 16;
+  const auto r = synthesize_oring(f.fp, f.ring, opt);
+  EXPECT_EQ(static_cast<int>(r.design.mapping.routes.size()), 240);
+  for (const auto& route : r.design.mapping.routes) {
+    EXPECT_TRUE(route.kind == mapping::RouteKind::kRingCw ||
+                route.kind == mapping::RouteKind::kRingCcw);
+  }
+}
+
+TEST(Oring, ShorterDirectionOnly) {
+  // ORing (unlike ORNoC) maps every signal in its shorter direction.
+  const Fixture f(16);
+  OringOptions opt;
+  opt.max_wavelengths = 16;
+  const auto r = synthesize_oring(f.fp, f.ring, opt);
+  const auto& tour = r.design.ring.tour;
+  for (const auto& sig : r.design.traffic.signals()) {
+    const auto& route = r.design.mapping.routes[sig.id];
+    const geom::Coord cw = tour.arc_length_cw(sig.src, sig.dst);
+    const geom::Coord ccw = tour.arc_length_ccw(sig.src, sig.dst);
+    if (route.kind == mapping::RouteKind::kRingCw) {
+      EXPECT_LE(cw, ccw);
+    } else {
+      EXPECT_LE(ccw, cw);
+    }
+  }
+}
+
+TEST(Baselines, OrnocLongWayRoutingCostsCapacity) {
+  // ORNoC fills existing slots even via the long direction; those long arcs
+  // consume more (waveguide, λ) capacity overall, so it never needs fewer
+  // waveguides than the shortest-direction FFD of ORing at the same cap.
+  const Fixture f(16);
+  OrnocOptions oo;
+  oo.max_wavelengths = 16;
+  OringOptions go;
+  go.max_wavelengths = 16;
+  const auto ornoc = synthesize_ornoc(f.fp, f.ring, oo);
+  const auto oring = synthesize_oring(f.fp, f.ring, go);
+  EXPECT_GE(ornoc.design.mapping.waveguides.size(),
+            oring.design.mapping.waveguides.size());
+}
+
+TEST(Baselines, OrnocWorstPathLongerThanOring) {
+  // The price of packing: ORNoC's worst-case detours (paper Table II:
+  // L = 32 mm vs ORing's ~16 mm at 16 nodes).
+  const Fixture f(16);
+  OrnocOptions oo;
+  oo.max_wavelengths = 16;
+  OringOptions go;
+  go.max_wavelengths = 16;
+  const auto ornoc = synthesize_ornoc(f.fp, f.ring, oo);
+  const auto oring = synthesize_oring(f.fp, f.ring, go);
+  EXPECT_GT(ornoc.metrics.worst_path_mm, oring.metrics.worst_path_mm);
+}
+
+TEST(Baselines, BothSufferWidespreadNoiseWithPdn) {
+  const Fixture f(16);
+  OrnocOptions oo;
+  oo.max_wavelengths = 16;
+  OringOptions go;
+  go.max_wavelengths = 16;
+  const auto ornoc = synthesize_ornoc(f.fp, f.ring, oo);
+  const auto oring = synthesize_oring(f.fp, f.ring, go);
+  EXPECT_GT(ornoc.metrics.noisy_signals, 100);
+  EXPECT_GT(oring.metrics.noisy_signals, 100);
+}
+
+}  // namespace
+}  // namespace xring::baseline

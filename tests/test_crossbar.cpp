@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "crossbar/physical.hpp"
+
+namespace xring::crossbar {
+namespace {
+
+TEST(Topology, WavelengthBudgets) {
+  EXPECT_EQ(LambdaRouter(8).wavelengths(), 8);
+  EXPECT_EQ(LambdaRouter(16).wavelengths(), 16);
+  EXPECT_EQ(Gwor(8).wavelengths(), 7);
+  EXPECT_EQ(Light(16).wavelengths(), 15);
+}
+
+TEST(Topology, LambdaRouterIsPlanar) {
+  const LambdaRouter t(16);
+  for (NodeId s = 0; s < 16; ++s) {
+    for (NodeId d = 0; d < 16; ++d) {
+      if (s == d) continue;
+      EXPECT_EQ(t.path(s, d).crossings, 0);
+    }
+  }
+}
+
+TEST(Topology, LambdaRouterDropsGrowWithRailDistance) {
+  const LambdaRouter t(16);
+  EXPECT_LT(t.path(0, 1).drops, t.path(0, 15).drops);
+  EXPECT_EQ(t.path(0, 15).drops, 15);
+}
+
+TEST(Topology, GworHasCrossingsLightHasFewer) {
+  const Gwor g(16);
+  const Light l(16);
+  int g_total = 0, l_total = 0;
+  for (NodeId s = 0; s < 16; ++s) {
+    for (NodeId d = 0; d < 16; ++d) {
+      if (s == d) continue;
+      g_total += g.path(s, d).crossings;
+      l_total += l.path(s, d).crossings;
+    }
+  }
+  EXPECT_GT(g_total, 0);
+  EXPECT_LT(l_total, g_total);
+}
+
+TEST(Topology, LightMinimizesMrrPasses) {
+  const LambdaRouter lam(16);
+  const Light light(16);
+  for (NodeId s = 0; s < 16; ++s) {
+    for (NodeId d = 0; d < 16; ++d) {
+      if (s == d) continue;
+      EXPECT_LE(light.path(s, d).throughs + light.path(s, d).drops,
+                lam.path(s, d).throughs + lam.path(s, d).drops);
+    }
+  }
+}
+
+TEST(Physical, AllPathsPositive) {
+  const auto fp = netlist::Floorplan::standard(16);
+  const auto params = phys::Parameters::proton_plus();
+  const LambdaRouter topo(16);
+  for (const SynthesisStyle style :
+       {SynthesisStyle::kNaive, SynthesisStyle::kPlanarized,
+        SynthesisStyle::kCompact}) {
+    const PhysicalSynthesis ps(topo, fp, style, params);
+    for (NodeId s = 0; s < 16; ++s) {
+      for (NodeId d = 0; d < 16; ++d) {
+        if (s == d) continue;
+        const CrossbarPath p = ps.path(s, d);
+        EXPECT_GT(p.length_mm, 0.0);
+        EXPECT_GE(p.crossings, 0);
+        EXPECT_GT(p.il_db, 0.0);
+      }
+    }
+  }
+}
+
+TEST(Physical, NaiveHasMostCrossingsPlanarizedFewest) {
+  const auto fp = netlist::Floorplan::standard(16);
+  const auto params = phys::Parameters::proton_plus();
+  const LambdaRouter topo(16);
+  const auto naive =
+      PhysicalSynthesis(topo, fp, SynthesisStyle::kNaive, params).evaluate();
+  const auto planar =
+      PhysicalSynthesis(topo, fp, SynthesisStyle::kPlanarized, params)
+          .evaluate();
+  EXPECT_GT(naive.worst_crossings, 4 * planar.worst_crossings);
+}
+
+TEST(Physical, PlanarizationTradesCrossingsForLength) {
+  const auto fp = netlist::Floorplan::standard(16);
+  const auto params = phys::Parameters::proton_plus();
+  const LambdaRouter topo(16);
+  const auto naive =
+      PhysicalSynthesis(topo, fp, SynthesisStyle::kNaive, params).evaluate();
+  const auto planar =
+      PhysicalSynthesis(topo, fp, SynthesisStyle::kPlanarized, params)
+          .evaluate();
+  EXPECT_GT(planar.worst_path_mm, naive.worst_path_mm);
+  EXPECT_LT(planar.il_worst_db, naive.il_worst_db);
+}
+
+TEST(Physical, TableOneOrderingHolds) {
+  // The paper's Table I ordering at 16 nodes:
+  // Proton+/λ >> PlanarONoC/λ > ToPro/Light.
+  const auto fp = netlist::Floorplan::standard(16);
+  const auto params = phys::Parameters::proton_plus();
+  const LambdaRouter lam(16);
+  const Light light(16);
+  const auto proton =
+      PhysicalSynthesis(lam, fp, SynthesisStyle::kNaive, params).evaluate();
+  const auto planar =
+      PhysicalSynthesis(lam, fp, SynthesisStyle::kPlanarized, params)
+          .evaluate();
+  const auto topro =
+      PhysicalSynthesis(light, fp, SynthesisStyle::kCompact, params).evaluate();
+  EXPECT_GT(proton.il_worst_db, planar.il_worst_db);
+  EXPECT_GT(planar.il_worst_db, topro.il_worst_db);
+}
+
+TEST(Physical, MetricsComeFromWorstPath) {
+  const auto fp = netlist::Floorplan::standard(8);
+  const auto params = phys::Parameters::proton_plus();
+  const Gwor topo(8);
+  const PhysicalSynthesis ps(topo, fp, SynthesisStyle::kCompact, params);
+  const CrossbarMetrics m = ps.evaluate();
+  double max_il = 0;
+  for (NodeId s = 0; s < 8; ++s) {
+    for (NodeId d = 0; d < 8; ++d) {
+      if (s != d) max_il = std::max(max_il, ps.path(s, d).il_db);
+    }
+  }
+  EXPECT_DOUBLE_EQ(m.il_worst_db, max_il);
+}
+
+/// Crossbar worst-case loss grows super-linearly with network size in the
+/// naive style (the scaling argument of the paper's introduction).
+class CrossbarScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossbarScaling, NaiveWorseThanCompact) {
+  const int n = GetParam();
+  const auto fp = netlist::Floorplan::standard(n);
+  const auto params = phys::Parameters::proton_plus();
+  const LambdaRouter topo(n);
+  const auto naive =
+      PhysicalSynthesis(topo, fp, SynthesisStyle::kNaive, params).evaluate();
+  const auto compact =
+      PhysicalSynthesis(topo, fp, SynthesisStyle::kCompact, params).evaluate();
+  EXPECT_GE(naive.il_worst_db, compact.il_worst_db);
+  EXPECT_GE(naive.worst_crossings, compact.worst_crossings);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CrossbarScaling, ::testing::Values(8, 16, 32));
+
+}  // namespace
+}  // namespace xring::crossbar

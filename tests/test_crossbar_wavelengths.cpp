@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crossbar/topology.hpp"
+#include "lp/simplex.hpp"
+
+namespace xring::crossbar {
+namespace {
+
+/// WRONoC wavelength-routing correctness: from any single sender, and into
+/// any single receiver, all signals use distinct wavelengths in range.
+void expect_valid_scheme(const Topology& t) {
+  const int n = t.nodes();
+  for (NodeId i = 0; i < n; ++i) {
+    std::set<int> from_i, into_i;
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const int tx = t.wavelength(i, j);
+      const int rx = t.wavelength(j, i);
+      EXPECT_GE(tx, 0);
+      EXPECT_LT(tx, t.wavelengths());
+      EXPECT_TRUE(from_i.insert(tx).second)
+          << t.name() << ": sender " << i << " reuses wavelength " << tx;
+      EXPECT_TRUE(into_i.insert(rx).second)
+          << t.name() << ": receiver " << i << " reuses wavelength " << rx;
+    }
+  }
+}
+
+class WavelengthScheme : public ::testing::TestWithParam<int> {};
+
+TEST_P(WavelengthScheme, LambdaRouterIsValid) {
+  expect_valid_scheme(LambdaRouter(GetParam()));
+}
+
+TEST_P(WavelengthScheme, GworIsValid) {
+  expect_valid_scheme(Gwor(GetParam()));
+}
+
+TEST_P(WavelengthScheme, LightIsValid) {
+  expect_valid_scheme(Light(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WavelengthScheme,
+                         ::testing::Values(4, 8, 16, 32));
+
+TEST(WavelengthScheme, LambdaRouterDiagonals) {
+  const LambdaRouter t(8);
+  EXPECT_EQ(t.wavelength(0, 1), 1);
+  EXPECT_EQ(t.wavelength(3, 5), 0);
+  EXPECT_EQ(t.wavelength(7, 6), 5);
+}
+
+TEST(WavelengthScheme, DistanceSchemesMatchGworAndLight) {
+  const Gwor g(8);
+  const Light l(8);
+  for (NodeId i = 0; i < 8; ++i) {
+    for (NodeId j = 0; j < 8; ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(g.wavelength(i, j), l.wavelength(i, j));
+      EXPECT_EQ(g.wavelength(i, j), (j - i + 8) % 8 - 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xring::crossbar
+
+// --- LP duality properties (placed here to avoid another tiny binary) ----
+namespace xring::lp {
+namespace {
+
+TEST(LpDuals, StrongDualityOnTextbookLp) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18; optimum 36.
+  Problem p;
+  p.set_maximize(true);
+  const int x = p.add_variable(0, kInfinity, 3.0);
+  const int y = p.add_variable(0, kInfinity, 5.0);
+  p.add_constraint({{x, 1.0}}, Sense::kLe, 4.0);
+  p.add_constraint({{y, 2.0}}, Sense::kLe, 12.0);
+  p.add_constraint({{x, 3.0}, {y, 2.0}}, Sense::kLe, 18.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  ASSERT_EQ(s.duals.size(), 3u);
+  // Known duals of this classic: (0, 1.5, 1).
+  EXPECT_NEAR(s.duals[0], 0.0, 1e-6);
+  EXPECT_NEAR(s.duals[1], 1.5, 1e-6);
+  EXPECT_NEAR(s.duals[2], 1.0, 1e-6);
+  // Strong duality: b'y == optimum.
+  EXPECT_NEAR(4 * s.duals[0] + 12 * s.duals[1] + 18 * s.duals[2], 36.0, 1e-6);
+}
+
+TEST(LpDuals, ReducedCostsVanishOnBasicVariables) {
+  Problem p;
+  p.set_maximize(true);
+  const int x = p.add_variable(0, kInfinity, 3.0);
+  const int y = p.add_variable(0, kInfinity, 5.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLe, 10.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  // y (the better coefficient) is basic at 10: zero reduced cost; x is
+  // nonbasic with negative reduced cost (maximization sense: increasing x
+  // would lose 2 per unit after the constraint trade).
+  EXPECT_NEAR(s.reduced_costs[y], 0.0, 1e-6);
+  EXPECT_NEAR(s.reduced_costs[x], -2.0, 1e-6);
+}
+
+TEST(LpDuals, DualOfEqualityRowCanTakeEitherSign) {
+  // min x + 2y s.t. x + y = 5 → all mass on x; dual of the row is 1.
+  Problem p;
+  const int x = p.add_variable(0, kInfinity, 1.0);
+  const int y = p.add_variable(0, kInfinity, 2.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kEq, 5.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-6);
+  EXPECT_NEAR(s.duals[0], 1.0, 1e-6);
+  EXPECT_NEAR(s.reduced_costs[y], 1.0, 1e-6);  // 2 - 1
+}
+
+}  // namespace
+}  // namespace xring::lp

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "report/design_report.hpp"
+#include "xring/synthesizer.hpp"
+
+namespace xring::report {
+namespace {
+
+TEST(DesignReport, ContainsEverySection) {
+  const auto fp = netlist::Floorplan::standard(8);
+  Synthesizer synth(fp);
+  const SynthesisResult r = synth.run();
+  const std::string rep = design_report(r.design, r.metrics);
+  for (const char* section :
+       {"Step 1: ring", "Step 2: shortcuts", "Step 3: waveguides",
+        "Wavelength occupancy", "Step 4: PDN", "Evaluation",
+        "Per-signal metrics"}) {
+    EXPECT_NE(rep.find(section), std::string::npos) << section;
+  }
+  // Every node name appears; the tree PDN is reported crossing-free.
+  EXPECT_NE(rep.find("n7"), std::string::npos);
+  EXPECT_NE(rep.find("crossing-free"), std::string::npos);
+  // One row per signal in the metric table.
+  EXPECT_NE(rep.find("n0->n1"), std::string::npos);
+  EXPECT_NE(rep.find("n7->n6"), std::string::npos);
+}
+
+TEST(DesignReport, CombPdnReported) {
+  const auto fp = netlist::Floorplan::standard(8);
+  Synthesizer synth(fp);
+  SynthesisOptions opt;
+  opt.pdn_style = SynthesisOptions::PdnStyle::kComb;
+  opt.openings.enable = false;
+  const SynthesisResult r = synth.run(opt);
+  const std::string rep = design_report(r.design, r.metrics);
+  EXPECT_NE(rep.find("comb PDN with"), std::string::npos);
+}
+
+TEST(DesignReport, NoPdnReported) {
+  const auto fp = netlist::Floorplan::standard(8);
+  Synthesizer synth(fp);
+  SynthesisOptions opt;
+  opt.build_pdn = false;
+  const SynthesisResult r = synth.run(opt);
+  const std::string rep = design_report(r.design, r.metrics);
+  EXPECT_NE(rep.find("(not synthesized)"), std::string::npos);
+}
+
+TEST(DesignReport, OccupancyChartShapes) {
+  const auto fp = netlist::Floorplan::standard(8);
+  Synthesizer synth(fp);
+  const SynthesisResult r = synth.run();
+  const std::string rep = design_report(r.design, r.metrics);
+  // Rows are as wide as the ring has hops and contain the opening mark.
+  const auto pos = rep.find("  l0 ");
+  ASSERT_NE(pos, std::string::npos);
+  const auto eol = rep.find('\n', pos);
+  std::string row = rep.substr(pos + 5, eol - pos - 5);
+  row.erase(0, row.find_first_not_of(' '));
+  EXPECT_EQ(static_cast<int>(row.size()), r.design.ring.tour.size());
+  EXPECT_NE(row.find('|'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xring::report

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "geom/closed_path.hpp"
+#include "geom/offset.hpp"
+#include "ring/builder.hpp"
+
+namespace xring::geom {
+namespace {
+
+Polyline rectangle(Coord w, Coord h) {
+  Polyline p;
+  p.append(Segment{{0, 0}, {w, 0}});
+  p.append(Segment{{w, 0}, {w, h}});
+  p.append(Segment{{w, h}, {0, h}});
+  p.append(Segment{{0, h}, {0, 0}});
+  return p;
+}
+
+TEST(ClosedPath, LengthAndCorners) {
+  const ClosedPath path(rectangle(10, 6));
+  EXPECT_EQ(path.length(), 32);
+  EXPECT_EQ(path.at(0), (Point{0, 0}));
+  EXPECT_EQ(path.at(10), (Point{10, 0}));
+  EXPECT_EQ(path.at(16), (Point{10, 6}));
+  EXPECT_EQ(path.at(26), (Point{0, 6}));
+}
+
+TEST(ClosedPath, InteriorPointsAndWrap) {
+  const ClosedPath path(rectangle(10, 6));
+  EXPECT_EQ(path.at(5), (Point{5, 0}));
+  EXPECT_EQ(path.at(13), (Point{10, 3}));
+  EXPECT_EQ(path.at(32), (Point{0, 0}));   // full lap
+  EXPECT_EQ(path.at(37), (Point{5, 0}));   // wrap
+  EXPECT_EQ(path.at(-6), (Point{0, 6}));   // negative wraps backward
+}
+
+TEST(ClosedPath, ForwardDistance) {
+  const ClosedPath path(rectangle(10, 6));
+  EXPECT_EQ(path.forward_distance(5, 13), 8);
+  EXPECT_EQ(path.forward_distance(13, 5), 24);  // the long way around
+  EXPECT_EQ(path.forward_distance(7, 7), 0);
+}
+
+TEST(ClosedPath, SubpathWithinOneSegment) {
+  const ClosedPath path(rectangle(10, 6));
+  const Polyline sub = path.subpath(2, 7);
+  EXPECT_EQ(sub.length(), 5);
+  ASSERT_EQ(sub.segments().size(), 1u);
+  EXPECT_EQ(sub.segments()[0], (Segment{{2, 0}, {7, 0}}));
+}
+
+TEST(ClosedPath, SubpathAcrossCorners) {
+  const ClosedPath path(rectangle(10, 6));
+  const Polyline sub = path.subpath(5, 19);
+  EXPECT_EQ(sub.length(), 14);
+  EXPECT_EQ(sub.segments().size(), 3u);  // rest of bottom, right, into top
+}
+
+TEST(ClosedPath, SubpathWrappingAroundStart) {
+  const ClosedPath path(rectangle(10, 6));
+  const Polyline sub = path.subpath(30, 4);
+  EXPECT_EQ(sub.length(), 6);
+  EXPECT_EQ(sub.segments().front().a, (Point{0, 2}));
+  EXPECT_EQ(sub.segments().back().b, (Point{4, 0}));
+}
+
+TEST(ClosedPath, RejectsOpenChains) {
+  Polyline open;
+  open.append(Segment{{0, 0}, {4, 0}});
+  open.append(Segment{{4, 0}, {4, 4}});
+  open.append(Segment{{4, 4}, {0, 4}});
+  EXPECT_THROW(ClosedPath{open}, std::invalid_argument);
+}
+
+TEST(ClosedPath, WorksOnSynthesizedRings) {
+  const auto fp = netlist::Floorplan::standard(16);
+  const auto ring = ring::build_ring(fp).geometry;
+  const ClosedPath path(ring.polyline);
+  EXPECT_EQ(path.length(), ring.polyline.length());
+  // Node arc coordinates land exactly on node positions.
+  geom::Coord arc = 0;
+  for (int p = 0; p < ring.tour.size(); ++p) {
+    EXPECT_EQ(path.at(arc), fp.position(ring.tour.at(p))) << "position " << p;
+    arc += ring.tour.hop_length(p);
+  }
+}
+
+TEST(ClosedPath, ChannelSubpathsStayOffTheRing) {
+  // PDN realization property: sub-paths of an offset copy never cross the
+  // base ring.
+  const auto fp = netlist::Floorplan::standard(8);
+  const auto ring = ring::build_ring(fp).geometry;
+  const Polyline channel_line = offset_closed(ring.polyline, 200, false);
+  const ClosedPath channel(channel_line);
+  for (Coord from = 0; from < channel.length(); from += 3000) {
+    const Polyline sub = channel.subpath(from, from + 2500);
+    EXPECT_EQ(sub.crossings_with(ring.polyline), 0);
+  }
+}
+
+}  // namespace
+}  // namespace xring::geom

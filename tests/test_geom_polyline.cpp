@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "geom/polyline.hpp"
+
+namespace xring::geom {
+namespace {
+
+TEST(Polyline, ThroughPointsBuildsLRoutes) {
+  const Polyline line = Polyline::through(
+      {{0, 0}, {10, 0}, {10, 10}},
+      {LOrder::kVerticalFirst, LOrder::kVerticalFirst});
+  EXPECT_EQ(line.length(), 20);
+  EXPECT_EQ(line.segments().size(), 2u);
+}
+
+TEST(Polyline, LengthSumsSegments) {
+  Polyline line;
+  line.append(Segment{{0, 0}, {5, 0}});
+  line.append(Segment{{5, 0}, {5, 7}});
+  EXPECT_EQ(line.length(), 12);
+}
+
+TEST(Polyline, CrossingsWithSegment) {
+  Polyline line;
+  line.append(Segment{{0, 0}, {10, 0}});
+  line.append(Segment{{0, 4}, {10, 4}});
+  const Segment cutter{{5, -2}, {5, 6}};
+  EXPECT_EQ(line.crossings_with(cutter), 2);
+  const Segment misses{{50, -2}, {50, 6}};
+  EXPECT_EQ(line.crossings_with(misses), 0);
+}
+
+TEST(Polyline, CrossingsWithPolyline) {
+  Polyline a;
+  a.append(Segment{{0, 0}, {10, 0}});
+  Polyline b;
+  b.append(Segment{{5, -5}, {5, 5}});
+  b.append(Segment{{7, -5}, {7, 5}});
+  EXPECT_EQ(a.crossings_with(b), 2);
+  EXPECT_EQ(b.crossings_with(a), 2);
+}
+
+TEST(Polyline, SelfCrossings) {
+  // A figure-eight-ish rectilinear path crossing itself once.
+  Polyline line;
+  line.append(Segment{{0, 0}, {10, 0}});
+  line.append(Segment{{10, 0}, {10, 5}});
+  line.append(Segment{{10, 5}, {5, 5}});
+  line.append(Segment{{5, 5}, {5, -5}});  // cuts the first segment
+  EXPECT_EQ(line.self_crossings(), 1);
+
+  Polyline square;
+  square.append(Segment{{0, 0}, {10, 0}});
+  square.append(Segment{{10, 0}, {10, 10}});
+  square.append(Segment{{10, 10}, {0, 10}});
+  square.append(Segment{{0, 10}, {0, 0}});
+  EXPECT_EQ(square.self_crossings(), 0);
+}
+
+TEST(Polyline, AppendLRouteSkipsDegenerateLegs) {
+  Polyline line;
+  line.append(LRoute({0, 0}, {5, 0}, LOrder::kVerticalFirst));
+  EXPECT_EQ(line.segments().size(), 1u);  // straight: one leg only
+}
+
+}  // namespace
+}  // namespace xring::geom

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "geom/segment.hpp"
+
+namespace xring::geom {
+namespace {
+
+Segment h(Coord x1, Coord x2, Coord y) { return {{x1, y}, {x2, y}}; }
+Segment v(Coord x, Coord y1, Coord y2) { return {{x, y1}, {x, y2}}; }
+
+TEST(Segment, OrientationPredicates) {
+  EXPECT_TRUE(h(0, 5, 2).horizontal());
+  EXPECT_FALSE(h(0, 5, 2).vertical());
+  EXPECT_TRUE(v(3, 0, 5).vertical());
+  EXPECT_FALSE(v(3, 0, 5).horizontal());
+  const Segment degenerate{{1, 1}, {1, 1}};
+  EXPECT_TRUE(degenerate.degenerate());
+  EXPECT_FALSE(degenerate.horizontal());
+  EXPECT_FALSE(degenerate.vertical());
+}
+
+TEST(Segment, Length) {
+  EXPECT_EQ(h(0, 5, 2).length(), 5);
+  EXPECT_EQ(v(3, -2, 5).length(), 7);
+  EXPECT_EQ((Segment{{1, 1}, {1, 1}}).length(), 0);
+}
+
+TEST(Segment, PerpendicularCross) {
+  // Vertical through the middle of a horizontal: a true crossing.
+  EXPECT_EQ(classify(h(0, 10, 5), v(5, 0, 10)), Touch::kCross);
+  EXPECT_TRUE(crosses(h(0, 10, 5), v(5, 0, 10)));
+  EXPECT_TRUE(crosses(v(5, 0, 10), h(0, 10, 5)));
+}
+
+TEST(Segment, PerpendicularTouchAtEndpointIsNotCross) {
+  // The vertical ends exactly on the horizontal: a T-joint, not a crossing.
+  EXPECT_EQ(classify(h(0, 10, 5), v(5, 5, 10)), Touch::kEndpoint);
+  EXPECT_FALSE(crosses(h(0, 10, 5), v(5, 5, 10)));
+  // Corner joint (L): endpoints meet.
+  EXPECT_EQ(classify(h(0, 10, 0), v(10, 0, 10)), Touch::kEndpoint);
+}
+
+TEST(Segment, PerpendicularDisjoint) {
+  EXPECT_EQ(classify(h(0, 10, 5), v(20, 0, 10)), Touch::kNone);
+  EXPECT_EQ(classify(h(0, 10, 5), v(5, 6, 10)), Touch::kNone);
+}
+
+TEST(Segment, CollinearOverlap) {
+  EXPECT_EQ(classify(h(0, 10, 5), h(5, 15, 5)), Touch::kOverlap);
+  EXPECT_EQ(classify(v(2, 0, 4), v(2, 2, 8)), Touch::kOverlap);
+  // Containment is overlap too.
+  EXPECT_EQ(classify(h(0, 10, 5), h(2, 8, 5)), Touch::kOverlap);
+}
+
+TEST(Segment, CollinearEndToEnd) {
+  // Sharing exactly one endpoint along the same line.
+  EXPECT_EQ(classify(h(0, 5, 2), h(5, 10, 2)), Touch::kEndpoint);
+}
+
+TEST(Segment, ParallelDisjoint) {
+  EXPECT_EQ(classify(h(0, 5, 2), h(0, 5, 3)), Touch::kNone);
+  EXPECT_EQ(classify(v(0, 0, 5), v(1, 0, 5)), Touch::kNone);
+}
+
+TEST(Segment, DegenerateInteractions) {
+  const Segment point{{5, 5}, {5, 5}};
+  // A point is its own endpoint, so any touch it makes is an endpoint touch
+  // — never a transversal crossing.
+  EXPECT_EQ(classify(point, h(0, 10, 5)), Touch::kEndpoint);
+  EXPECT_EQ(classify(point, h(5, 10, 5)), Touch::kEndpoint);
+  EXPECT_EQ(classify(point, h(0, 10, 6)), Touch::kNone);
+  EXPECT_FALSE(crosses(point, h(0, 10, 5)));
+}
+
+TEST(Segment, Contains) {
+  EXPECT_TRUE(contains(h(0, 10, 5), {5, 5}));
+  EXPECT_TRUE(contains(h(0, 10, 5), {0, 5}));
+  EXPECT_FALSE(contains(h(0, 10, 5), {5, 6}));
+  EXPECT_TRUE(contains_interior(h(0, 10, 5), {5, 5}));
+  EXPECT_FALSE(contains_interior(h(0, 10, 5), {0, 5}));
+  EXPECT_FALSE(contains_interior(h(0, 10, 5), {10, 5}));
+}
+
+TEST(Segment, CrossingPoint) {
+  const auto p = crossing_point(h(0, 10, 5), v(3, 0, 10));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (Point{3, 5}));
+  EXPECT_FALSE(crossing_point(h(0, 10, 5), v(30, 0, 10)).has_value());
+  EXPECT_FALSE(crossing_point(h(0, 10, 5), h(0, 10, 6)).has_value());
+}
+
+TEST(Segment, CrossSymmetry) {
+  // classify must be symmetric in its arguments for every configuration.
+  const Segment cases[] = {h(0, 10, 5), v(5, 0, 10),  v(5, 5, 10),
+                           h(5, 15, 5), h(0, 10, 6),  {{5, 5}, {5, 5}}};
+  for (const auto& a : cases) {
+    for (const auto& b : cases) {
+      EXPECT_EQ(classify(a, b), classify(b, a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xring::geom

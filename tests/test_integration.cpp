@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "baseline/oring.hpp"
+#include "baseline/ornoc.hpp"
+#include "crossbar/physical.hpp"
+#include "xring/sweep.hpp"
+
+// End-to-end checks of the paper's headline comparative claims, run on the
+// standard networks with the full pipeline — these are the properties the
+// benches then quantify.
+namespace xring {
+namespace {
+
+struct Routers {
+  explicit Routers(int n)
+      : fp(netlist::Floorplan::standard(n)),
+        synth(fp),
+        ring(ring::build_ring(fp, synth.oracle(), {})) {
+    SynthesisOptions xo;
+    xo.mapping.max_wavelengths = n;
+    xr = synth.run_with_ring(xo, ring);
+    baseline::OrnocOptions oo;
+    oo.max_wavelengths = n;
+    ornoc = baseline::synthesize_ornoc(fp, ring, oo);
+    baseline::OringOptions go;
+    go.max_wavelengths = n;
+    oring = baseline::synthesize_oring(fp, ring, go);
+  }
+  netlist::Floorplan fp;
+  Synthesizer synth;
+  ring::RingBuildResult ring;
+  SynthesisResult xr, ornoc, oring;
+};
+
+TEST(PaperClaims, XRingHasZeroCrossingsOnWorstPath) {
+  const Routers r(16);
+  EXPECT_EQ(r.xr.metrics.worst_crossings, 0);
+  EXPECT_GT(r.ornoc.metrics.worst_crossings, 0);
+  EXPECT_GT(r.oring.metrics.worst_crossings, 0);
+}
+
+TEST(PaperClaims, XRingBeatsBaselinesOnWorstStarLoss) {
+  const Routers r(16);
+  EXPECT_LT(r.xr.metrics.il_star_worst_db, r.ornoc.metrics.il_star_worst_db);
+  EXPECT_LT(r.xr.metrics.il_star_worst_db, r.oring.metrics.il_star_worst_db);
+}
+
+TEST(PaperClaims, XRingNeedsLessLaserPowerThanOrnoc) {
+  // Paper: 64 % less at 32 nodes, ~44 % at 16.
+  const Routers r(16);
+  EXPECT_LT(r.xr.metrics.total_power_w, r.ornoc.metrics.total_power_w);
+}
+
+TEST(PaperClaims, AtLeast98PercentOfXRingSignalsAreClean) {
+  const Routers r(16);
+  const int total = r.xr.design.traffic.size();
+  EXPECT_LE(r.xr.metrics.noisy_signals, total * 2 / 100);
+}
+
+TEST(PaperClaims, MostBaselineSignalsSufferNoise) {
+  // Paper: 87 % of ORing signals suffer first-order noise at 16 nodes.
+  const Routers r(16);
+  const int total = r.oring.design.traffic.size();
+  EXPECT_GT(r.oring.metrics.noisy_signals, total / 2);
+}
+
+TEST(PaperClaims, XRingSnrBeatsBaselines) {
+  const Routers r(16);
+  EXPECT_GT(r.xr.metrics.snr_worst_db, r.ornoc.metrics.snr_worst_db);
+  EXPECT_GT(r.xr.metrics.snr_worst_db, r.oring.metrics.snr_worst_db);
+}
+
+TEST(PaperClaims, RingRoutersBeatCrossbarsOnLoss) {
+  // Table I's overall message, at 16 nodes without PDNs.
+  const auto fp = netlist::Floorplan::standard(16);
+  Synthesizer synth(fp);
+  SynthesisOptions opt;
+  opt.mapping.max_wavelengths = 16;
+  opt.build_pdn = false;
+  opt.params = phys::Parameters::proton_plus();
+  const auto xr = synth.run(opt);
+
+  const crossbar::Light light(16);
+  const auto topro = crossbar::PhysicalSynthesis(
+                         light, fp, crossbar::SynthesisStyle::kCompact,
+                         phys::Parameters::proton_plus())
+                         .evaluate();
+  // Paper: XRing reduces worst loss by 41 % vs ToPro's Light.
+  EXPECT_LT(xr.metrics.il_worst_db, topro.il_worst_db);
+}
+
+TEST(PaperClaims, SynthesisIsFast) {
+  // "XRing automatically synthesizes the 16-node ring router within one
+  // second."
+  const Routers r(16);
+  EXPECT_LT(r.xr.seconds, 1.0);
+}
+
+TEST(PaperClaims, ThirtyTwoNodePowerGapWidens) {
+  const Routers r16(16);
+  const Routers r32(32);
+  const double gap16 =
+      r16.ornoc.metrics.total_power_w / r16.xr.metrics.total_power_w;
+  const double gap32 =
+      r32.ornoc.metrics.total_power_w / r32.xr.metrics.total_power_w;
+  EXPECT_GT(gap32, gap16);  // the advantage grows with network size
+}
+
+}  // namespace
+}  // namespace xring

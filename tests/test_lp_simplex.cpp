@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "lp/simplex.hpp"
+
+namespace xring::lp {
+namespace {
+
+TEST(Simplex, TrivialBoundedMaximum) {
+  // max x subject to x <= 3, x in [0, 10].
+  Problem p;
+  p.set_maximize(true);
+  const int x = p.add_variable(0, 10, 1.0);
+  p.add_constraint({{x, 1.0}}, Sense::kLe, 3.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-7);
+  EXPECT_NEAR(s.x[x], 3.0, 1e-7);
+}
+
+TEST(Simplex, BoundsAloneDecideOptimum) {
+  // No constraints: optimum sits at a bound.
+  Problem p;
+  p.set_maximize(true);
+  const int x = p.add_variable(1, 4, 2.0);
+  const int y = p.add_variable(0, 3, -1.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.x[x], 4.0, 1e-7);
+  EXPECT_NEAR(s.x[y], 0.0, 1e-7);
+  EXPECT_NEAR(s.objective, 8.0, 1e-7);
+}
+
+TEST(Simplex, ClassicTwoVariableLp) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (the textbook problem;
+  // optimum 36 at (2, 6)).
+  Problem p;
+  p.set_maximize(true);
+  const int x = p.add_variable(0, kInfinity, 3.0);
+  const int y = p.add_variable(0, kInfinity, 5.0);
+  p.add_constraint({{x, 1.0}}, Sense::kLe, 4.0);
+  p.add_constraint({{y, 2.0}}, Sense::kLe, 12.0);
+  p.add_constraint({{x, 3.0}, {y, 2.0}}, Sense::kLe, 18.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 36.0, 1e-6);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-6);
+  EXPECT_NEAR(s.x[y], 6.0, 1e-6);
+}
+
+TEST(Simplex, MinimizationWithGeConstraints) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1 → optimum at (4, 0)? No: with
+  // x >= 1 and minimizing 2x + 3y the cheapest cover of x + y >= 4 uses
+  // x alone: x = 4, y = 0, objective 8.
+  Problem p;
+  const int x = p.add_variable(1, kInfinity, 2.0);
+  const int y = p.add_variable(0, kInfinity, 3.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kGe, 4.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 8.0, 1e-6);
+  EXPECT_NEAR(s.x[x], 4.0, 1e-6);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min x + y s.t. x + 2y = 6, x - y = 0 → x = y = 2.
+  Problem p;
+  const int x = p.add_variable(0, kInfinity, 1.0);
+  const int y = p.add_variable(0, kInfinity, 1.0);
+  p.add_constraint({{x, 1.0}, {y, 2.0}}, Sense::kEq, 6.0);
+  p.add_constraint({{x, 1.0}, {y, -1.0}}, Sense::kEq, 0.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-6);
+  EXPECT_NEAR(s.x[y], 2.0, 1e-6);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  Problem p;
+  const int x = p.add_variable(0, 1, 1.0);
+  p.add_constraint({{x, 1.0}}, Sense::kGe, 2.0);
+  EXPECT_EQ(solve(p).status, Status::kInfeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleEqualitySystem) {
+  Problem p;
+  const int x = p.add_variable(0, 10, 0.0);
+  p.add_constraint({{x, 1.0}}, Sense::kEq, 3.0);
+  p.add_constraint({{x, 1.0}}, Sense::kEq, 5.0);
+  EXPECT_EQ(solve(p).status, Status::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  Problem p;
+  p.set_maximize(true);
+  const int x = p.add_variable(0, kInfinity, 1.0);
+  p.add_constraint({{x, -1.0}}, Sense::kLe, 0.0);  // -x <= 0: no upper limit
+  EXPECT_EQ(solve(p).status, Status::kUnbounded);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x with x in [-5, 5], x >= -3 → -3.
+  Problem p;
+  const int x = p.add_variable(-5, 5, 1.0);
+  p.add_constraint({{x, 1.0}}, Sense::kGe, -3.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.x[x], -3.0, 1e-7);
+}
+
+TEST(Simplex, BoundFlipPath) {
+  // Optimum requires a nonbasic variable to sit at its upper bound:
+  // max x + y s.t. x + y <= 10, x in [0,1], y in [0,1] → (1,1).
+  Problem p;
+  p.set_maximize(true);
+  const int x = p.add_variable(0, 1, 1.0);
+  const int y = p.add_variable(0, 1, 1.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLe, 10.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Highly degenerate: many redundant constraints through the same vertex.
+  Problem p;
+  p.set_maximize(true);
+  const int x = p.add_variable(0, kInfinity, 1.0);
+  const int y = p.add_variable(0, kInfinity, 1.0);
+  for (int k = 1; k <= 8; ++k) {
+    p.add_constraint({{x, static_cast<double>(k)}, {y, static_cast<double>(k)}},
+                     Sense::kLe, 4.0 * k);
+  }
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-6);
+}
+
+TEST(Simplex, RejectsFreeVariables) {
+  Problem p;
+  p.add_variable(-kInfinity, kInfinity, 1.0);
+  EXPECT_THROW(solve(p), std::invalid_argument);
+}
+
+TEST(Simplex, RejectsInvertedBounds) {
+  Problem p;
+  EXPECT_THROW(p.add_variable(2.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Simplex, AccumulatesDuplicateTerms) {
+  // Adding the same (row, var) twice accumulates: x + x = 2x <= 4 → x <= 2.
+  Problem p;
+  p.set_maximize(true);
+  const int x = p.add_variable(0, 100, 1.0);
+  const int row = p.add_constraint(Sense::kLe, 4.0);
+  p.add_term(row, x, 1.0);
+  p.add_term(row, x, 1.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-7);
+}
+
+/// Property sweep: transportation-style LPs with known optima. For a 1-D
+/// assignment relaxation the LP optimum equals the greedy matching cost.
+class SimplexAssignment : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexAssignment, RelaxedAssignmentIsIntegral) {
+  const int n = GetParam();
+  // min sum c_ij x_ij with doubly-stochastic constraints; c_ij = |i-j|.
+  // The LP relaxation of assignment is integral; the optimum is 0 (identity).
+  Problem p;
+  std::vector<std::vector<int>> var(n, std::vector<int>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      var[i][j] = p.add_variable(0, 1, std::abs(i - j));
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::pair<int, double>> row, col;
+    for (int j = 0; j < n; ++j) {
+      row.emplace_back(var[i][j], 1.0);
+      col.emplace_back(var[j][i], 1.0);
+    }
+    p.add_constraint(row, Sense::kEq, 1.0);
+    p.add_constraint(col, Sense::kEq, 1.0);
+  }
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 0.0, 1e-6);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(s.x[var[i][i]], 1.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SimplexAssignment,
+                         ::testing::Values(2, 3, 5, 8, 12));
+
+}  // namespace
+}  // namespace xring::lp

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "netlist/traffic.hpp"
+
+namespace xring::netlist {
+namespace {
+
+TEST(Floorplan, GridPlacesRowMajor) {
+  const Floorplan fp = Floorplan::grid(2, 3, 100);
+  ASSERT_EQ(fp.size(), 6);
+  EXPECT_EQ(fp.position(0), (geom::Point{0, 0}));
+  EXPECT_EQ(fp.position(2), (geom::Point{200, 0}));
+  EXPECT_EQ(fp.position(3), (geom::Point{0, 100}));
+  EXPECT_EQ(fp.position(5), (geom::Point{200, 100}));
+}
+
+TEST(Floorplan, GridDistances) {
+  const Floorplan fp = Floorplan::grid(2, 3, 100);
+  EXPECT_EQ(fp.distance(0, 5), 300);
+  EXPECT_EQ(fp.distance(0, 0), 0);
+  EXPECT_EQ(fp.distance(1, 4), 100);
+}
+
+TEST(Floorplan, GridRejectsEmpty) {
+  EXPECT_THROW(Floorplan::grid(0, 3, 100), std::invalid_argument);
+  EXPECT_THROW(Floorplan::grid(3, -1, 100), std::invalid_argument);
+}
+
+TEST(Floorplan, RingLayoutWalksBoundaryClockwise) {
+  const Floorplan fp = Floorplan::ring_layout(3, 3, 10);
+  ASSERT_EQ(fp.size(), 8);
+  // Consecutive boundary nodes are one pitch apart; the loop closes.
+  for (int i = 0; i < fp.size(); ++i) {
+    EXPECT_EQ(fp.distance(i, (i + 1) % fp.size()), 10) << "at node " << i;
+  }
+}
+
+TEST(Floorplan, StandardSizes) {
+  EXPECT_EQ(Floorplan::standard(8).size(), 8);
+  EXPECT_EQ(Floorplan::standard(16).size(), 16);
+  EXPECT_EQ(Floorplan::standard(32).size(), 32);
+  EXPECT_THROW(Floorplan::standard(12), std::invalid_argument);
+}
+
+TEST(Floorplan, NodeNamesAssigned) {
+  const Floorplan fp = Floorplan::standard(8);
+  EXPECT_EQ(fp.node(0).name, "n0");
+  EXPECT_EQ(fp.node(7).name, "n7");
+  EXPECT_EQ(fp.node(3).id, 3);
+}
+
+TEST(Traffic, AllToAllCount) {
+  for (const int n : {3, 8, 16}) {
+    const Traffic t = Traffic::all_to_all(n);
+    EXPECT_EQ(t.size(), n * (n - 1));
+  }
+}
+
+TEST(Traffic, AllToAllCoversEveryOrderedPairOnce) {
+  const int n = 6;
+  const Traffic t = Traffic::all_to_all(n);
+  std::vector<std::vector<int>> seen(n, std::vector<int>(n, 0));
+  for (const Signal& s : t.signals()) {
+    EXPECT_NE(s.src, s.dst);
+    seen[s.src][s.dst]++;
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_EQ(seen[i][j], i == j ? 0 : 1);
+    }
+  }
+}
+
+TEST(Traffic, IdsAreDense) {
+  const Traffic t = Traffic::all_to_all(5);
+  for (int i = 0; i < t.size(); ++i) EXPECT_EQ(t.signal(i).id, i);
+}
+
+TEST(Traffic, RejectsSelfLoop) {
+  EXPECT_THROW(Traffic({Signal{0, 2, 2}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xring::netlist

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "phys/parameters_io.hpp"
+
+namespace xring::phys {
+namespace {
+
+TEST(ParametersIo, RoundTrip) {
+  Parameters p = Parameters::oring();
+  p.loss.crossing_db = 0.123;
+  p.crosstalk.crossing_db = -37.5;
+  p.crosstalk.residue_filter = false;
+  p.geometry.splitter_um = 33.0;
+
+  std::stringstream buf;
+  write_parameters(p, buf);
+  const Parameters q = read_parameters(buf, Parameters::proton_plus());
+  EXPECT_DOUBLE_EQ(q.loss.crossing_db, 0.123);
+  EXPECT_DOUBLE_EQ(q.crosstalk.crossing_db, -37.5);
+  EXPECT_FALSE(q.crosstalk.residue_filter);
+  EXPECT_DOUBLE_EQ(q.geometry.splitter_um, 33.0);
+  EXPECT_DOUBLE_EQ(q.loss.drop_db, p.loss.drop_db);
+}
+
+TEST(ParametersIo, PartialFileKeepsBase) {
+  std::istringstream in(
+      "# only one change\n"
+      "loss.drop_db = 1.25\n");
+  const Parameters p = read_parameters(in, Parameters::oring());
+  EXPECT_DOUBLE_EQ(p.loss.drop_db, 1.25);
+  EXPECT_DOUBLE_EQ(p.loss.through_db, Parameters::oring().loss.through_db);
+}
+
+TEST(ParametersIo, CommentsAndWhitespaceTolerated) {
+  std::istringstream in(
+      "\n"
+      "   # header comment\n"
+      "  loss.bend_db   =   0.009   # trailing\n"
+      "\n");
+  const Parameters p = read_parameters(in);
+  EXPECT_DOUBLE_EQ(p.loss.bend_db, 0.009);
+}
+
+TEST(ParametersIo, UnknownKeyRejected) {
+  std::istringstream in("loss.tyop_db = 1\n");
+  EXPECT_THROW(read_parameters(in), std::invalid_argument);
+}
+
+TEST(ParametersIo, MalformedLinesRejected) {
+  {
+    std::istringstream in("loss.drop_db 0.5\n");
+    EXPECT_THROW(read_parameters(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("loss.drop_db = banana\n");
+    EXPECT_THROW(read_parameters(in), std::invalid_argument);
+  }
+}
+
+TEST(ParametersIo, BooleanFilterParses) {
+  for (const char* v : {"true", "1"}) {
+    std::istringstream in(std::string("crosstalk.residue_filter = ") + v);
+    EXPECT_TRUE(read_parameters(in).crosstalk.residue_filter);
+  }
+  std::istringstream in("crosstalk.residue_filter = false");
+  EXPECT_FALSE(read_parameters(in).crosstalk.residue_filter);
+}
+
+TEST(ParametersIo, MissingFileThrows) {
+  EXPECT_THROW(load_parameters("/does/not/exist.params"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace xring::phys

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "mapping/opening.hpp"
+#include "pdn/pdn.hpp"
+#include "ring/builder.hpp"
+
+namespace xring::pdn {
+namespace {
+
+struct Fixture {
+  explicit Fixture(int n)
+      : fp(netlist::Floorplan::standard(n)),
+        traffic(netlist::Traffic::all_to_all(n)),
+        ring(ring::build_ring(fp).geometry),
+        params(phys::Parameters::oring()) {
+    mapping::MappingOptions mo;
+    mo.max_wavelengths = n;
+    map = mapping::assign_wavelengths(ring.tour, traffic, {}, mo);
+    mapping::create_openings(ring.tour, traffic, map, mo);
+  }
+  netlist::Floorplan fp;
+  netlist::Traffic traffic;
+  ring::RingGeometry ring;
+  phys::Parameters params;
+  mapping::Mapping map;
+};
+
+TEST(SplitterStage, FiftyPercentPlusExcess) {
+  phys::LossParams lp;
+  lp.splitter_excess_db = 0.2;
+  EXPECT_NEAR(splitter_stage_db(lp), 3.0103 + 0.2, 1e-3);
+}
+
+TEST(TreePdn, CrossingFreeByConstruction) {
+  const Fixture f(16);
+  const PdnResult pdn = tree_pdn(f.ring.tour, f.map,
+                                 std::vector<bool>(16, false), f.params);
+  EXPECT_EQ(pdn.total_crossings, 0);
+  EXPECT_TRUE(pdn.taps.empty());
+  for (const auto& per_wg : pdn.crossings_at) {
+    for (const int c : per_wg) EXPECT_EQ(c, 0);
+  }
+}
+
+TEST(TreePdn, FeedLossCoversSplitTree) {
+  const Fixture f(8);
+  const PdnResult pdn = tree_pdn(f.ring.tour, f.map,
+                                 std::vector<bool>(8, false), f.params);
+  const double stage = splitter_stage_db(f.params.loss);
+  const int n = 8;
+  const int tree_stages = 3;  // ceil(log2 8)
+  for (std::size_t w = 0; w < f.map.waveguides.size(); ++w) {
+    for (netlist::NodeId v = 0; v < n; ++v) {
+      // At least the balanced-tree split, at most split + a perimeter of
+      // propagation and the cross-waveguide stages.
+      EXPECT_GE(pdn.ring_feed_db[w][v], tree_stages * stage - 1e-9);
+      EXPECT_LT(pdn.ring_feed_db[w][v], (tree_stages + 6) * stage + 3.0);
+    }
+  }
+}
+
+TEST(TreePdn, ShortcutSendersPayOneExtraStage) {
+  const Fixture f(16);
+  std::vector<bool> has(16, false);
+  has[3] = true;
+  const PdnResult pdn =
+      tree_pdn(f.ring.tour, f.map, has, f.params);
+  const double stage = splitter_stage_db(f.params.loss);
+  EXPECT_NEAR(pdn.shortcut_feed_db[3], pdn.ring_feed_db[0][3] + stage, 1e-9);
+  EXPECT_LT(pdn.shortcut_feed_db[2], 0.0);  // no shortcut there
+}
+
+TEST(TreePdn, MoreWaveguidesCostTopStages) {
+  // Compare the same network mapped with many vs few waveguides: per-sender
+  // feed loss must grow with the cross-waveguide splitting depth.
+  const auto fp = netlist::Floorplan::standard(16);
+  const auto traffic = netlist::Traffic::all_to_all(16);
+  const auto ring = ring::build_ring(fp).geometry;
+  const auto params = phys::Parameters::oring();
+
+  mapping::MappingOptions few;
+  few.max_wavelengths = 16;
+  mapping::Mapping m_few =
+      mapping::assign_wavelengths(ring.tour, traffic, {}, few);
+  mapping::MappingOptions many;
+  many.max_wavelengths = 4;
+  mapping::Mapping m_many =
+      mapping::assign_wavelengths(ring.tour, traffic, {}, many);
+  ASSERT_GT(m_many.waveguides.size(), m_few.waveguides.size());
+
+  const auto pdn_few =
+      tree_pdn(ring.tour, m_few, std::vector<bool>(16, false), params);
+  const auto pdn_many =
+      tree_pdn(ring.tour, m_many, std::vector<bool>(16, false), params);
+  EXPECT_GT(pdn_many.ring_feed_db[0][0], pdn_few.ring_feed_db[0][0]);
+}
+
+TEST(CombPdn, RadialsCrossEveryRingButTheInnermost) {
+  const Fixture f(16);
+  const PdnResult pdn = comb_pdn(f.ring.tour, f.map, f.params);
+  const int W = static_cast<int>(f.map.waveguides.size());
+  ASSERT_GT(W, 1);
+  // One bundled radial per node, crossing each ring level except ring 0.
+  const int expected = 16 * (W - 1);
+  EXPECT_EQ(pdn.total_crossings, expected);
+  EXPECT_EQ(static_cast<int>(pdn.taps.size()), expected);
+  for (netlist::NodeId v = 0; v < 16; ++v) {
+    EXPECT_EQ(pdn.crossings_at[0][v], 0);
+    for (int w = 1; w < W; ++w) EXPECT_EQ(pdn.crossings_at[w][v], 1);
+  }
+}
+
+TEST(CombPdn, InnerWaveguidesPayMoreBranchCrossingLoss) {
+  const Fixture f(16);
+  const PdnResult pdn = comb_pdn(f.ring.tour, f.map, f.params);
+  const int W = static_cast<int>(f.map.waveguides.size());
+  ASSERT_GE(W, 2);
+  // Same node, inner vs outer waveguide: the inner branch passed more
+  // crossings and more radial length.
+  for (netlist::NodeId v = 0; v < 16; ++v) {
+    EXPECT_GT(pdn.ring_feed_db[0][v], pdn.ring_feed_db[W - 1][v]);
+  }
+}
+
+TEST(CombPdn, TapAttenuationIsBelowFullFeedLoss) {
+  const Fixture f(16);
+  const PdnResult pdn = comb_pdn(f.ring.tour, f.map, f.params);
+  for (const CrossingTap& tap : pdn.taps) {
+    ASSERT_GE(tap.waveguide, 0);
+    ASSERT_GE(tap.node, 0);
+    EXPECT_GE(tap.attenuation_db, 0.0);
+    // The leak happens before the branch finishes: its attenuation is no
+    // more than the full feed loss of the innermost sender at that node.
+    EXPECT_LE(tap.attenuation_db, pdn.ring_feed_db[0][tap.node] + 1e-9);
+  }
+}
+
+TEST(CombPdn, NoShortcutFeeds) {
+  const Fixture f(8);
+  const PdnResult pdn = comb_pdn(f.ring.tour, f.map, f.params);
+  for (const double v : pdn.shortcut_feed_db) EXPECT_LT(v, 0.0);
+}
+
+/// Tree PDN feed-loss growth must be logarithmic in N (balanced splitting):
+/// doubling the network adds roughly one stage, not double the loss.
+TEST(TreePdn, BalancedGrowth) {
+  double feeds[3];
+  int i = 0;
+  for (const int n : {8, 16, 32}) {
+    const Fixture f(n);
+    const PdnResult pdn = tree_pdn(f.ring.tour, f.map,
+                                   std::vector<bool>(n, false), f.params);
+    feeds[i++] = pdn.ring_feed_db[0][0];
+  }
+  const double stage = splitter_stage_db(phys::Parameters::oring().loss);
+  EXPECT_LT(feeds[1] - feeds[0], 4 * stage);
+  EXPECT_LT(feeds[2] - feeds[1], 4 * stage);
+}
+
+}  // namespace
+}  // namespace xring::pdn

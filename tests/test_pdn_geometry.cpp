@@ -1,0 +1,86 @@
+// Geometric consistency of the tree PDN's recorded channel waveguides
+// (TreeEdge list) against the analytic model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "pdn/pdn.hpp"
+#include "xring/synthesizer.hpp"
+
+namespace xring::pdn {
+namespace {
+
+SynthesisResult make(int n) {
+  static std::vector<std::unique_ptr<netlist::Floorplan>> keep;
+  keep.push_back(
+      std::make_unique<netlist::Floorplan>(netlist::Floorplan::standard(n)));
+  Synthesizer synth(*keep.back());
+  SynthesisOptions opt;
+  opt.mapping.max_wavelengths = n;
+  return synth.run(opt);
+}
+
+TEST(PdnGeometry, EdgeLengthsSumToTotal) {
+  const auto r = make(16);
+  double sum_um = 0;
+  for (const TreeEdge& e : r.design.pdn.tree_edges) {
+    EXPECT_LE(e.from_arc_um, e.to_arc_um);
+    sum_um += e.to_arc_um - e.from_arc_um;
+  }
+  EXPECT_NEAR(sum_um / 1000.0, r.design.pdn.total_length_mm, 1e-6);
+}
+
+TEST(PdnGeometry, EdgesStayWithinTheRingLength) {
+  const auto r = make(16);
+  const double L = static_cast<double>(r.design.ring.tour.total_length());
+  for (const TreeEdge& e : r.design.pdn.tree_edges) {
+    EXPECT_GE(e.from_arc_um, 0.0);
+    EXPECT_LE(e.to_arc_um, L + 1e-9);
+    EXPECT_GE(e.waveguide, 0);
+    EXPECT_LT(e.waveguide,
+              static_cast<int>(r.design.mapping.waveguides.size()));
+  }
+}
+
+TEST(PdnGeometry, LevelsFormAFoldedTree) {
+  // Per waveguide: level-0 edges join senders; each level has at most half
+  // as many edges as the previous (odd points promote unpaired).
+  const auto r = make(16);
+  for (std::size_t w = 0; w < r.design.mapping.waveguides.size(); ++w) {
+    std::map<int, int> per_level;
+    for (const TreeEdge& e : r.design.pdn.tree_edges) {
+      if (e.waveguide == static_cast<int>(w)) per_level[e.level]++;
+    }
+    if (per_level.empty()) continue;
+    int prev = -1;
+    for (const auto& [level, count] : per_level) {
+      if (prev > 0) {
+        EXPECT_LE(count, (prev + 1) / 2) << "waveguide " << w;
+      }
+      prev = count;
+    }
+    // The fold terminates in a single top join.
+    EXPECT_EQ(per_level.rbegin()->second, 1) << "waveguide " << w;
+  }
+}
+
+TEST(PdnGeometry, SenderCountSetsLeafEdges) {
+  // Level-0 edge count per waveguide == floor(#senders with feeds / 2).
+  const auto r = make(8);
+  for (std::size_t w = 0; w < r.design.mapping.waveguides.size(); ++w) {
+    int senders = 0;
+    for (const double f : r.design.pdn.ring_feed_db[w]) {
+      if (f >= 0) ++senders;
+    }
+    int level0 = 0;
+    for (const TreeEdge& e : r.design.pdn.tree_edges) {
+      if (e.waveguide == static_cast<int>(w) && e.level == 0) ++level0;
+    }
+    EXPECT_EQ(level0, senders / 2) << "waveguide " << w;
+  }
+}
+
+}  // namespace
+}  // namespace xring::pdn

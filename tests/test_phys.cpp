@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "phys/parameters.hpp"
+#include "phys/units.hpp"
+
+namespace xring::phys {
+namespace {
+
+TEST(Units, DbLinearRoundTrip) {
+  for (const double db : {-40.0, -3.0103, 0.0, 3.0103, 10.0}) {
+    EXPECT_NEAR(linear_to_db(db_to_linear(db)), db, 1e-9);
+  }
+}
+
+TEST(Units, KnownConversions) {
+  EXPECT_NEAR(db_to_linear(-3.0103), 0.5, 1e-4);
+  EXPECT_NEAR(db_to_linear(10.0), 10.0, 1e-9);
+  EXPECT_NEAR(dbm_to_mw(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(dbm_to_mw(-30.0), 1e-3, 1e-12);
+  EXPECT_NEAR(mw_to_dbm(1.0), 0.0, 1e-12);
+}
+
+TEST(Units, LaserPowerFormula) {
+  // P = 10^((il_w + S)/10) mW — paper Sec. II-B. With il 10 dB and
+  // sensitivity -20 dBm: 10^(-1) = 0.1 mW.
+  EXPECT_NEAR(laser_power_mw(10.0, -20.0), 0.1, 1e-9);
+  // Monotone in the loss.
+  EXPECT_GT(laser_power_mw(12.0, -20.0), laser_power_mw(10.0, -20.0));
+  // 10 dB more loss costs exactly 10x power.
+  EXPECT_NEAR(laser_power_mw(20.0, -20.0) / laser_power_mw(10.0, -20.0), 10.0,
+              1e-9);
+}
+
+TEST(Parameters, RingSpacingFormula) {
+  // Spacing = A1 + ceil(log2 N) * A2 (Sec. III-A/D).
+  GeometryParams g;
+  g.modulator_um = 50.0;
+  g.splitter_um = 20.0;
+  EXPECT_NEAR(g.ring_spacing_um(8), 50 + 3 * 20, 1e-9);
+  EXPECT_NEAR(g.ring_spacing_um(16), 50 + 4 * 20, 1e-9);
+  EXPECT_NEAR(g.ring_spacing_um(32), 50 + 5 * 20, 1e-9);
+  // Non-powers of two round the level count up.
+  EXPECT_NEAR(g.ring_spacing_um(9), 50 + 4 * 20, 1e-9);
+}
+
+TEST(Parameters, PresetsAreConsistent) {
+  const Parameters p = Parameters::proton_plus();
+  EXPECT_GT(p.loss.drop_db, p.loss.through_db);
+  EXPECT_GT(p.loss.crossing_db, p.loss.through_db);
+  EXPECT_GT(p.loss.propagation_db_per_mm, 0.0);
+  const Parameters o = Parameters::oring();
+  EXPECT_LT(o.crosstalk.crossing_db, 0.0);
+  EXPECT_LT(o.crosstalk.mrr_through_db, 0.0);
+  EXPECT_GT(o.loss.laser_wall_plug_efficiency, 0.0);
+  EXPECT_LE(o.loss.laser_wall_plug_efficiency, 1.0);
+}
+
+}  // namespace
+}  // namespace xring::phys

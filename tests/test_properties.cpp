@@ -1,0 +1,192 @@
+// Randomized property tests: deterministic LCG-driven instances cross-check
+// the optimized implementations against brute force.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "milp/branch_and_bound.hpp"
+#include "ring/builder.hpp"
+
+namespace xring {
+namespace {
+
+/// Deterministic 64-bit LCG so failures reproduce exactly.
+class Lcg {
+ public:
+  explicit Lcg(std::uint64_t seed) : state_(seed * 2862933555777941757ULL + 1) {}
+  std::uint64_t next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 11;
+  }
+  geom::Coord coord(geom::Coord lo, geom::Coord hi) {
+    return lo + static_cast<geom::Coord>(next() % (hi - lo + 1));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// ---------------------------------------------------------------------------
+// Geometry: crossing predicate vs dense point sampling.
+// ---------------------------------------------------------------------------
+
+/// Brute force: two axis-aligned segments cross transversally iff they are
+/// perpendicular and some point strictly inside both exists. (Collinear
+/// segments sharing interior points overlap — a different relation.)
+/// Sampled on the integer grid, which is exact for axis-aligned geometry.
+bool brute_force_cross(const geom::Segment& s, const geom::Segment& t) {
+  const bool perpendicular = (s.horizontal() && t.vertical()) ||
+                             (s.vertical() && t.horizontal());
+  if (!perpendicular) return false;
+  auto interior_points = [](const geom::Segment& seg) {
+    std::vector<geom::Point> pts;
+    const geom::Coord dx = seg.b.x > seg.a.x ? 1 : (seg.b.x < seg.a.x ? -1 : 0);
+    const geom::Coord dy = seg.b.y > seg.a.y ? 1 : (seg.b.y < seg.a.y ? -1 : 0);
+    geom::Point p = seg.a;
+    while (p != seg.b) {
+      p.x += dx;
+      p.y += dy;
+      if (p != seg.b) pts.push_back(p);
+    }
+    return pts;
+  };
+  for (const geom::Point& p : interior_points(s)) {
+    for (const geom::Point& q : interior_points(t)) {
+      if (p == q) return true;
+    }
+  }
+  return false;
+}
+
+class SegmentCrossProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SegmentCrossProperty, MatchesBruteForce) {
+  Lcg rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    auto random_segment = [&] {
+      const geom::Point a{rng.coord(0, 12), rng.coord(0, 12)};
+      geom::Point b = a;
+      if (rng.next() % 2 == 0) {
+        b.x = rng.coord(0, 12);
+      } else {
+        b.y = rng.coord(0, 12);
+      }
+      return geom::Segment{a, b};
+    };
+    const geom::Segment s = random_segment();
+    const geom::Segment t = random_segment();
+    EXPECT_EQ(geom::crosses(s, t), brute_force_cross(s, t))
+        << "s=(" << s.a.x << "," << s.a.y << ")-(" << s.b.x << "," << s.b.y
+        << ") t=(" << t.a.x << "," << t.a.y << ")-(" << t.b.x << "," << t.b.y
+        << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentCrossProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// MILP: branch & bound vs exhaustive enumeration on random binary programs.
+// ---------------------------------------------------------------------------
+
+class BnbEnumerationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BnbEnumerationProperty, MatchesExhaustiveOptimum) {
+  Lcg rng(GetParam() * 977);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int n = 6 + static_cast<int>(rng.next() % 5);  // 6..10 binaries
+    milp::Model m;
+    std::vector<double> obj(n);
+    for (int v = 0; v < n; ++v) {
+      obj[v] = static_cast<double>(rng.coord(-9, 9));
+      m.add_binary(obj[v]);
+    }
+    const int rows = 2 + static_cast<int>(rng.next() % 4);
+    std::vector<std::vector<double>> a(rows, std::vector<double>(n));
+    std::vector<double> rhs(rows);
+    for (int r = 0; r < rows; ++r) {
+      milp::Terms terms;
+      for (int v = 0; v < n; ++v) {
+        a[r][v] = static_cast<double>(rng.coord(-4, 4));
+        if (a[r][v] != 0) terms.emplace_back(v, a[r][v]);
+      }
+      rhs[r] = static_cast<double>(rng.coord(0, 10));
+      m.add_constraint(terms, milp::Sense::kLe, rhs[r]);
+    }
+
+    // Exhaustive optimum (minimization).
+    double best = 1e18;
+    for (int mask = 0; mask < (1 << n); ++mask) {
+      bool ok = true;
+      for (int r = 0; r < rows && ok; ++r) {
+        double lhs = 0;
+        for (int v = 0; v < n; ++v) {
+          if (mask & (1 << v)) lhs += a[r][v];
+        }
+        ok = lhs <= rhs[r] + 1e-9;
+      }
+      if (!ok) continue;
+      double val = 0;
+      for (int v = 0; v < n; ++v) {
+        if (mask & (1 << v)) val += obj[v];
+      }
+      best = std::min(best, val);
+    }
+
+    const milp::MipResult r = milp::solve(m);
+    if (best > 1e17) {
+      EXPECT_EQ(r.status, milp::MipStatus::kInfeasible);
+    } else {
+      ASSERT_EQ(r.status, milp::MipStatus::kOptimal) << "trial " << trial;
+      EXPECT_NEAR(r.objective, best, 1e-6) << "trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnbEnumerationProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+// ---------------------------------------------------------------------------
+// Ring construction on random floorplans: structural invariants.
+// ---------------------------------------------------------------------------
+
+class RandomFloorplanProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomFloorplanProperty, RingIsAlwaysLegal) {
+  Lcg rng(GetParam() * 31337);
+  const int n = 5 + static_cast<int>(rng.next() % 8);  // 5..12 nodes
+  std::vector<netlist::Node> nodes;
+  std::vector<geom::Point> used;
+  while (static_cast<int>(nodes.size()) < n) {
+    const geom::Point p{rng.coord(0, 9) * 1000, rng.coord(0, 9) * 1000};
+    // Distinct positions only.
+    bool dup = false;
+    for (const auto& q : used) dup |= q == p;
+    if (dup) continue;
+    used.push_back(p);
+    nodes.push_back({0, p, ""});
+  }
+  const netlist::Floorplan fp(std::move(nodes), 10000, 10000);
+  const ring::ConflictOracle oracle(fp);
+  const ring::RingBuildResult r = ring::build_ring(fp, oracle, {});
+
+  // A legal ring: visits everyone once, no conflicting edge pairs remain,
+  // never longer than the heuristic alone.
+  ASSERT_EQ(static_cast<int>(r.geometry.tour.order().size()), n);
+  std::vector<bool> seen(fp.size(), false);
+  for (const netlist::NodeId v : r.geometry.tour.order()) {
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+  EXPECT_EQ(ring::tour_conflicts(r.geometry.tour.order(), oracle), 0);
+  EXPECT_LE(r.geometry.tour.total_length(),
+            ring::tour_length(ring::heuristic_tour(fp, oracle), fp));
+  EXPECT_EQ(r.geometry.crossings, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFloorplanProperty,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace xring

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "report/table.hpp"
+
+namespace xring::report {
+namespace {
+
+TEST(Table, RendersAlignedAscii) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("+-------+-------+"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1);
+  EXPECT_NE(t.to_string().find("| x | "), std::string::npos);
+}
+
+TEST(Table, RejectsOverlongRows) {
+  Table t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "note"});
+  t.add_row({"x,y", "say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_EQ(csv.find("name,note\n"), 0u);
+}
+
+TEST(Format, Num) {
+  EXPECT_EQ(num(3.14159, 2), "3.14");
+  EXPECT_EQ(num(3.0, 0), "3");
+  EXPECT_EQ(num(-1.5, 1), "-1.5");
+}
+
+TEST(Format, SnrSentinel) {
+  EXPECT_EQ(snr(29.13), "29.1");
+  EXPECT_EQ(snr(1e9), "-");
+}
+
+}  // namespace
+}  // namespace xring::report

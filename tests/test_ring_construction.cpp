@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "ring/builder.hpp"
+
+namespace xring::ring {
+namespace {
+
+TEST(EdgeSpace, IndexRoundTrip) {
+  const EdgeSpace es(5);
+  EXPECT_EQ(es.count(), 20);
+  for (int e = 0; e < es.count(); ++e) {
+    const auto [from, to] = es.edge(e);
+    EXPECT_NE(from, to);
+    EXPECT_EQ(es.index(from, to), e);
+  }
+}
+
+TEST(EdgeSpace, ReverseIsInvolution) {
+  const EdgeSpace es(6);
+  for (int e = 0; e < es.count(); ++e) {
+    EXPECT_NE(es.reverse(e), e);
+    EXPECT_EQ(es.reverse(es.reverse(e)), e);
+  }
+}
+
+TEST(ConflictOracle, SameEdgeNeverConflicts) {
+  const auto fp = netlist::Floorplan::grid(2, 2, 10);
+  const ConflictOracle oracle(fp);
+  EXPECT_FALSE(oracle.conflict(0, 1, 0, 1));
+  EXPECT_FALSE(oracle.conflict(0, 1, 1, 0));
+}
+
+TEST(ConflictOracle, MatchesDirectGeometryTest) {
+  const auto fp = netlist::Floorplan::grid(3, 3, 10);
+  const ConflictOracle oracle(fp);
+  for (netlist::NodeId a = 0; a < 9; ++a) {
+    for (netlist::NodeId b = a + 1; b < 9; ++b) {
+      for (netlist::NodeId c = 0; c < 9; ++c) {
+        for (netlist::NodeId d = c + 1; d < 9; ++d) {
+          if (a == c && b == d) continue;
+          const bool direct =
+              a == c || a == d || b == c || b == d
+                  ? false
+                  : geom::edges_conflict(fp.position(a), fp.position(b),
+                                         fp.position(c), fp.position(d));
+          EXPECT_EQ(oracle.conflict(a, b, c, d), direct)
+              << a << "," << b << " vs " << c << "," << d;
+        }
+      }
+    }
+  }
+}
+
+TEST(Tour, ArcLengthsAndHops) {
+  const auto fp = netlist::Floorplan::grid(1, 4, 10);  // collinear 4 nodes
+  const Tour t({0, 1, 2, 3}, &fp);
+  EXPECT_EQ(t.total_length(), 10 + 10 + 10 + 30);
+  EXPECT_EQ(t.hops_cw(0, 2), 2);
+  EXPECT_EQ(t.hops_cw(2, 0), 2);
+  EXPECT_EQ(t.arc_length_cw(0, 2), 20);
+  EXPECT_EQ(t.arc_length_ccw(0, 2), 40);
+  EXPECT_EQ(t.arc_length_cw(3, 0), 30);
+}
+
+TEST(Tour, ArcIdentity) {
+  const auto fp = netlist::Floorplan::standard(8);
+  const Tour t({0, 1, 2, 3, 7, 6, 5, 4}, &fp);
+  for (netlist::NodeId a = 0; a < 8; ++a) {
+    for (netlist::NodeId b = 0; b < 8; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(t.arc_length_cw(a, b) + t.arc_length_ccw(a, b),
+                t.total_length());
+      EXPECT_EQ(t.arc_length_cw(a, b), t.arc_length_ccw(b, a));
+    }
+  }
+}
+
+TEST(Tour, HopsOnArc) {
+  const auto fp = netlist::Floorplan::grid(1, 4, 10);
+  const Tour t({0, 1, 2, 3}, &fp);
+  EXPECT_EQ(t.hops_on_arc_cw(1, 3), (std::vector<int>{1, 2}));
+  EXPECT_EQ(t.hops_on_arc_cw(3, 1), (std::vector<int>{3, 0}));
+}
+
+TEST(Tour, RejectsDuplicatesAndTiny) {
+  EXPECT_THROW(Tour({0, 1}), std::invalid_argument);
+  EXPECT_THROW(Tour({0, 1, 1}), std::invalid_argument);
+}
+
+TEST(ExtractCycles, SplitsPermutationIntoCycles) {
+  // 0->1->0 and 2->3->4->2.
+  const std::vector<std::pair<netlist::NodeId, netlist::NodeId>> edges = {
+      {0, 1}, {1, 0}, {2, 3}, {3, 4}, {4, 2}};
+  const auto cycles = extract_cycles(edges, 5);
+  ASSERT_EQ(cycles.size(), 2u);
+  EXPECT_EQ(cycles[0].size() + cycles[1].size(), 5u);
+}
+
+TEST(ExtractCycles, RejectsDoubleOutDegree) {
+  EXPECT_THROW(extract_cycles({{0, 1}, {0, 2}}, 3), std::invalid_argument);
+}
+
+TEST(MergeCycles, ProducesSingleCycleVisitingAll) {
+  const auto fp = netlist::Floorplan::standard(16);
+  const ConflictOracle oracle(fp);
+  // Four 4-cycles over the 4x4 grid (the typical MILP sub-cycle outcome).
+  std::vector<Cycle> cycles = {
+      {0, 1, 5, 4}, {2, 3, 7, 6}, {8, 9, 13, 12}, {10, 11, 15, 14}};
+  const Cycle merged = merge_cycles(cycles, fp, oracle);
+  ASSERT_EQ(merged.size(), 16u);
+  std::vector<bool> seen(16, false);
+  for (const netlist::NodeId v : merged) {
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(MergeCycles, SingleCycleIsReturnedVerbatim) {
+  const auto fp = netlist::Floorplan::standard(8);
+  const ConflictOracle oracle(fp);
+  const Cycle c = {0, 1, 2, 3, 7, 6, 5, 4};
+  EXPECT_EQ(merge_cycles({c}, fp, oracle), c);
+}
+
+TEST(Heuristic, ToursAreValidPermutations) {
+  for (const int n : {8, 16}) {
+    const auto fp = netlist::Floorplan::standard(n);
+    const ConflictOracle oracle(fp);
+    const auto tour = heuristic_tour(fp, oracle);
+    ASSERT_EQ(static_cast<int>(tour.size()), n);
+    std::vector<bool> seen(n, false);
+    for (const netlist::NodeId v : tour) {
+      EXPECT_FALSE(seen[v]);
+      seen[v] = true;
+    }
+  }
+}
+
+TEST(Heuristic, GridTourIsConflictFreeAndTight) {
+  const auto fp = netlist::Floorplan::standard(16);
+  const ConflictOracle oracle(fp);
+  const auto tour = heuristic_tour(fp, oracle);
+  EXPECT_EQ(tour_conflicts(tour, oracle), 0);
+  // A Hamiltonian cycle of unit edges exists on the 4x4 grid: 32 mm.
+  EXPECT_LE(tour_length(tour, fp), 36000);
+}
+
+TEST(Builder, EightNodeOptimalPerimeter) {
+  const auto fp = netlist::Floorplan::standard(8);
+  const RingBuildResult r = build_ring(fp);
+  EXPECT_EQ(r.mip_status, milp::MipStatus::kOptimal);
+  // 2x4 grid perimeter: 2 * (3 + 1) * 2 mm.
+  EXPECT_EQ(r.geometry.tour.total_length(), 16000);
+  EXPECT_EQ(r.geometry.crossings, 0);
+}
+
+TEST(Builder, SixteenNodeOptimalHamiltonianCycle) {
+  const auto fp = netlist::Floorplan::standard(16);
+  const RingBuildResult r = build_ring(fp);
+  EXPECT_EQ(r.mip_status, milp::MipStatus::kOptimal);
+  EXPECT_EQ(r.geometry.tour.total_length(), 32000);  // all unit edges
+  EXPECT_EQ(r.geometry.crossings, 0);
+}
+
+TEST(Builder, LazyAndExhaustiveConflictModesAgree) {
+  // On a small irregular instance both modes must reach the same optimum.
+  std::vector<netlist::Node> nodes;
+  const geom::Point pts[] = {{0, 0}, {3000, 500}, {5000, 2500},
+                             {2500, 4000}, {500, 2600}, {4200, 4800}};
+  for (const auto& p : pts) nodes.push_back({0, p, ""});
+  const netlist::Floorplan fp(std::move(nodes), 6000, 6000);
+
+  RingBuildOptions lazy;
+  lazy.conflict_mode = ConflictMode::kLazy;
+  RingBuildOptions full;
+  full.conflict_mode = ConflictMode::kExhaustive;
+  const auto a = build_ring(fp, lazy);
+  const auto b = build_ring(fp, full);
+  EXPECT_EQ(a.geometry.tour.total_length(), b.geometry.tour.total_length());
+}
+
+TEST(Builder, HeuristicOnlyModeWorks) {
+  const auto fp = netlist::Floorplan::standard(16);
+  RingBuildOptions opt;
+  opt.use_milp = false;
+  const RingBuildResult r = build_ring(fp, opt);
+  EXPECT_EQ(static_cast<int>(r.geometry.tour.order().size()), 16);
+  EXPECT_EQ(r.geometry.crossings, 0);
+}
+
+TEST(Builder, IrregularLayoutStaysCrossingFree) {
+  std::vector<netlist::Node> nodes;
+  const geom::Point pts[] = {{0, 0},       {4000, 800},  {7500, 300},
+                             {9000, 3500}, {6500, 6000}, {8800, 8200},
+                             {4200, 9000}, {900, 7800},  {300, 4200},
+                             {3000, 4600}};
+  for (const auto& p : pts) nodes.push_back({0, p, ""});
+  const netlist::Floorplan fp(std::move(nodes), 10000, 10000);
+  const RingBuildResult r = build_ring(fp);
+  EXPECT_TRUE(r.mip_status == milp::MipStatus::kOptimal ||
+              r.mip_status == milp::MipStatus::kFeasible);
+  EXPECT_EQ(r.geometry.crossings, 0);
+  EXPECT_EQ(r.geometry.polyline.self_crossings(), 0);
+}
+
+/// Property sweep: rings over growing grids are permutations, conflict-free,
+/// and no longer than the heuristic bound.
+class BuilderGrid : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BuilderGrid, ValidRing) {
+  const auto [rows, cols] = GetParam();
+  const auto fp = netlist::Floorplan::grid(rows, cols, 1000);
+  const ConflictOracle oracle(fp);
+  const RingBuildResult r = build_ring(fp, oracle, {});
+  const int n = rows * cols;
+  ASSERT_EQ(static_cast<int>(r.geometry.tour.order().size()), n);
+  EXPECT_EQ(r.geometry.crossings, 0);
+  EXPECT_LE(r.geometry.tour.total_length(),
+            tour_length(heuristic_tour(fp, oracle), fp));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, BuilderGrid,
+                         ::testing::Values(std::make_pair(2, 2),
+                                           std::make_pair(2, 3),
+                                           std::make_pair(3, 3),
+                                           std::make_pair(2, 5),
+                                           std::make_pair(3, 4),
+                                           std::make_pair(4, 4)));
+
+}  // namespace
+}  // namespace xring::ring

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "ring/builder.hpp"
+#include "shortcut/shortcut.hpp"
+
+namespace xring::shortcut {
+namespace {
+
+ring::RingGeometry make_ring(const netlist::Floorplan& fp) {
+  return ring::build_ring(fp).geometry;
+}
+
+TEST(Shortcut, BoundaryLayoutReproducesFig7CrossChords) {
+  // The paper's Fig. 7 situation: on a loop layout, the two straight chords
+  // between opposite mid-edge nodes (1-5 vertical, 3-7 horizontal on the
+  // 3x3 boundary) each halve their ring path, cross each other at the
+  // centre, and are merged into a CSE.
+  const auto fp = netlist::Floorplan::ring_layout(3, 3, 1000);
+  const auto ring = make_ring(fp);
+  const ShortcutPlan plan = build_shortcuts(ring, fp);
+  ASSERT_EQ(plan.shortcuts.size(), 2u);
+  for (const Shortcut& s : plan.shortcuts) {
+    EXPECT_EQ(s.length, 2000);
+    EXPECT_EQ(s.gain, 2000);
+    EXPECT_GE(s.crossing_partner, 0);
+    ASSERT_TRUE(s.crossing.has_value());
+    EXPECT_EQ(*s.crossing, (geom::Point{1000, 1000}));
+  }
+  // A crossing pair yields the 8 directed CSE routes of Fig. 7(b).
+  EXPECT_EQ(plan.cse_routes.size(), 8u);
+}
+
+TEST(Shortcut, SerpentineGridGetsShortcuts) {
+  // The paper's Fig. 2 situation: a serpentine over a 4x4 grid leaves
+  // physically adjacent row-end nodes far apart along the ring.
+  const auto fp = netlist::Floorplan::standard(16);
+  const auto ring = make_ring(fp);
+  const ShortcutPlan plan = build_shortcuts(ring, fp);
+  EXPECT_FALSE(plan.shortcuts.empty());
+  for (const Shortcut& s : plan.shortcuts) {
+    EXPECT_GT(s.gain, 0);
+    EXPECT_EQ(s.length, fp.distance(s.a, s.b));
+    // Gain definition: min ring arc minus chord length (Sec. III-B).
+    const geom::Coord ring_len = std::min(ring.tour.arc_length_cw(s.a, s.b),
+                                          ring.tour.arc_length_ccw(s.a, s.b));
+    EXPECT_EQ(s.gain, ring_len - s.length);
+  }
+}
+
+TEST(Shortcut, AtMostOneShortcutPerNode) {
+  for (const int n : {16, 32}) {
+    const auto fp = netlist::Floorplan::standard(n);
+    const ShortcutPlan plan = build_shortcuts(make_ring(fp), fp);
+    std::vector<int> uses(n, 0);
+    for (const Shortcut& s : plan.shortcuts) {
+      uses[s.a]++;
+      uses[s.b]++;
+    }
+    for (const int u : uses) EXPECT_LE(u, 1);
+  }
+}
+
+TEST(Shortcut, DisabledOptionReturnsEmptyPlan) {
+  const auto fp = netlist::Floorplan::standard(16);
+  ShortcutOptions opt;
+  opt.enable = false;
+  const ShortcutPlan plan = build_shortcuts(make_ring(fp), fp, opt);
+  EXPECT_TRUE(plan.shortcuts.empty());
+  EXPECT_TRUE(plan.cse_routes.empty());
+}
+
+TEST(Shortcut, ChordsDoNotCrossTheRing) {
+  const auto fp = netlist::Floorplan::standard(32);
+  const auto ring = make_ring(fp);
+  const ShortcutPlan plan = build_shortcuts(ring, fp);
+  for (const Shortcut& s : plan.shortcuts) {
+    const geom::LRoute chord(fp.position(s.a), fp.position(s.b), s.order);
+    EXPECT_EQ(ring.polyline.crossings_with(chord), 0)
+        << "shortcut " << s.a << "-" << s.b;
+  }
+}
+
+TEST(Shortcut, FindIsDirectionInsensitive) {
+  const auto fp = netlist::Floorplan::standard(16);
+  const ShortcutPlan plan = build_shortcuts(make_ring(fp), fp);
+  ASSERT_FALSE(plan.shortcuts.empty());
+  const Shortcut& s = plan.shortcuts.front();
+  EXPECT_EQ(plan.find(s.a, s.b), 0);
+  EXPECT_EQ(plan.find(s.b, s.a), 0);
+  EXPECT_EQ(plan.find(s.a, s.a), -1);
+}
+
+TEST(Shortcut, FeasibleChordHonoursCrossings) {
+  // Hand-built square ring 0-1-2-3; the diagonal chord cannot avoid the
+  // ring on a plain square... it actually can: it stays inside. Verify the
+  // helper agrees with a direct geometric check.
+  const auto fp = netlist::Floorplan::grid(2, 2, 1000);
+  const auto ring = make_ring(fp);
+  for (netlist::NodeId a = 0; a < 4; ++a) {
+    for (netlist::NodeId b = a + 1; b < 4; ++b) {
+      const auto order = feasible_chord(ring, fp, a, b);
+      if (order) {
+        const geom::LRoute chord(fp.position(a), fp.position(b), *order);
+        EXPECT_EQ(ring.polyline.crossings_with(chord), 0);
+      }
+    }
+  }
+}
+
+/// A layout engineered to make two selected shortcuts cross: a long thin
+/// "ladder" whose rungs are far apart along the ring but close in space.
+class CrossingShortcuts : public ::testing::Test {
+ protected:
+  CrossingShortcuts() {
+    // Two columns of nodes; the ring snakes so that column-mates are far
+    // apart along it, and the two best chords cross each other.
+    std::vector<netlist::Node> nodes;
+    const geom::Point pts[] = {
+        {0, 0},     {2000, 0},     {4000, 0},     {6000, 0},
+        {6000, 9000}, {4000, 9000}, {2000, 9000}, {0, 9000},
+    };
+    for (const auto& p : pts) nodes.push_back({0, p, ""});
+    fp_ = std::make_unique<netlist::Floorplan>(std::move(nodes), 8000, 10000);
+  }
+  std::unique_ptr<netlist::Floorplan> fp_;
+};
+
+TEST_F(CrossingShortcuts, CrossedPairBecomesCse) {
+  const auto ring = make_ring(*fp_);
+  const ShortcutPlan plan = build_shortcuts(ring, *fp_);
+  int crossed = 0;
+  for (std::size_t i = 0; i < plan.shortcuts.size(); ++i) {
+    const Shortcut& s = plan.shortcuts[i];
+    if (s.crossing_partner >= 0) {
+      ++crossed;
+      // Partner links must be mutual and carry the same crossing point.
+      const Shortcut& p = plan.shortcuts[s.crossing_partner];
+      EXPECT_EQ(p.crossing_partner, static_cast<int>(i));
+      ASSERT_TRUE(s.crossing.has_value());
+      ASSERT_TRUE(p.crossing.has_value());
+      EXPECT_EQ(*s.crossing, *p.crossing);
+    }
+  }
+  if (crossed > 0) {
+    EXPECT_EQ(crossed % 2, 0);  // crossings come in pairs
+    EXPECT_FALSE(plan.cse_routes.empty());
+    for (const CseRoute& r : plan.cse_routes) {
+      EXPECT_NE(r.src, r.dst);
+      EXPECT_NE(r.shortcut_in, r.shortcut_out);
+      EXPECT_GT(r.length, 0);
+    }
+  }
+}
+
+TEST(Shortcut, CseRouteLengthsAreTriangleConsistent) {
+  // Whatever CSE routes exist, src->X->dst can never beat the Manhattan
+  // distance and never exceed the sum of both chords.
+  const auto fp = netlist::Floorplan::standard(32);
+  const auto ring = make_ring(fp);
+  const ShortcutPlan plan = build_shortcuts(ring, fp);
+  for (const CseRoute& r : plan.cse_routes) {
+    EXPECT_GE(r.length, fp.distance(r.src, r.dst));
+    EXPECT_LE(r.length, plan.shortcuts[r.shortcut_in].length +
+                            plan.shortcuts[r.shortcut_out].length);
+  }
+}
+
+}  // namespace
+}  // namespace xring::shortcut

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "baseline/oring.hpp"
+#include "verify/drc.hpp"
+#include "xring/synthesizer.hpp"
+
+namespace xring::verify {
+namespace {
+
+SynthesisResult synthesize(int n) {
+  static std::vector<std::unique_ptr<netlist::Floorplan>> keep;
+  keep.push_back(
+      std::make_unique<netlist::Floorplan>(netlist::Floorplan::standard(n)));
+  Synthesizer synth(*keep.back());
+  SynthesisOptions opt;
+  opt.mapping.max_wavelengths = n;
+  return synth.run(opt);
+}
+
+DrcOptions options_for(int n) {
+  DrcOptions opt;
+  opt.max_wavelengths = n;
+  return opt;
+}
+
+TEST(Drc, SynthesizedDesignsAreClean) {
+  for (const int n : {8, 16, 32}) {
+    const auto r = synthesize(n);
+    const auto violations = check(r.design, options_for(n));
+    EXPECT_TRUE(violations.empty())
+        << n << "-node design:\n" << report(violations);
+  }
+}
+
+TEST(Drc, BaselineWithoutOpeningsIsCleanWhenNotRequired) {
+  const auto fp = netlist::Floorplan::standard(16);
+  const auto ring = ring::build_ring(fp);
+  baseline::OringOptions oo;
+  oo.max_wavelengths = 16;
+  const auto r = baseline::synthesize_oring(fp, ring, oo);
+  DrcOptions opt = options_for(16);
+  opt.require_openings = false;  // ORing has none by design
+  EXPECT_TRUE(check(r.design, opt).empty());
+  // With the requirement on, every waveguide is flagged.
+  opt.require_openings = true;
+  const auto violations = check(r.design, opt);
+  int missing = 0;
+  for (const auto& v : violations) {
+    if (v.rule == Violation::Rule::kOpeningMissing) ++missing;
+  }
+  EXPECT_EQ(missing, static_cast<int>(r.design.mapping.waveguides.size()));
+}
+
+TEST(Drc, DetectsUnroutedSignal) {
+  auto r = synthesize(8);
+  r.design.mapping.routes[3] = mapping::SignalRoute{};
+  const auto violations = check(r.design, options_for(8));
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().rule, Violation::Rule::kUnroutedSignal);
+}
+
+TEST(Drc, DetectsWavelengthCapViolation) {
+  auto r = synthesize(8);
+  // Push one ring signal's wavelength beyond the cap.
+  for (auto& route : r.design.mapping.routes) {
+    if (route.kind == mapping::RouteKind::kRingCw) {
+      route.wavelength = 99;
+      break;
+    }
+  }
+  bool found = false;
+  for (const auto& v : check(r.design, options_for(8))) {
+    found |= v.rule == Violation::Rule::kWavelengthCap;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Drc, DetectsArcOverlap) {
+  auto r = synthesize(8);
+  // Force two same-waveguide signals onto one wavelength. With all-to-all
+  // traffic some pair on the same waveguide must overlap once they share λ0.
+  bool corrupted = false;
+  for (auto& wg : r.design.mapping.waveguides) {
+    if (wg.signals.size() < 2) continue;
+    for (const auto id : wg.signals) {
+      r.design.mapping.routes[id].wavelength = 0;
+    }
+    corrupted = true;
+    break;
+  }
+  ASSERT_TRUE(corrupted);
+  bool found = false;
+  for (const auto& v : check(r.design, options_for(8))) {
+    found |= v.rule == Violation::Rule::kArcOverlap;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Drc, DetectsBlockedOpening) {
+  auto r = synthesize(16);
+  // Move a waveguide's opening onto a busy node.
+  for (auto& wg : r.design.mapping.waveguides) {
+    if (wg.signals.empty()) continue;
+    const auto& sig = r.design.traffic.signal(wg.signals.front());
+    const auto interior = mapping::interior_nodes(r.design.ring.tour, sig.src,
+                                                  sig.dst, wg.dir);
+    if (interior.empty()) continue;
+    wg.opening = interior.front();
+    break;
+  }
+  bool found = false;
+  for (const auto& v : check(r.design, options_for(16))) {
+    found |= v.rule == Violation::Rule::kOpeningBlocked;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Drc, DetectsShortcutNodeCapViolation) {
+  auto r = synthesize(16);
+  ASSERT_GE(r.design.shortcuts.shortcuts.size(), 2u);
+  // Pretend two shortcuts share a node.
+  r.design.shortcuts.shortcuts[1].a = r.design.shortcuts.shortcuts[0].a;
+  bool found = false;
+  for (const auto& v : check(r.design, options_for(16))) {
+    found |= v.rule == Violation::Rule::kShortcutNodeCap;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Drc, DetectsCseWavelengthClash) {
+  // Build the Fig. 7-style crossing pair, then force both direct signals
+  // onto the same wavelength.
+  const auto fp = netlist::Floorplan::ring_layout(3, 3, 1000);
+  Synthesizer synth(fp);
+  SynthesisOptions opt;
+  opt.mapping.max_wavelengths = 8;
+  auto r = synth.run(opt);
+  bool has_crossed = false;
+  for (const auto& s : r.design.shortcuts.shortcuts) {
+    has_crossed |= s.crossing_partner >= 0;
+  }
+  ASSERT_TRUE(has_crossed);
+  for (auto& route : r.design.mapping.routes) {
+    if (route.kind == mapping::RouteKind::kShortcut) route.wavelength = 0;
+  }
+  bool found = false;
+  for (const auto& v : check(r.design, options_for(8))) {
+    found |= v.rule == Violation::Rule::kCseWavelengthClash;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Drc, DetectsMissingPdnFeed) {
+  auto r = synthesize(8);
+  r.design.pdn.ring_feed_db[0].assign(8, -1.0);
+  bool found = false;
+  for (const auto& v : check(r.design, options_for(8))) {
+    found |= v.rule == Violation::Rule::kPdnMissingFeed;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Drc, ReportFormats) {
+  EXPECT_EQ(report({}), "clean\n");
+  const std::vector<Violation> v = {
+      {Violation::Rule::kArcOverlap, "signals 1 and 2 overlap"}};
+  EXPECT_EQ(report(v), "[arc-overlap] signals 1 and 2 overlap\n");
+}
+
+TEST(Drc, RuleNamesAreDistinct) {
+  using R = Violation::Rule;
+  const R rules[] = {R::kRingCrossing,   R::kChordCrossesRing,
+                     R::kChordOverdegree, R::kUnroutedSignal,
+                     R::kWavelengthCap,  R::kArcOverlap,
+                     R::kOpeningMissing, R::kOpeningBlocked,
+                     R::kShortcutNodeCap, R::kPdnMissingFeed,
+                     R::kCseWavelengthClash};
+  std::vector<std::string> names;
+  for (const R r : rules) names.push_back(to_string(r));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+}  // namespace
+}  // namespace xring::verify

@@ -1,0 +1,230 @@
+// xring — command-line front end for the synthesis library.
+//
+//   xring synth [options]        synthesize a router and print its report
+//   xring verify [options]       synthesize, then run the design-rule check
+//   xring floorplan [options]    emit a standard floorplan file
+//
+// synth options:
+//   --floorplan FILE   load node placement from FILE (see netlist/io.hpp)
+//   --nodes N          use the standard N-node floorplan (8/16/32)
+//   --wl N             wavelength cap per ring waveguide (default: #nodes)
+//   --traffic KIND     all2all | permutation | hotspot | bitrev
+//   --params FILE      load device parameters (see phys/parameters_io.hpp)
+//   --no-pdn           skip Step 4
+//   --no-shortcuts     skip Step 2
+//   --comb-pdn         use the baseline crossing PDN instead of the tree
+//   --svg FILE         write the layout view to FILE
+//   --csv              print the per-signal report as CSV
+//   --report           print the full design report instead of the summary
+//
+// floorplan options:
+//   --nodes N          standard size (8/16/32)
+//   --out FILE         output path (default: stdout)
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "analysis/latency.hpp"
+#include "netlist/io.hpp"
+#include "phys/parameters_io.hpp"
+#include "report/design_report.hpp"
+#include "report/table.hpp"
+#include "verify/drc.hpp"
+#include "viz/svg.hpp"
+#include "xring/synthesizer.hpp"
+
+namespace {
+
+using namespace xring;
+
+/// Tiny flag parser: --key value and --key (boolean) styles.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) positional_.emplace_back(argv[i]);
+  }
+
+  std::string value(const std::string& key, const std::string& fallback = "") {
+    for (std::size_t i = 0; i + 1 < positional_.size(); ++i) {
+      if (positional_[i] == key) {
+        used_[i] = used_[i + 1] = true;
+        return positional_[i + 1];
+      }
+    }
+    return fallback;
+  }
+
+  bool flag(const std::string& key) {
+    for (std::size_t i = 0; i < positional_.size(); ++i) {
+      if (positional_[i] == key) {
+        used_[i] = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool report_unused() const {
+    bool ok = true;
+    for (std::size_t i = 0; i < positional_.size(); ++i) {
+      if (!used_.count(i)) {
+        std::fprintf(stderr, "unknown argument: %s\n", positional_[i].c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::size_t, bool> used_;
+};
+
+netlist::Traffic make_traffic(const std::string& kind, int nodes) {
+  if (kind == "all2all" || kind.empty()) {
+    return netlist::Traffic::all_to_all(nodes);
+  }
+  if (kind == "permutation") return netlist::Traffic::permutation(nodes);
+  if (kind == "hotspot") return netlist::Traffic::hotspot(nodes, 0);
+  if (kind == "bitrev") return netlist::Traffic::bit_reversal(nodes);
+  throw std::invalid_argument("unknown traffic kind: " + kind);
+}
+
+int cmd_synth(Args& args) {
+  netlist::Floorplan fp;
+  const std::string file = args.value("--floorplan");
+  if (!file.empty()) {
+    fp = netlist::load_floorplan(file);
+  } else {
+    fp = netlist::Floorplan::standard(std::stoi(args.value("--nodes", "16")));
+  }
+
+  SynthesisOptions opt;
+  const std::string params_file = args.value("--params");
+  if (!params_file.empty()) {
+    opt.params = phys::load_parameters(params_file, opt.params);
+  }
+  opt.mapping.max_wavelengths =
+      std::stoi(args.value("--wl", std::to_string(fp.size())));
+  opt.build_pdn = !args.flag("--no-pdn");
+  opt.shortcuts.enable = !args.flag("--no-shortcuts");
+  if (args.flag("--comb-pdn")) {
+    opt.pdn_style = SynthesisOptions::PdnStyle::kComb;
+  }
+  opt.traffic = make_traffic(args.value("--traffic", "all2all"), fp.size());
+  const std::string svg = args.value("--svg");
+  const bool csv = args.flag("--csv");
+  const bool full_report = args.flag("--report");
+  if (!args.report_unused()) return 2;
+
+  const Synthesizer synth(fp);
+  const SynthesisResult r = synth.run(opt);
+  const analysis::LatencyReport latency = analysis::compute_latency(r.metrics);
+
+  if (full_report) {
+    std::fputs(report::design_report(r.design, r.metrics).c_str(), stdout);
+  } else if (csv) {
+    report::Table t({"signal", "src", "dst", "route", "wavelength",
+                     "il_db", "il_star_db", "path_mm", "crossings", "snr_db"});
+    for (std::size_t i = 0; i < r.metrics.signals.size(); ++i) {
+      const auto& sig = r.design.traffic.signal(static_cast<int>(i));
+      const auto& rep = r.metrics.signals[i];
+      const auto kind = r.design.mapping.routes[i].kind;
+      const char* route =
+          kind == mapping::RouteKind::kShortcut  ? "shortcut"
+          : kind == mapping::RouteKind::kCse     ? "cse"
+          : kind == mapping::RouteKind::kRingCw  ? "ring-cw"
+          : kind == mapping::RouteKind::kRingCcw ? "ring-ccw"
+                                                 : "unrouted";
+      t.add_row({std::to_string(i), fp.node(sig.src).name,
+                 fp.node(sig.dst).name, route,
+                 std::to_string(r.design.mapping.routes[i].wavelength),
+                 report::num(rep.il_db, 3), report::num(rep.il_star_db, 3),
+                 report::num(rep.path_mm, 3), std::to_string(rep.crossings),
+                 report::snr(rep.snr_db)});
+    }
+    std::fputs(t.to_csv().c_str(), stdout);
+  } else {
+    std::printf("nodes            : %d\n", fp.size());
+    std::printf("signals          : %d\n", r.design.traffic.size());
+    std::printf("ring length      : %.1f mm (%d crossings)\n",
+                r.design.ring.tour.total_length() / 1000.0,
+                r.design.ring.crossings);
+    std::printf("shortcuts        : %zu\n", r.design.shortcuts.shortcuts.size());
+    std::printf("ring waveguides  : %d\n", r.metrics.waveguides);
+    std::printf("wavelengths      : %d\n", r.metrics.wavelengths);
+    std::printf("worst loss       : %.2f dB (%.2f dB excl. PDN)\n",
+                r.metrics.il_worst_db, r.metrics.il_star_worst_db);
+    std::printf("laser power      : %.3f W\n", r.metrics.total_power_w);
+    std::printf("noisy signals    : %d (worst SNR %s dB)\n",
+                r.metrics.noisy_signals,
+                report::snr(r.metrics.snr_worst_db).c_str());
+    std::printf("worst latency    : %.1f ps (mean %.1f ps)\n",
+                latency.worst_ps, latency.mean_ps);
+    std::printf("synthesis time   : %.3f s\n", r.seconds);
+  }
+
+  if (!svg.empty()) {
+    viz::save_svg(r.design, svg);
+    std::fprintf(stderr, "layout written to %s\n", svg.c_str());
+  }
+  return 0;
+}
+
+int cmd_verify(Args& args) {
+  netlist::Floorplan fp;
+  const std::string file = args.value("--floorplan");
+  if (!file.empty()) {
+    fp = netlist::load_floorplan(file);
+  } else {
+    fp = netlist::Floorplan::standard(std::stoi(args.value("--nodes", "16")));
+  }
+  SynthesisOptions opt;
+  opt.mapping.max_wavelengths =
+      std::stoi(args.value("--wl", std::to_string(fp.size())));
+  if (!args.report_unused()) return 2;
+
+  const Synthesizer synth(fp);
+  const SynthesisResult r = synth.run(opt);
+  verify::DrcOptions drc;
+  drc.max_wavelengths = opt.mapping.max_wavelengths;
+  const auto violations = verify::check(r.design, drc);
+  std::fputs(verify::report(violations).c_str(), stdout);
+  return violations.empty() ? 0 : 1;
+}
+
+int cmd_floorplan(Args& args) {
+  const int nodes = std::stoi(args.value("--nodes", "16"));
+  const std::string out = args.value("--out");
+  if (!args.report_unused()) return 2;
+  const auto fp = netlist::Floorplan::standard(nodes);
+  if (out.empty()) {
+    netlist::write_floorplan(fp, std::cout);
+  } else {
+    netlist::save_floorplan(fp, out);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <synth|verify|floorplan> [options]\n", argv[0]);
+    return 2;
+  }
+  try {
+    Args args(argc, argv, 2);
+    if (std::strcmp(argv[1], "synth") == 0) return cmd_synth(args);
+    if (std::strcmp(argv[1], "verify") == 0) return cmd_verify(args);
+    if (std::strcmp(argv[1], "floorplan") == 0) return cmd_floorplan(args);
+    std::fprintf(stderr, "unknown command: %s\n", argv[1]);
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
