@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregular_layouts.dir/irregular_layouts.cpp.o"
+  "CMakeFiles/irregular_layouts.dir/irregular_layouts.cpp.o.d"
+  "irregular_layouts"
+  "irregular_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregular_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

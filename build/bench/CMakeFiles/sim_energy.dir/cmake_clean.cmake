@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_energy.dir/sim_energy.cpp.o"
+  "CMakeFiles/sim_energy.dir/sim_energy.cpp.o.d"
+  "sim_energy"
+  "sim_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_routers_no_pdn.dir/table1_routers_no_pdn.cpp.o"
+  "CMakeFiles/table1_routers_no_pdn.dir/table1_routers_no_pdn.cpp.o.d"
+  "table1_routers_no_pdn"
+  "table1_routers_no_pdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_routers_no_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_routers_no_pdn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_ornoc_vs_xring.dir/table2_ornoc_vs_xring.cpp.o"
+  "CMakeFiles/table2_ornoc_vs_xring.dir/table2_ornoc_vs_xring.cpp.o.d"
+  "table2_ornoc_vs_xring"
+  "table2_ornoc_vs_xring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_ornoc_vs_xring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

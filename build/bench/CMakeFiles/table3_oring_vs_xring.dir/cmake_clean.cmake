@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_oring_vs_xring.dir/table3_oring_vs_xring.cpp.o"
+  "CMakeFiles/table3_oring_vs_xring.dir/table3_oring_vs_xring.cpp.o.d"
+  "table3_oring_vs_xring"
+  "table3_oring_vs_xring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_oring_vs_xring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_power.dir/tuning_power.cpp.o"
+  "CMakeFiles/tuning_power.dir/tuning_power.cpp.o.d"
+  "tuning_power"
+  "tuning_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

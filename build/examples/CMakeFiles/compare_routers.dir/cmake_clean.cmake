@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_routers.dir/compare_routers.cpp.o"
+  "CMakeFiles/compare_routers.dir/compare_routers.cpp.o.d"
+  "compare_routers"
+  "compare_routers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_routers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

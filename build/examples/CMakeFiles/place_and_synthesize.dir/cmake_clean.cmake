@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/place_and_synthesize.dir/place_and_synthesize.cpp.o"
+  "CMakeFiles/place_and_synthesize.dir/place_and_synthesize.cpp.o.d"
+  "place_and_synthesize"
+  "place_and_synthesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/place_and_synthesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

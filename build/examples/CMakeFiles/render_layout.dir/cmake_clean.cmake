@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_layout.dir/render_layout.cpp.o"
+  "CMakeFiles/render_layout.dir/render_layout.cpp.o.d"
+  "render_layout"
+  "render_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

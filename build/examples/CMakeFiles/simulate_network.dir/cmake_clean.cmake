@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_network.dir/simulate_network.cpp.o"
+  "CMakeFiles/simulate_network.dir/simulate_network.cpp.o.d"
+  "simulate_network"
+  "simulate_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavelength_tradeoff.dir/wavelength_tradeoff.cpp.o"
+  "CMakeFiles/wavelength_tradeoff.dir/wavelength_tradeoff.cpp.o.d"
+  "wavelength_tradeoff"
+  "wavelength_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavelength_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

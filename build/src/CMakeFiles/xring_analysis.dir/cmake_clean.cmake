@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xring_analysis.dir/analysis/crosstalk.cpp.o"
+  "CMakeFiles/xring_analysis.dir/analysis/crosstalk.cpp.o.d"
+  "CMakeFiles/xring_analysis.dir/analysis/design.cpp.o"
+  "CMakeFiles/xring_analysis.dir/analysis/design.cpp.o.d"
+  "CMakeFiles/xring_analysis.dir/analysis/evaluate.cpp.o"
+  "CMakeFiles/xring_analysis.dir/analysis/evaluate.cpp.o.d"
+  "CMakeFiles/xring_analysis.dir/analysis/latency.cpp.o"
+  "CMakeFiles/xring_analysis.dir/analysis/latency.cpp.o.d"
+  "CMakeFiles/xring_analysis.dir/analysis/loss.cpp.o"
+  "CMakeFiles/xring_analysis.dir/analysis/loss.cpp.o.d"
+  "CMakeFiles/xring_analysis.dir/analysis/tuning.cpp.o"
+  "CMakeFiles/xring_analysis.dir/analysis/tuning.cpp.o.d"
+  "libxring_analysis.a"
+  "libxring_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xring_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xring_baseline.dir/baseline/oring.cpp.o"
+  "CMakeFiles/xring_baseline.dir/baseline/oring.cpp.o.d"
+  "CMakeFiles/xring_baseline.dir/baseline/ornoc.cpp.o"
+  "CMakeFiles/xring_baseline.dir/baseline/ornoc.cpp.o.d"
+  "libxring_baseline.a"
+  "libxring_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xring_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xring_core.dir/xring/sweep.cpp.o"
+  "CMakeFiles/xring_core.dir/xring/sweep.cpp.o.d"
+  "CMakeFiles/xring_core.dir/xring/synthesizer.cpp.o"
+  "CMakeFiles/xring_core.dir/xring/synthesizer.cpp.o.d"
+  "libxring_core.a"
+  "libxring_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xring_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xring_crossbar.dir/crossbar/physical.cpp.o"
+  "CMakeFiles/xring_crossbar.dir/crossbar/physical.cpp.o.d"
+  "CMakeFiles/xring_crossbar.dir/crossbar/topology.cpp.o"
+  "CMakeFiles/xring_crossbar.dir/crossbar/topology.cpp.o.d"
+  "libxring_crossbar.a"
+  "libxring_crossbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xring_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

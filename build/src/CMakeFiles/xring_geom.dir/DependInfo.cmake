@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/closed_path.cpp" "src/CMakeFiles/xring_geom.dir/geom/closed_path.cpp.o" "gcc" "src/CMakeFiles/xring_geom.dir/geom/closed_path.cpp.o.d"
+  "/root/repo/src/geom/lshape.cpp" "src/CMakeFiles/xring_geom.dir/geom/lshape.cpp.o" "gcc" "src/CMakeFiles/xring_geom.dir/geom/lshape.cpp.o.d"
+  "/root/repo/src/geom/offset.cpp" "src/CMakeFiles/xring_geom.dir/geom/offset.cpp.o" "gcc" "src/CMakeFiles/xring_geom.dir/geom/offset.cpp.o.d"
+  "/root/repo/src/geom/point.cpp" "src/CMakeFiles/xring_geom.dir/geom/point.cpp.o" "gcc" "src/CMakeFiles/xring_geom.dir/geom/point.cpp.o.d"
+  "/root/repo/src/geom/polyline.cpp" "src/CMakeFiles/xring_geom.dir/geom/polyline.cpp.o" "gcc" "src/CMakeFiles/xring_geom.dir/geom/polyline.cpp.o.d"
+  "/root/repo/src/geom/segment.cpp" "src/CMakeFiles/xring_geom.dir/geom/segment.cpp.o" "gcc" "src/CMakeFiles/xring_geom.dir/geom/segment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

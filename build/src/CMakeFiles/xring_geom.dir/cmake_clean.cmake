@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xring_geom.dir/geom/closed_path.cpp.o"
+  "CMakeFiles/xring_geom.dir/geom/closed_path.cpp.o.d"
+  "CMakeFiles/xring_geom.dir/geom/lshape.cpp.o"
+  "CMakeFiles/xring_geom.dir/geom/lshape.cpp.o.d"
+  "CMakeFiles/xring_geom.dir/geom/offset.cpp.o"
+  "CMakeFiles/xring_geom.dir/geom/offset.cpp.o.d"
+  "CMakeFiles/xring_geom.dir/geom/point.cpp.o"
+  "CMakeFiles/xring_geom.dir/geom/point.cpp.o.d"
+  "CMakeFiles/xring_geom.dir/geom/polyline.cpp.o"
+  "CMakeFiles/xring_geom.dir/geom/polyline.cpp.o.d"
+  "CMakeFiles/xring_geom.dir/geom/segment.cpp.o"
+  "CMakeFiles/xring_geom.dir/geom/segment.cpp.o.d"
+  "libxring_geom.a"
+  "libxring_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xring_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xring_lp.dir/lp/simplex.cpp.o"
+  "CMakeFiles/xring_lp.dir/lp/simplex.cpp.o.d"
+  "libxring_lp.a"
+  "libxring_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xring_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/opening.cpp" "src/CMakeFiles/xring_mapping.dir/mapping/opening.cpp.o" "gcc" "src/CMakeFiles/xring_mapping.dir/mapping/opening.cpp.o.d"
+  "/root/repo/src/mapping/ornoc_assignment.cpp" "src/CMakeFiles/xring_mapping.dir/mapping/ornoc_assignment.cpp.o" "gcc" "src/CMakeFiles/xring_mapping.dir/mapping/ornoc_assignment.cpp.o.d"
+  "/root/repo/src/mapping/wavelength.cpp" "src/CMakeFiles/xring_mapping.dir/mapping/wavelength.cpp.o" "gcc" "src/CMakeFiles/xring_mapping.dir/mapping/wavelength.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xring_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_shortcut.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

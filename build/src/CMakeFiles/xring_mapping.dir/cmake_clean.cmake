@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xring_mapping.dir/mapping/opening.cpp.o"
+  "CMakeFiles/xring_mapping.dir/mapping/opening.cpp.o.d"
+  "CMakeFiles/xring_mapping.dir/mapping/ornoc_assignment.cpp.o"
+  "CMakeFiles/xring_mapping.dir/mapping/ornoc_assignment.cpp.o.d"
+  "CMakeFiles/xring_mapping.dir/mapping/wavelength.cpp.o"
+  "CMakeFiles/xring_mapping.dir/mapping/wavelength.cpp.o.d"
+  "libxring_mapping.a"
+  "libxring_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xring_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

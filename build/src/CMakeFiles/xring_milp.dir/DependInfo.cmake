@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/milp/branch_and_bound.cpp" "src/CMakeFiles/xring_milp.dir/milp/branch_and_bound.cpp.o" "gcc" "src/CMakeFiles/xring_milp.dir/milp/branch_and_bound.cpp.o.d"
+  "/root/repo/src/milp/lp_format.cpp" "src/CMakeFiles/xring_milp.dir/milp/lp_format.cpp.o" "gcc" "src/CMakeFiles/xring_milp.dir/milp/lp_format.cpp.o.d"
+  "/root/repo/src/milp/model.cpp" "src/CMakeFiles/xring_milp.dir/milp/model.cpp.o" "gcc" "src/CMakeFiles/xring_milp.dir/milp/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xring_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xring_milp.dir/milp/branch_and_bound.cpp.o"
+  "CMakeFiles/xring_milp.dir/milp/branch_and_bound.cpp.o.d"
+  "CMakeFiles/xring_milp.dir/milp/lp_format.cpp.o"
+  "CMakeFiles/xring_milp.dir/milp/lp_format.cpp.o.d"
+  "CMakeFiles/xring_milp.dir/milp/model.cpp.o"
+  "CMakeFiles/xring_milp.dir/milp/model.cpp.o.d"
+  "libxring_milp.a"
+  "libxring_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xring_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/floorplan.cpp" "src/CMakeFiles/xring_netlist.dir/netlist/floorplan.cpp.o" "gcc" "src/CMakeFiles/xring_netlist.dir/netlist/floorplan.cpp.o.d"
+  "/root/repo/src/netlist/io.cpp" "src/CMakeFiles/xring_netlist.dir/netlist/io.cpp.o" "gcc" "src/CMakeFiles/xring_netlist.dir/netlist/io.cpp.o.d"
+  "/root/repo/src/netlist/traffic.cpp" "src/CMakeFiles/xring_netlist.dir/netlist/traffic.cpp.o" "gcc" "src/CMakeFiles/xring_netlist.dir/netlist/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xring_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

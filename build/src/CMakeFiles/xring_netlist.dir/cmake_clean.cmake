@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xring_netlist.dir/netlist/floorplan.cpp.o"
+  "CMakeFiles/xring_netlist.dir/netlist/floorplan.cpp.o.d"
+  "CMakeFiles/xring_netlist.dir/netlist/io.cpp.o"
+  "CMakeFiles/xring_netlist.dir/netlist/io.cpp.o.d"
+  "CMakeFiles/xring_netlist.dir/netlist/traffic.cpp.o"
+  "CMakeFiles/xring_netlist.dir/netlist/traffic.cpp.o.d"
+  "libxring_netlist.a"
+  "libxring_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xring_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

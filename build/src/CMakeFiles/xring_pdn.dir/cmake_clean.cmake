@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xring_pdn.dir/pdn/comb_pdn.cpp.o"
+  "CMakeFiles/xring_pdn.dir/pdn/comb_pdn.cpp.o.d"
+  "CMakeFiles/xring_pdn.dir/pdn/tree_pdn.cpp.o"
+  "CMakeFiles/xring_pdn.dir/pdn/tree_pdn.cpp.o.d"
+  "libxring_pdn.a"
+  "libxring_pdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xring_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

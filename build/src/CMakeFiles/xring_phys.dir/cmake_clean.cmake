@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xring_phys.dir/phys/parameters.cpp.o"
+  "CMakeFiles/xring_phys.dir/phys/parameters.cpp.o.d"
+  "CMakeFiles/xring_phys.dir/phys/parameters_io.cpp.o"
+  "CMakeFiles/xring_phys.dir/phys/parameters_io.cpp.o.d"
+  "CMakeFiles/xring_phys.dir/phys/units.cpp.o"
+  "CMakeFiles/xring_phys.dir/phys/units.cpp.o.d"
+  "libxring_phys.a"
+  "libxring_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xring_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xring_place.dir/place/placer.cpp.o"
+  "CMakeFiles/xring_place.dir/place/placer.cpp.o.d"
+  "libxring_place.a"
+  "libxring_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xring_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

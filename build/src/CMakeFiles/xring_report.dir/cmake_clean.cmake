@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xring_report.dir/report/design_report.cpp.o"
+  "CMakeFiles/xring_report.dir/report/design_report.cpp.o.d"
+  "CMakeFiles/xring_report.dir/report/table.cpp.o"
+  "CMakeFiles/xring_report.dir/report/table.cpp.o.d"
+  "libxring_report.a"
+  "libxring_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xring_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

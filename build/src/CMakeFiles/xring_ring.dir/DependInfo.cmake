@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ring/builder.cpp" "src/CMakeFiles/xring_ring.dir/ring/builder.cpp.o" "gcc" "src/CMakeFiles/xring_ring.dir/ring/builder.cpp.o.d"
+  "/root/repo/src/ring/conflict.cpp" "src/CMakeFiles/xring_ring.dir/ring/conflict.cpp.o" "gcc" "src/CMakeFiles/xring_ring.dir/ring/conflict.cpp.o.d"
+  "/root/repo/src/ring/heuristic.cpp" "src/CMakeFiles/xring_ring.dir/ring/heuristic.cpp.o" "gcc" "src/CMakeFiles/xring_ring.dir/ring/heuristic.cpp.o.d"
+  "/root/repo/src/ring/subcycle.cpp" "src/CMakeFiles/xring_ring.dir/ring/subcycle.cpp.o" "gcc" "src/CMakeFiles/xring_ring.dir/ring/subcycle.cpp.o.d"
+  "/root/repo/src/ring/tour.cpp" "src/CMakeFiles/xring_ring.dir/ring/tour.cpp.o" "gcc" "src/CMakeFiles/xring_ring.dir/ring/tour.cpp.o.d"
+  "/root/repo/src/ring/tsp_model.cpp" "src/CMakeFiles/xring_ring.dir/ring/tsp_model.cpp.o" "gcc" "src/CMakeFiles/xring_ring.dir/ring/tsp_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xring_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xring_ring.dir/ring/builder.cpp.o"
+  "CMakeFiles/xring_ring.dir/ring/builder.cpp.o.d"
+  "CMakeFiles/xring_ring.dir/ring/conflict.cpp.o"
+  "CMakeFiles/xring_ring.dir/ring/conflict.cpp.o.d"
+  "CMakeFiles/xring_ring.dir/ring/heuristic.cpp.o"
+  "CMakeFiles/xring_ring.dir/ring/heuristic.cpp.o.d"
+  "CMakeFiles/xring_ring.dir/ring/subcycle.cpp.o"
+  "CMakeFiles/xring_ring.dir/ring/subcycle.cpp.o.d"
+  "CMakeFiles/xring_ring.dir/ring/tour.cpp.o"
+  "CMakeFiles/xring_ring.dir/ring/tour.cpp.o.d"
+  "CMakeFiles/xring_ring.dir/ring/tsp_model.cpp.o"
+  "CMakeFiles/xring_ring.dir/ring/tsp_model.cpp.o.d"
+  "libxring_ring.a"
+  "libxring_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xring_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shortcut/optimal.cpp" "src/CMakeFiles/xring_shortcut.dir/shortcut/optimal.cpp.o" "gcc" "src/CMakeFiles/xring_shortcut.dir/shortcut/optimal.cpp.o.d"
+  "/root/repo/src/shortcut/shortcut.cpp" "src/CMakeFiles/xring_shortcut.dir/shortcut/shortcut.cpp.o" "gcc" "src/CMakeFiles/xring_shortcut.dir/shortcut/shortcut.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xring_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xring_shortcut.dir/shortcut/optimal.cpp.o"
+  "CMakeFiles/xring_shortcut.dir/shortcut/optimal.cpp.o.d"
+  "CMakeFiles/xring_shortcut.dir/shortcut/shortcut.cpp.o"
+  "CMakeFiles/xring_shortcut.dir/shortcut/shortcut.cpp.o.d"
+  "libxring_shortcut.a"
+  "libxring_shortcut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xring_shortcut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

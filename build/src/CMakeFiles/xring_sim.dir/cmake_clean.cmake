@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xring_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/xring_sim.dir/sim/simulator.cpp.o.d"
+  "libxring_sim.a"
+  "libxring_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xring_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xring_verify.dir/verify/drc.cpp.o"
+  "CMakeFiles/xring_verify.dir/verify/drc.cpp.o.d"
+  "libxring_verify.a"
+  "libxring_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xring_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

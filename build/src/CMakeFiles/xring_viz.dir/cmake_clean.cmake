@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xring_viz.dir/viz/svg.cpp.o"
+  "CMakeFiles/xring_viz.dir/viz/svg.cpp.o.d"
+  "libxring_viz.a"
+  "libxring_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xring_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

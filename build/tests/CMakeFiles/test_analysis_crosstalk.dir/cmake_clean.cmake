@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_crosstalk.dir/test_analysis_crosstalk.cpp.o"
+  "CMakeFiles/test_analysis_crosstalk.dir/test_analysis_crosstalk.cpp.o.d"
+  "test_analysis_crosstalk"
+  "test_analysis_crosstalk.pdb"
+  "test_analysis_crosstalk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_crosstalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

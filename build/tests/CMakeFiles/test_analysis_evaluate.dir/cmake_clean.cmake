@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_evaluate.dir/test_analysis_evaluate.cpp.o"
+  "CMakeFiles/test_analysis_evaluate.dir/test_analysis_evaluate.cpp.o.d"
+  "test_analysis_evaluate"
+  "test_analysis_evaluate.pdb"
+  "test_analysis_evaluate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_evaluate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_loss.dir/test_analysis_loss.cpp.o"
+  "CMakeFiles/test_analysis_loss.dir/test_analysis_loss.cpp.o.d"
+  "test_analysis_loss"
+  "test_analysis_loss.pdb"
+  "test_analysis_loss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

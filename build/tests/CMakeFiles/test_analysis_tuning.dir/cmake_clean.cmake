@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_tuning.dir/test_analysis_tuning.cpp.o"
+  "CMakeFiles/test_analysis_tuning.dir/test_analysis_tuning.cpp.o.d"
+  "test_analysis_tuning"
+  "test_analysis_tuning.pdb"
+  "test_analysis_tuning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crossbar_wavelengths.dir/test_crossbar_wavelengths.cpp.o"
+  "CMakeFiles/test_crossbar_wavelengths.dir/test_crossbar_wavelengths.cpp.o.d"
+  "test_crossbar_wavelengths"
+  "test_crossbar_wavelengths.pdb"
+  "test_crossbar_wavelengths[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crossbar_wavelengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crosstalk_properties.dir/test_crosstalk_properties.cpp.o"
+  "CMakeFiles/test_crosstalk_properties.dir/test_crosstalk_properties.cpp.o.d"
+  "test_crosstalk_properties"
+  "test_crosstalk_properties.pdb"
+  "test_crosstalk_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crosstalk_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_design_report.dir/test_design_report.cpp.o"
+  "CMakeFiles/test_design_report.dir/test_design_report.cpp.o.d"
+  "test_design_report"
+  "test_design_report.pdb"
+  "test_design_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_design_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

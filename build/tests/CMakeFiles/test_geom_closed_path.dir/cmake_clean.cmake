@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_closed_path.dir/test_geom_closed_path.cpp.o"
+  "CMakeFiles/test_geom_closed_path.dir/test_geom_closed_path.cpp.o.d"
+  "test_geom_closed_path"
+  "test_geom_closed_path.pdb"
+  "test_geom_closed_path[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_closed_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_lshape.dir/test_geom_lshape.cpp.o"
+  "CMakeFiles/test_geom_lshape.dir/test_geom_lshape.cpp.o.d"
+  "test_geom_lshape"
+  "test_geom_lshape.pdb"
+  "test_geom_lshape[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_lshape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

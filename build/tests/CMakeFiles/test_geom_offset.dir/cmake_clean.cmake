@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_offset.dir/test_geom_offset.cpp.o"
+  "CMakeFiles/test_geom_offset.dir/test_geom_offset.cpp.o.d"
+  "test_geom_offset"
+  "test_geom_offset.pdb"
+  "test_geom_offset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_offset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_polyline.dir/test_geom_polyline.cpp.o"
+  "CMakeFiles/test_geom_polyline.dir/test_geom_polyline.cpp.o.d"
+  "test_geom_polyline"
+  "test_geom_polyline.pdb"
+  "test_geom_polyline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_polyline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

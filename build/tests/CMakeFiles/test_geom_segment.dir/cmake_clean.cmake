@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_segment.dir/test_geom_segment.cpp.o"
+  "CMakeFiles/test_geom_segment.dir/test_geom_segment.cpp.o.d"
+  "test_geom_segment"
+  "test_geom_segment.pdb"
+  "test_geom_segment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_segment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

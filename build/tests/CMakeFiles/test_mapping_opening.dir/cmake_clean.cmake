@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapping_opening.dir/test_mapping_opening.cpp.o"
+  "CMakeFiles/test_mapping_opening.dir/test_mapping_opening.cpp.o.d"
+  "test_mapping_opening"
+  "test_mapping_opening.pdb"
+  "test_mapping_opening[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapping_opening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

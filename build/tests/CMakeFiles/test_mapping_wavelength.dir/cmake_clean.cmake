@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapping_wavelength.dir/test_mapping_wavelength.cpp.o"
+  "CMakeFiles/test_mapping_wavelength.dir/test_mapping_wavelength.cpp.o.d"
+  "test_mapping_wavelength"
+  "test_mapping_wavelength.pdb"
+  "test_mapping_wavelength[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapping_wavelength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

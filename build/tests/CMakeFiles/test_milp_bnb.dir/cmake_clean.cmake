@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_milp_bnb.dir/test_milp_bnb.cpp.o"
+  "CMakeFiles/test_milp_bnb.dir/test_milp_bnb.cpp.o.d"
+  "test_milp_bnb"
+  "test_milp_bnb.pdb"
+  "test_milp_bnb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_milp_bnb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

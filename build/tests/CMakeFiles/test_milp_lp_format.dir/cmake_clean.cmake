@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_milp_lp_format.dir/test_milp_lp_format.cpp.o"
+  "CMakeFiles/test_milp_lp_format.dir/test_milp_lp_format.cpp.o.d"
+  "test_milp_lp_format"
+  "test_milp_lp_format.pdb"
+  "test_milp_lp_format[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_milp_lp_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_milp_lp_format.
+# This may be replaced when dependencies are built.

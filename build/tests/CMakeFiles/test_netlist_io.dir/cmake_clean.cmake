@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netlist_io.dir/test_netlist_io.cpp.o"
+  "CMakeFiles/test_netlist_io.dir/test_netlist_io.cpp.o.d"
+  "test_netlist_io"
+  "test_netlist_io.pdb"
+  "test_netlist_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netlist_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parameters_io.dir/test_parameters_io.cpp.o"
+  "CMakeFiles/test_parameters_io.dir/test_parameters_io.cpp.o.d"
+  "test_parameters_io"
+  "test_parameters_io.pdb"
+  "test_parameters_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parameters_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

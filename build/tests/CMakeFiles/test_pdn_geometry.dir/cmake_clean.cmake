@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdn_geometry.dir/test_pdn_geometry.cpp.o"
+  "CMakeFiles/test_pdn_geometry.dir/test_pdn_geometry.cpp.o.d"
+  "test_pdn_geometry"
+  "test_pdn_geometry.pdb"
+  "test_pdn_geometry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdn_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/test_report.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_report.dir/test_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xring_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_crossbar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_shortcut.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xring_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ring_construction.dir/test_ring_construction.cpp.o"
+  "CMakeFiles/test_ring_construction.dir/test_ring_construction.cpp.o.d"
+  "test_ring_construction"
+  "test_ring_construction.pdb"
+  "test_ring_construction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ring_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shortcut.dir/test_shortcut.cpp.o"
+  "CMakeFiles/test_shortcut.dir/test_shortcut.cpp.o.d"
+  "test_shortcut"
+  "test_shortcut.pdb"
+  "test_shortcut[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shortcut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shortcut_optimal.dir/test_shortcut_optimal.cpp.o"
+  "CMakeFiles/test_shortcut_optimal.dir/test_shortcut_optimal.cpp.o.d"
+  "test_shortcut_optimal"
+  "test_shortcut_optimal.pdb"
+  "test_shortcut_optimal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shortcut_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verify_drc.dir/test_verify_drc.cpp.o"
+  "CMakeFiles/test_verify_drc.dir/test_verify_drc.cpp.o.d"
+  "test_verify_drc"
+  "test_verify_drc.pdb"
+  "test_verify_drc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verify_drc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

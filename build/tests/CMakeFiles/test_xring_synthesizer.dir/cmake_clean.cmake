@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xring_synthesizer.dir/test_xring_synthesizer.cpp.o"
+  "CMakeFiles/test_xring_synthesizer.dir/test_xring_synthesizer.cpp.o.d"
+  "test_xring_synthesizer"
+  "test_xring_synthesizer.pdb"
+  "test_xring_synthesizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xring_synthesizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xring_cli.dir/xring_cli.cpp.o"
+  "CMakeFiles/xring_cli.dir/xring_cli.cpp.o.d"
+  "xring"
+  "xring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xring_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
