@@ -2,12 +2,24 @@
 // conflict oracle, ring construction, wavelength assignment, and the full
 // synthesis flow. These back the paper's computational-efficiency claim
 // (Table T columns: full 16-node synthesis well under a second).
+//
+// Besides the console table, results are exported machine-readably to
+// BENCH_micro.json (override with --bench_report=FILE, disable with
+// --bench_report=) through the obs metrics exporter, so successive runs
+// form a perf trajectory that tooling can diff. Tracing stays DISABLED
+// during the timed loops — the file records the benchmark results
+// themselves, not pipeline telemetry.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "baseline/ornoc.hpp"
 #include "mapping/opening.hpp"
 #include "geom/offset.hpp"
+#include "obs/export.hpp"
 #include "sim/simulator.hpp"
 #include "xring/synthesizer.hpp"
 
@@ -148,6 +160,52 @@ void BM_OffsetClosedRing(benchmark::State& state) {
 }
 BENCHMARK(BM_OffsetClosedRing)->Arg(8)->Arg(16)->Arg(32);
 
+/// Console output as usual, plus every finished run recorded as gauges
+/// (`bench.<name>.real_time_ns` / `.cpu_time_ns` / `.iterations`) in the
+/// global obs registry for the JSON export below.
+class ObsReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations <= 0) continue;
+      const std::string base = "bench." + run.benchmark_name();
+      obs::Registry& reg = obs::registry();
+      const double iters = static_cast<double>(run.iterations);
+      reg.gauge(base + ".real_time_ns")
+          .set(run.real_accumulated_time / iters * 1e9);
+      reg.gauge(base + ".cpu_time_ns")
+          .set(run.cpu_accumulated_time / iters * 1e9);
+      reg.gauge(base + ".iterations").set(iters);
+    }
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string report_path = "BENCH_micro.json";
+  // Peel off our own flag before google-benchmark sees the argument list.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kFlag = "--bench_report=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      report_path = argv[i] + std::strlen(kFlag);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ObsReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!report_path.empty()) {
+    obs::write_metrics_json(report_path);
+    std::fprintf(stderr, "benchmark report written to %s\n",
+                 report_path.c_str());
+  }
+  return 0;
+}

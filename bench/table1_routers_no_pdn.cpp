@@ -10,6 +10,7 @@
 #include "baseline/oring.hpp"
 #include "baseline/ornoc.hpp"
 #include "crossbar/physical.hpp"
+#include "obs/export.hpp"
 #include "report/table.hpp"
 #include "xring/sweep.hpp"
 
@@ -103,6 +104,7 @@ void run_network(int n) {
   ring_row(t, "XRing", xr.result.metrics, ring.seconds + xr.seconds);
 
   std::printf("%d-node network (no PDNs)\n%s\n", n, t.to_string().c_str());
+  t.to_metrics("table1.n" + std::to_string(n), obs::registry());
 }
 
 }  // namespace
@@ -113,5 +115,7 @@ int main() {
   std::printf("max-loss signal (mm); C: crossings on that path; T: time (s)\n\n");
   run_network(8);
   run_network(16);
+  obs::write_metrics_json("BENCH_table1.json");
+  std::fprintf(stderr, "machine-readable report written to BENCH_table1.json\n");
   return 0;
 }

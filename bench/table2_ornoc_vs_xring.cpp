@@ -9,8 +9,10 @@
 // [17], crosstalk of [14].
 
 #include <cstdio>
+#include <string>
 
 #include "baseline/ornoc.hpp"
+#include "obs/export.hpp"
 #include "report/table.hpp"
 #include "xring/sweep.hpp"
 
@@ -53,12 +55,15 @@ void run_network(int n) {
   // the whole curve.
   for (const SweepGoal goal : {SweepGoal::kMinPower, SweepGoal::kMaxSnr}) {
     report::Table t(
-        {"", "#wl", "il*_w", "L", "C", "P", "#s", "SNR_w", "T"});
+        {"router", "#wl", "il*_w", "L", "C", "P", "#s", "SNR_w", "T"});
     add_row(t, "ORNoC", sweep(ornoc_at, goal, n / 2, n));
     add_row(t, "XRing", sweep(xring_at, goal, n / 2, n));
     std::printf("The setting for %s for %d-node networks\n%s\n",
                 goal == SweepGoal::kMinPower ? "min. power" : "max. SNR", n,
                 t.to_string().c_str());
+    t.to_metrics("table2.n" + std::to_string(n) + "." +
+                     (goal == SweepGoal::kMinPower ? "min_power" : "max_snr"),
+                 obs::registry());
   }
 }
 
@@ -72,5 +77,7 @@ int main() {
   run_network(8);
   run_network(16);
   run_network(32);
+  obs::write_metrics_json("BENCH_table2.json");
+  std::fprintf(stderr, "machine-readable report written to BENCH_table2.json\n");
   return 0;
 }

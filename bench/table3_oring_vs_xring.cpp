@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "baseline/oring.hpp"
+#include "obs/export.hpp"
 #include "report/table.hpp"
 #include "xring/sweep.hpp"
 
@@ -51,13 +52,16 @@ int main() {
   };
 
   for (const SweepGoal goal : {SweepGoal::kMinPower, SweepGoal::kMaxSnr}) {
-    report::Table t({"", "#wl", "il*_w", "L", "C", "P", "#s", "SNR_w", "T"});
+    report::Table t({"router", "#wl", "il*_w", "L", "C", "P", "#s", "SNR_w", "T"});
     // Same [N/2, N] setting space as Table II.
     add_row(t, "ORing", sweep(oring_at, goal, n / 2, n), /*manual_time=*/true);
     add_row(t, "XRing", sweep(xring_at, goal, n / 2, n), /*manual_time=*/false);
     std::printf("The setting for %s\n%s\n",
                 goal == SweepGoal::kMinPower ? "min. power" : "max. SNR",
                 t.to_string().c_str());
+    t.to_metrics(std::string("table3.n16.") +
+                     (goal == SweepGoal::kMinPower ? "min_power" : "max_snr"),
+                 obs::registry());
   }
 
   // The paper's prose claims for this comparison, computed live.
@@ -72,5 +76,7 @@ int main() {
               100.0 * oring.result.metrics.noisy_signals / total);
   std::printf("  XRing signals w/ noise:  %.0f%% (paper: 1%%)\n",
               100.0 * xr.result.metrics.noisy_signals / total);
+  obs::write_metrics_json("BENCH_table3.json");
+  std::fprintf(stderr, "machine-readable report written to BENCH_table3.json\n");
   return 0;
 }

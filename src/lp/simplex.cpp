@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace xring::lp {
 
 std::string to_string(Status s) {
@@ -238,9 +240,7 @@ double objective_value(const State& s, const std::vector<double>& cost) {
   return v;
 }
 
-}  // namespace
-
-Solution solve(const Problem& p, const SolveOptions& options) {
+Solution solve_impl(const Problem& p, const SolveOptions& options) {
   State s;
   s.m = p.num_constraints();
   s.n_struct = p.num_variables();
@@ -361,6 +361,20 @@ Solution solve(const Problem& p, const SolveOptions& options) {
   out.reduced_costs.resize(s.n_struct);
   for (int j = 0; j < s.n_struct; ++j) {
     out.reduced_costs[j] = sense * reduced_cost(s, y, j);
+  }
+  return out;
+}
+
+}  // namespace
+
+Solution solve(const Problem& p, const SolveOptions& options) {
+  obs::Span span("lp.solve");
+  Solution out = solve_impl(p, options);
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::registry();
+    reg.counter("lp.solves").add();
+    reg.counter("lp.pivots").add(out.iterations);
+    reg.histogram("lp.iterations").observe(out.iterations);
   }
   return out;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/obs.hpp"
+
 namespace xring::mapping {
 
 int passing_signals(const ring::Tour& tour, const netlist::Traffic& traffic,
@@ -158,6 +160,15 @@ OpeningStats create_openings(const ring::Tour& tour,
     max_wl = std::max(max_wl, r.wavelength);
   }
   mapping.wavelengths_used = max_wl + 1;
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::registry();
+    // Every ring waveguide receives exactly one opening.
+    reg.counter("mapping.openings_inserted")
+        .add(static_cast<long long>(mapping.waveguides.size()));
+    reg.counter("mapping.relocated_signals").add(stats.relocated_signals);
+    reg.counter("mapping.extra_waveguides").add(stats.extra_waveguides);
+    reg.gauge("mapping.wavelengths_used").set(mapping.wavelengths_used);
+  }
   return stats;
 }
 

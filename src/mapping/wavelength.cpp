@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.hpp"
+
 namespace xring::mapping {
 
 int Mapping::ring_waveguides(Direction dir) const {
@@ -182,6 +184,20 @@ Mapping assign_wavelengths(const ring::Tour& tour,
   int max_wl = -1;
   for (const SignalRoute& r : m.routes) max_wl = std::max(max_wl, r.wavelength);
   m.wavelengths_used = max_wl + 1;
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::registry();
+    reg.gauge("mapping.ring_waveguides")
+        .set(static_cast<double>(m.waveguides.size()));
+    reg.gauge("mapping.wavelengths_used").set(m.wavelengths_used);
+    long long shortcut_routes = 0;
+    for (const SignalRoute& r : m.routes) {
+      if (r.kind == RouteKind::kShortcut || r.kind == RouteKind::kCse) {
+        ++shortcut_routes;
+      }
+    }
+    reg.gauge("mapping.shortcut_routes")
+        .set(static_cast<double>(shortcut_routes));
+  }
   return m;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <queue>
 
+#include "obs/obs.hpp"
+
 namespace xring::milp {
 
 std::string to_string(MipStatus s) {
@@ -92,10 +94,27 @@ double objective_of(const Model& model, const std::vector<double>& x) {
 }  // namespace
 
 MipResult solve(const Model& model, const BnbOptions& options) {
+  obs::Span span("milp.solve");
   const auto start = Clock::now();
   const double sign = model.maximize() ? -1.0 : 1.0;
   auto elapsed = [&] {
     return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+  // New incumbents are timestamped into the registry as they are found (in
+  // the caller's objective sense), giving the convergence timeline that the
+  // trace's "C" events and the solver-telemetry tests read back.
+  auto note_incumbent = [&](double obj_minimized) {
+    if (obs::enabled()) {
+      obs::registry().append_series("milp.incumbent", sign * obj_minimized);
+      obs::registry().counter("milp.incumbents").add();
+    }
+  };
+  auto record_totals = [](const MipResult& r) {
+    if (!obs::enabled()) return;
+    obs::Registry& reg = obs::registry();
+    reg.counter("milp.solves").add();
+    reg.counter("milp.nodes").add(r.nodes);
+    reg.counter("milp.lazy_cuts").add(r.lazy_constraints_added);
   };
 
   MipResult result;
@@ -116,6 +135,7 @@ MipResult solve(const Model& model, const BnbOptions& options) {
       incumbent = *options.warm_start;
       incumbent_obj = sign * objective_of(model, incumbent);
       result.status = MipStatus::kFeasible;
+      note_incumbent(incumbent_obj);
     } else {
       append_rows(relaxation, cuts);
       result.lazy_constraints_added += static_cast<int>(cuts.size());
@@ -164,6 +184,7 @@ MipResult solve(const Model& model, const BnbOptions& options) {
       if (node.fixings.empty() && incumbent.empty()) {
         result.status = MipStatus::kUnbounded;
         result.seconds = elapsed();
+        record_totals(result);
         return result;
       }
       continue;
@@ -192,6 +213,7 @@ MipResult solve(const Model& model, const BnbOptions& options) {
       }
       incumbent = rel.x;
       incumbent_obj = bound;
+      note_incumbent(incumbent_obj);
       continue;
     }
 
@@ -218,6 +240,7 @@ MipResult solve(const Model& model, const BnbOptions& options) {
   }
 
   result.seconds = elapsed();
+  record_totals(result);
   if (!incumbent.empty()) {
     result.x = incumbent;
     result.objective = sign * incumbent_obj;

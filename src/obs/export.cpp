@@ -1,0 +1,145 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace xring::obs {
+
+namespace {
+
+/// JSON number formatting: shortest round-trippable form, never NaN/Inf
+/// (JSON has neither; they become null).
+std::string num(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to a friendlier precision when it round-trips.
+  char shorter[32];
+  std::snprintf(shorter, sizeof(shorter), "%.12g", v);
+  if (std::strtod(shorter, nullptr) == v) return shorter;
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << content;
+}
+
+}  // namespace
+
+std::string trace_json(const Registry& reg) {
+  // Compact small-integer thread ids in order of first appearance.
+  std::map<std::uint64_t, int> tids;
+  auto tid_of = [&](std::uint64_t raw) {
+    auto [it, inserted] = tids.emplace(raw, static_cast<int>(tids.size()) + 1);
+    (void)inserted;
+    return it->second;
+  };
+
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& ev : reg.spans()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << escape(ev.name) << "\",\"cat\":\"xring\""
+        << ",\"ph\":\"X\",\"ts\":" << num(ev.start_us)
+        << ",\"dur\":" << num(ev.dur_us) << ",\"pid\":1,\"tid\":"
+        << tid_of(ev.thread_id) << ",\"args\":{\"depth\":" << ev.depth
+        << "}}";
+  }
+  for (const auto& [name, points] : reg.series()) {
+    for (const SeriesPoint& p : points) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"name\":\"" << escape(name) << "\",\"cat\":\"xring\""
+          << ",\"ph\":\"C\",\"ts\":" << num(p.t_us)
+          << ",\"pid\":1,\"args\":{\"value\":" << num(p.value) << "}}";
+    }
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+std::string metrics_json(const Registry& reg) {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [name, value] : reg.flatten()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  \"" << escape(name) << "\": " << num(value);
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+std::string metrics_csv(const Registry& reg) {
+  std::ostringstream out;
+  out << "name,value\n";
+  for (const auto& [name, value] : reg.flatten()) {
+    out << name << "," << num(value) << "\n";
+  }
+  return out.str();
+}
+
+std::map<std::string, double> metrics_from_csv(const std::string& csv) {
+  std::map<std::string, double> out;
+  std::istringstream in(csv);
+  std::string line;
+  bool header = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (header) {  // skip the "name,value" header if present
+      header = false;
+      if (line == "name,value") continue;
+    }
+    const std::size_t comma = line.rfind(',');
+    if (comma == std::string::npos) {
+      throw std::invalid_argument("malformed metrics CSV line: " + line);
+    }
+    out[line.substr(0, comma)] = std::strtod(line.c_str() + comma + 1, nullptr);
+  }
+  return out;
+}
+
+void write_trace_json(const std::string& path, const Registry& reg) {
+  write_file(path, trace_json(reg));
+}
+
+void write_metrics_json(const std::string& path, const Registry& reg) {
+  write_file(path, metrics_json(reg));
+}
+
+void write_metrics_csv(const std::string& path, const Registry& reg) {
+  write_file(path, metrics_csv(reg));
+}
+
+}  // namespace xring::obs

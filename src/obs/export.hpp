@@ -1,0 +1,32 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace xring::obs {
+
+/// Chrome trace_event JSON ("X" complete events for spans, "C" counter
+/// events for series). Load the file at chrome://tracing or ui.perfetto.dev.
+std::string trace_json(const Registry& reg);
+
+/// Flat `{"name": value, ...}` JSON of Registry::flatten(), sorted by name.
+std::string metrics_json(const Registry& reg);
+
+/// Two-column `name,value` CSV (header row included) of Registry::flatten().
+std::string metrics_csv(const Registry& reg);
+
+/// Inverse of metrics_csv; also accepts any `name,value` two-column CSV.
+/// Used by the exporter round-trip tests and by report-diffing tools.
+std::map<std::string, double> metrics_from_csv(const std::string& csv);
+
+// File-writing wrappers; throw std::runtime_error when the file can't be
+// opened. All default to the global registry.
+void write_trace_json(const std::string& path, const Registry& reg = registry());
+void write_metrics_json(const std::string& path,
+                        const Registry& reg = registry());
+void write_metrics_csv(const std::string& path,
+                       const Registry& reg = registry());
+
+}  // namespace xring::obs

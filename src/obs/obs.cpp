@@ -1,0 +1,199 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace xring::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<bool> g_enabled{false};
+std::atomic<Registry*> g_override{nullptr};
+
+Registry& default_registry() {
+  static Registry r;
+  return r;
+}
+
+/// Per-thread span nesting level; roots open at depth 0.
+thread_local int t_depth = 0;
+
+std::uint64_t this_thread_id() {
+  return static_cast<std::uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+}  // namespace
+
+void Histogram::observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (snap_.count == 0) {
+    snap_.min = snap_.max = v;
+  } else {
+    snap_.min = std::min(snap_.min, v);
+    snap_.max = std::max(snap_.max, v);
+  }
+  ++snap_.count;
+  snap_.sum += v;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snap_;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  snap_ = HistogramSnapshot{};
+}
+
+Registry::Registry() : epoch_(Clock::now()) {}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_[name];
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_[name];
+}
+
+void Registry::append_series(const std::string& name, double value) {
+  const double t = now_us();
+  std::lock_guard<std::mutex> lock(mu_);
+  series_[name].push_back(SeriesPoint{t, value});
+}
+
+void Registry::record_span(SpanEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(ev));
+}
+
+double Registry::now_us() const { return to_epoch_us(Clock::now()); }
+
+double Registry::to_epoch_us(Clock::time_point t) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::chrono::duration<double, std::micro>(t - epoch_).count();
+}
+
+std::vector<SpanEvent> Registry::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::map<std::string, long long> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, long long> out;
+  for (const auto& [name, c] : counters_) out[name] = c.value();
+  return out;
+}
+
+std::map<std::string, double> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, g] : gauges_) out[name] = g.value();
+  return out;
+}
+
+std::map<std::string, HistogramSnapshot> Registry::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, h] : histograms_) out[name] = h.snapshot();
+  return out;
+}
+
+std::map<std::string, std::vector<SeriesPoint>> Registry::series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_;
+}
+
+std::map<std::string, double> Registry::flatten() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, c] : counters_) {
+    out[name] = static_cast<double>(c.value());
+  }
+  for (const auto& [name, g] : gauges_) out[name] = g.value();
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot s = h.snapshot();
+    out[name + ".count"] = static_cast<double>(s.count);
+    out[name + ".sum"] = s.sum;
+    out[name + ".mean"] = s.mean();
+    out[name + ".min"] = s.min;
+    out[name + ".max"] = s.max;
+  }
+  for (const auto& [name, points] : series_) {
+    out[name + ".count"] = static_cast<double>(points.size());
+    if (!points.empty()) out[name + ".last"] = points.back().value;
+  }
+  // Aggregate spans by name: total wall time and invocation count.
+  std::map<std::string, std::pair<long long, double>> by_name;
+  for (const SpanEvent& ev : spans_) {
+    auto& [count, total_us] = by_name[ev.name];
+    ++count;
+    total_us += ev.dur_us;
+  }
+  for (const auto& [name, agg] : by_name) {
+    out["span." + name + ".count"] = static_cast<double>(agg.first);
+    out["span." + name + ".total_s"] = agg.second * 1e-6;
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  series_.clear();
+  spans_.clear();
+  epoch_ = Clock::now();
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+Registry& registry() {
+  Registry* r = g_override.load(std::memory_order_acquire);
+  return r ? *r : default_registry();
+}
+
+Registry* swap_registry(Registry* r) {
+  return g_override.exchange(r, std::memory_order_acq_rel);
+}
+
+Span::Span(const char* name)
+    : name_(name), start_(Clock::now()), active_(enabled()) {
+  if (active_) depth_ = t_depth++;
+}
+
+double Span::elapsed_seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+void Span::close() {
+  if (!active_) return;
+  active_ = false;
+  --t_depth;
+  Registry& reg = registry();
+  const Clock::time_point end = Clock::now();
+  SpanEvent ev;
+  ev.name = name_;
+  // Clamp: a span opened before a registry reset() predates the new epoch.
+  ev.start_us = std::max(0.0, reg.to_epoch_us(start_));
+  ev.dur_us = std::chrono::duration<double, std::micro>(end - start_).count();
+  ev.depth = depth_;
+  ev.thread_id = this_thread_id();
+  reg.record_span(std::move(ev));
+}
+
+}  // namespace xring::obs

@@ -1,0 +1,165 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xring::obs {
+
+/// Monotonically increasing event count. Thread-safe; cheap enough to sit in
+/// per-solve (not per-iteration) positions of the hot paths.
+class Counter {
+ public:
+  void add(long long delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  long long value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> value_{0};
+};
+
+/// Last-write-wins scalar (e.g. "wavelengths used by the final mapping").
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramSnapshot {
+  long long count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean() const { return count > 0 ? sum / count : 0.0; }
+};
+
+/// Streaming distribution summary (count/sum/min/max). Observation sites are
+/// expected to be per-solve or per-flow, not per-inner-iteration.
+class Histogram {
+ public:
+  void observe(double v);
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  HistogramSnapshot snap_;
+};
+
+/// One closed span, timestamped in microseconds relative to the registry
+/// epoch. `depth` is the nesting level on the recording thread (0 = root);
+/// Chrome tracing reconstructs the same hierarchy from ts/dur containment.
+struct SpanEvent {
+  std::string name;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  int depth = 0;
+  std::uint64_t thread_id = 0;
+};
+
+/// One sample of a timestamped series (e.g. the MILP incumbent timeline).
+struct SeriesPoint {
+  double t_us = 0.0;
+  double value = 0.0;
+};
+
+/// Owns every metric and span of one run. Metric accessors return stable
+/// references (map nodes never move), so instrumentation sites may cache
+/// them. All methods are thread-safe. The registry itself always works;
+/// the global `enabled()` flag only gates the *instrumentation sites*, so a
+/// bench can record its own results into a disabled-tracing registry.
+class Registry {
+ public:
+  Registry();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Appends a point (timestamped now) to the named series.
+  void append_series(const std::string& name, double value);
+
+  void record_span(SpanEvent ev);
+
+  /// Microseconds elapsed since construction / last reset().
+  double now_us() const;
+
+  /// Converts a steady_clock instant to microseconds since the epoch.
+  double to_epoch_us(std::chrono::steady_clock::time_point t) const;
+
+  // Snapshots (copies; safe to hold while recording continues).
+  std::vector<SpanEvent> spans() const;
+  std::map<std::string, long long> counters() const;
+  std::map<std::string, double> gauges() const;
+  std::map<std::string, HistogramSnapshot> histograms() const;
+  std::map<std::string, std::vector<SeriesPoint>> series() const;
+
+  /// Flat {name: value} view of everything: counters and gauges verbatim,
+  /// histograms as name.count/.sum/.mean/.min/.max, series as name.count
+  /// and name.last, and per-span-name aggregates as span.<name>.count and
+  /// span.<name>.total_s. This is what the metrics exporters serialize.
+  std::map<std::string, double> flatten() const;
+
+  /// Drops all metrics and spans and restarts the epoch.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, std::vector<SeriesPoint>> series_;
+  std::vector<SpanEvent> spans_;
+};
+
+/// Tracing/metrics master switch. Off by default: every instrumentation
+/// site checks it before touching the registry, so a disabled build path
+/// costs one relaxed atomic load (and, for spans, one clock read).
+bool enabled();
+void set_enabled(bool on);
+
+/// The process-wide registry instrumentation sites write to.
+Registry& registry();
+
+/// Swaps the global registry (tests install a fresh one; pass nullptr to
+/// restore the built-in default). Returns the previous override, or nullptr
+/// if the default was active. The caller keeps ownership of both.
+Registry* swap_registry(Registry* r);
+
+/// RAII wall-clock span. Construction always stamps the start time (so
+/// `elapsed_seconds()` works even with tracing disabled — the synthesizer
+/// derives its reported `seconds` from the root span); an event is recorded
+/// into the registry only when tracing was enabled at construction.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span() { close(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Seconds since construction; independent of the enabled flag.
+  double elapsed_seconds() const;
+
+  /// Records the event now (idempotent; the destructor calls it too).
+  void close();
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+  int depth_ = 0;
+  bool active_ = false;  ///< tracing was enabled when the span opened
+};
+
+}  // namespace xring::obs

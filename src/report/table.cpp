@@ -1,6 +1,7 @@
 #include "report/table.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
@@ -65,6 +66,27 @@ std::string Table::to_csv() const {
   line(headers_);
   for (const auto& row : rows_) line(row);
   return out.str();
+}
+
+void Table::to_metrics(const std::string& prefix, obs::Registry& reg) const {
+  auto key = [](std::string s) {
+    for (char& c : s) {
+      if (c == ' ' || c == '/' || c == ',') c = '_';
+    }
+    return s;
+  };
+  for (const auto& row : rows_) {
+    if (row.empty() || row[0].empty()) continue;
+    const std::string base = prefix + "." + key(row[0]) + ".";
+    for (std::size_t c = 1; c < row.size(); ++c) {
+      const std::string& cell = row[c];
+      if (cell.empty()) continue;
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() || *end != '\0') continue;  // non-numeric cell
+      reg.gauge(base + key(headers_[c])).set(v);
+    }
+  }
 }
 
 std::string num(double value, int decimals) {

@@ -3,6 +3,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace xring::report {
 
 /// A fixed-width ASCII table builder used by the benches to print the
@@ -19,6 +21,13 @@ class Table {
 
   /// Renders as CSV (RFC-4180-style quoting for cells containing commas).
   std::string to_csv() const;
+
+  /// Publishes every numeric cell into `reg` as a gauge named
+  /// `<prefix>.<row key>.<header>` where the row key is the first cell
+  /// (spaces and slashes become underscores). The bench executables use this
+  /// to emit BENCH_*.json machine-readable reports next to the printed
+  /// tables, through the same obs exporters the CLI uses.
+  void to_metrics(const std::string& prefix, obs::Registry& reg) const;
 
   int rows() const { return static_cast<int>(rows_.size()); }
   int columns() const { return static_cast<int>(headers_.size()); }

@@ -2,11 +2,14 @@
 
 #include <chrono>
 
+#include "obs/obs.hpp"
+
 namespace xring::ring {
 
 RingBuildResult build_ring(const netlist::Floorplan& floorplan,
                            const ConflictOracle& oracle,
                            const RingBuildOptions& options) {
+  obs::Span span("ring_construction");
   const auto start = std::chrono::steady_clock::now();
   RingBuildResult result;
 
@@ -56,6 +59,13 @@ RingBuildResult build_ring(const netlist::Floorplan& floorplan,
   result.seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
                        .count();
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::registry();
+    reg.counter("ring.builds").add();
+    reg.counter("ring.subcycles").add(result.subcycles_before_merge);
+    reg.gauge("ring.crossings").set(result.geometry.crossings);
+    reg.gauge("ring.length_um").set(result.geometry.tour.total_length());
+  }
   return result;
 }
 

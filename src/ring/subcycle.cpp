@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace xring::ring {
 
 std::vector<Cycle> extract_cycles(
@@ -119,6 +121,11 @@ Cycle merge_cycles(std::vector<Cycle> cycles,
     // merged now reads b ... a d ... c, which closes with edge (c, b).
     cycles[best.cycle_a] = std::move(merged);
     cycles.erase(cycles.begin() + static_cast<std::ptrdiff_t>(best.cycle_b));
+    if (obs::enabled()) {
+      obs::Registry& reg = obs::registry();
+      reg.counter("ring.subcycle_merges").add();
+      if (!best.conflict_free) reg.counter("ring.conflicted_merges").add();
+    }
   }
   return cycles.front();
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "phys/units.hpp"
 
 namespace xring::sim {
@@ -34,6 +35,7 @@ double ber_from_snr_db(double snr_db) {
 SimReport simulate(const analysis::RouterDesign& design,
                    const analysis::RouterMetrics& metrics,
                    const SimOptions& opt) {
+  obs::Span span("sim.run");
   const int num_flows = design.traffic.size();
   SimReport report;
   report.flows.resize(num_flows);
@@ -113,6 +115,20 @@ SimReport simulate(const analysis::RouterDesign& design,
     // P[W] / R[Gb/s] = nJ/bit -> *1000 = pJ/bit.
     report.energy_per_bit_pj = metrics.total_power_w /
                                report.aggregate_throughput_gbps * 1000.0;
+  }
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::registry();
+    reg.counter("sim.runs").add();
+    reg.counter("sim.slots").add(slots * static_cast<long long>(num_flows));
+    reg.counter("sim.flits_delivered").add(report.total_flits);
+    long long sent = 0;
+    obs::Histogram& lat = reg.histogram("sim.flow_latency_ns");
+    for (const FlowStats& fs : report.flows) {
+      sent += fs.flits_sent;
+      if (fs.flits_delivered > 0) lat.observe(fs.avg_latency_ns);
+    }
+    reg.counter("sim.flits_sent").add(sent);
+    reg.gauge("sim.worst_ber").set(report.worst_ber);
   }
   return report;
 }

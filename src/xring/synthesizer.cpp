@@ -1,6 +1,6 @@
 #include "xring/synthesizer.hpp"
 
-#include <chrono>
+#include "obs/obs.hpp"
 
 namespace xring {
 
@@ -8,15 +8,29 @@ Synthesizer::Synthesizer(const netlist::Floorplan& floorplan)
     : floorplan_(&floorplan), oracle_(floorplan) {}
 
 SynthesisResult Synthesizer::run(const SynthesisOptions& options) const {
+  obs::Span root("synth");
   const ring::RingBuildResult ring =
       ring::build_ring(*floorplan_, oracle_, options.ring);
-  return run_with_ring(options, ring);
+  SynthesisResult out = synthesize_from_ring(options, ring);
+  // The root span covers ring construction, so its elapsed time alone is the
+  // full wall-clock figure.
+  out.seconds = root.elapsed_seconds();
+  return out;
 }
 
 SynthesisResult Synthesizer::run_with_ring(
     const SynthesisOptions& options, const ring::RingBuildResult& ring) const {
-  const auto start = std::chrono::steady_clock::now();
+  obs::Span root("synth");
+  SynthesisResult out = synthesize_from_ring(options, ring);
+  // The ring was prebuilt outside this call (the sweep layer reuses one ring
+  // across #wl settings); charging its build time here keeps both entry
+  // points' `seconds` comparable — each reports a full Step 1-4 synthesis.
+  out.seconds = ring.seconds + root.elapsed_seconds();
+  return out;
+}
 
+SynthesisResult Synthesizer::synthesize_from_ring(
+    const SynthesisOptions& options, const ring::RingBuildResult& ring) const {
   SynthesisResult out;
   out.ring_stats = ring;
 
@@ -29,17 +43,27 @@ SynthesisResult Synthesizer::run_with_ring(
   d.params = options.params;
 
   // Step 2: shortcuts.
-  d.shortcuts = shortcut::build_shortcuts(d.ring, *floorplan_,
-                                          options.shortcuts);
+  {
+    obs::Span span("shortcuts");
+    d.shortcuts = shortcut::build_shortcuts(d.ring, *floorplan_,
+                                            options.shortcuts);
+  }
 
   // Step 3: wavelength assignment, then openings.
-  d.mapping = mapping::assign_wavelengths(d.ring.tour, d.traffic, d.shortcuts,
-                                          options.mapping);
-  out.opening_stats = mapping::create_openings(
-      d.ring.tour, d.traffic, d.mapping, options.mapping, options.openings);
+  {
+    obs::Span span("mapping");
+    d.mapping = mapping::assign_wavelengths(d.ring.tour, d.traffic,
+                                            d.shortcuts, options.mapping);
+  }
+  {
+    obs::Span span("opening");
+    out.opening_stats = mapping::create_openings(
+        d.ring.tour, d.traffic, d.mapping, options.mapping, options.openings);
+  }
 
   // Step 4: PDN.
   if (options.build_pdn) {
+    obs::Span span("pdn");
     std::vector<bool> has_shortcut(floorplan_->size(), false);
     for (const shortcut::Shortcut& s : d.shortcuts.shortcuts) {
       has_shortcut[s.a] = true;
@@ -52,10 +76,10 @@ SynthesisResult Synthesizer::run_with_ring(
     d.has_pdn = true;
   }
 
-  out.metrics = analysis::evaluate(d);
-  out.seconds = ring.seconds + std::chrono::duration<double>(
-                                   std::chrono::steady_clock::now() - start)
-                                   .count();
+  {
+    obs::Span span("evaluate");
+    out.metrics = analysis::evaluate(d);
+  }
   return out;
 }
 

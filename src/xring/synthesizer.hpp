@@ -36,7 +36,10 @@ struct SynthesisResult {
   analysis::RouterMetrics metrics;
   ring::RingBuildResult ring_stats;
   mapping::OpeningStats opening_stats;
-  double seconds = 0.0;  ///< wall-clock synthesis time (the tables' T)
+  /// Wall-clock synthesis time (the tables' T), derived from the root
+  /// `synth` observability span. Both entry points report a full Step 1-4
+  /// figure: `run_with_ring` adds the prebuilt ring's build time.
+  double seconds = 0.0;
 };
 
 /// The XRing synthesis pipeline (paper Sec. III):
@@ -61,6 +64,11 @@ class Synthesizer {
   const ring::ConflictOracle& oracle() const { return oracle_; }
 
  private:
+  /// Steps 2-4 + evaluation from an already-built ring (no root span; both
+  /// public entry points wrap this in their own `synth` span).
+  SynthesisResult synthesize_from_ring(const SynthesisOptions& options,
+                                       const ring::RingBuildResult& ring) const;
+
   const netlist::Floorplan* floorplan_;
   ring::ConflictOracle oracle_;
 };

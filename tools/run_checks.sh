@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Full check pass: a sanitizer build (ASan + UBSan) of the whole tree and
+# the complete test suite run under it. Usage:
+#
+#   tools/run_checks.sh [build-dir]       # default: build-sanitize
+#
+# The sanitizer build lives in its own directory so it never perturbs the
+# regular `build/` tree.
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo/build-sanitize"}
+
+cmake -B "$build_dir" -S "$repo" -DXRING_SANITIZE=address,undefined
+cmake --build "$build_dir" -j
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"

@@ -16,6 +16,13 @@
 //   --svg FILE         write the layout view to FILE
 //   --csv              print the per-signal report as CSV
 //   --report           print the full design report instead of the summary
+//   --trace FILE       record a Chrome trace_event JSON of the run (load it
+//                      at chrome://tracing or ui.perfetto.dev); spans cover
+//                      synth > ring_construction > milp.solve > lp.solve,
+//                      plus shortcuts, mapping, opening, pdn, evaluate
+//   --metrics FILE     write the flat {name: value} metrics JSON (solver
+//                      node/cut/pivot counts, mapping stats, per-step wall
+//                      times); a .csv extension selects the CSV exporter
 //
 // floorplan options:
 //   --nodes N          standard size (8/16/32)
@@ -29,6 +36,7 @@
 
 #include "analysis/latency.hpp"
 #include "netlist/io.hpp"
+#include "obs/export.hpp"
 #include "phys/parameters_io.hpp"
 #include "report/design_report.hpp"
 #include "report/table.hpp"
@@ -118,10 +126,33 @@ int cmd_synth(Args& args) {
   const std::string svg = args.value("--svg");
   const bool csv = args.flag("--csv");
   const bool full_report = args.flag("--report");
+  const std::string trace_file = args.value("--trace");
+  const std::string metrics_file = args.value("--metrics");
   if (!args.report_unused()) return 2;
+
+  if (!trace_file.empty() || !metrics_file.empty()) {
+    obs::registry().reset();
+    obs::set_enabled(true);
+  }
 
   const Synthesizer synth(fp);
   const SynthesisResult r = synth.run(opt);
+
+  if (!trace_file.empty()) {
+    obs::write_trace_json(trace_file);
+    std::fprintf(stderr, "trace written to %s\n", trace_file.c_str());
+  }
+  if (!metrics_file.empty()) {
+    const bool as_csv = metrics_file.size() >= 4 &&
+                        metrics_file.compare(metrics_file.size() - 4, 4,
+                                             ".csv") == 0;
+    if (as_csv) {
+      obs::write_metrics_csv(metrics_file);
+    } else {
+      obs::write_metrics_json(metrics_file);
+    }
+    std::fprintf(stderr, "metrics written to %s\n", metrics_file.c_str());
+  }
   const analysis::LatencyReport latency = analysis::compute_latency(r.metrics);
 
   if (full_report) {
