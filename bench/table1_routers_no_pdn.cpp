@@ -11,6 +11,7 @@
 #include "baseline/ornoc.hpp"
 #include "crossbar/physical.hpp"
 #include "obs/export.hpp"
+#include "report/run_report.hpp"
 #include "report/table.hpp"
 #include "xring/sweep.hpp"
 
@@ -110,6 +111,7 @@ void run_network(int n) {
 }  // namespace
 
 int main() {
+  obs::set_enabled(true);  // record spans/series for the HTML run report
   std::printf("=== Table I: WRONoC routers without PDNs ===\n");
   std::printf("il_w: worst-case insertion loss (dB); L: path length of the\n");
   std::printf("max-loss signal (mm); C: crossings on that path; T: time (s)\n\n");
@@ -117,5 +119,10 @@ int main() {
   run_network(16);
   obs::write_metrics_json("BENCH_table1.json");
   std::fprintf(stderr, "machine-readable report written to BENCH_table1.json\n");
+  report::RunReportOptions ropt;
+  ropt.title = "Table I bench: WRONoC routers without PDNs";
+  report::write_run_report_html("BENCH_table1.html", obs::registry(), nullptr,
+                                nullptr, ropt);
+  std::fprintf(stderr, "run report written to BENCH_table1.html\n");
   return 0;
 }

@@ -10,12 +10,32 @@ namespace {
 
 constexpr double kNegligibleMw = 1e-15;
 
+/// Accumulates noise deposits into the per-victim totals and, when an
+/// attribution ledger is attached, records one provenance row per deposit.
+/// Callers stamp the aggressor/source/node fields before each walk so both
+/// views are fed from the same numbers (that is the sum invariant the
+/// explainability tests check).
+struct NoiseSink {
+  std::vector<double>& totals;
+  std::vector<XtalkContribution>* ledger = nullptr;
+  SignalId aggressor = -1;
+  XtalkSource source = XtalkSource::kPdnLeak;
+  NodeId node = -1;
+
+  void deposit(SignalId victim, double power_mw) {
+    totals[victim] += power_mw;
+    if (ledger != nullptr) {
+      ledger->push_back(
+          XtalkContribution{victim, aggressor, source, node, power_mw});
+    }
+  }
+};
+
 /// Walks noise injected on ring waveguide `w` at node `at`, travelling the
 /// waveguide's transmission direction, until a wavelength-matched receiver
 /// absorbs it, the opening terminates it, or a full lap decays it.
 void walk_ring_noise(const AnalysisContext& ctx, int w, NodeId at,
-                     int wavelength, double power_mw,
-                     std::vector<double>& noise_out) {
+                     int wavelength, double power_mw, NoiseSink& sink) {
   if (power_mw < kNegligibleMw) return;
   const RouterDesign& d = ctx.design();
   const phys::LossParams& lp = d.params.loss;
@@ -41,7 +61,7 @@ void walk_ring_noise(const AnalysisContext& ctx, int w, NodeId at,
     // photodetector.
     const auto receivers = d.receivers_on(w, u, wavelength);
     if (!receivers.empty()) {
-      noise_out[receivers.front()] += power_mw * phys::db_to_linear(-absorb_db);
+      sink.deposit(receivers.front(), power_mw * phys::db_to_linear(-absorb_db));
       return;
     }
     // The opening cut sits between the receiver and sender banks.
@@ -88,7 +108,7 @@ double chord_to_crossing_mm(const RouterDesign& d, int sc, NodeId from) {
 /// matched receiver there, attenuated by the remaining chord propagation.
 void deliver_shortcut_noise(const RouterDesign& d, int sc, NodeId end,
                             int wavelength, double power_mw, double travel_mm,
-                            std::vector<double>& noise_out) {
+                            NoiseSink& sink) {
   if (power_mw < kNegligibleMw) return;
   const phys::LossParams& lp = d.params.loss;
   power_mw *= phys::db_to_linear(-travel_mm * lp.propagation_db_per_mm);
@@ -102,8 +122,8 @@ void deliver_shortcut_noise(const RouterDesign& d, int sc, NodeId end,
         (r.kind == mapping::RouteKind::kCse &&
          d.shortcuts.cse_routes[r.cse].shortcut_out == sc);
     if (!on_this_chord) continue;
-    noise_out[i] +=
-        power_mw * phys::db_to_linear(-(lp.drop_db + lp.photodetector_db));
+    sink.deposit(static_cast<SignalId>(i),
+                 power_mw * phys::db_to_linear(-(lp.drop_db + lp.photodetector_db)));
     return;  // the matched drop-MRR absorbs the noise
   }
 }
@@ -112,7 +132,8 @@ void deliver_shortcut_noise(const RouterDesign& d, int sc, NodeId end,
 
 std::vector<double> compute_noise(const AnalysisContext& ctx,
                                   const std::vector<LossBreakdown>& losses,
-                                  const std::vector<double>& laser_mw) {
+                                  const std::vector<double>& laser_mw,
+                                  std::vector<XtalkContribution>* attribution) {
   const RouterDesign& d = ctx.design();
   const phys::LossParams& lp = d.params.loss;
   const phys::CrosstalkParams& xt = d.params.crosstalk;
@@ -121,19 +142,23 @@ std::vector<double> compute_noise(const AnalysisContext& ctx,
   const double kres = phys::db_to_linear(xt.mrr_drop_residue_db);
 
   std::vector<double> noise(d.traffic.size(), 0.0);
+  NoiseSink sink{noise, attribution};
   const int wavelengths = static_cast<int>(laser_mw.size());
 
   // --- 1. Comb-PDN laser leakage ---------------------------------------
   // Every PDN x ring crossing scatters a fraction of the continuous-wave
   // power (all wavelengths the laser emits) into the crossed waveguide.
   if (d.has_pdn) {
+    sink.aggressor = -1;
+    sink.source = XtalkSource::kPdnLeak;
     for (const pdn::CrossingTap& tap : d.pdn.taps) {
+      sink.node = tap.node;
       for (int wl = 0; wl < wavelengths; ++wl) {
         if (laser_mw[wl] <= 0.0) continue;
         const double leak =
             laser_mw[wl] *
             phys::db_to_linear(-(tap.attenuation_db + lp.coupler_db)) * kx;
-        walk_ring_noise(ctx, tap.waveguide, tap.node, wl, leak, noise);
+        walk_ring_noise(ctx, tap.waveguide, tap.node, wl, leak, sink);
       }
     }
   }
@@ -152,14 +177,17 @@ std::vector<double> compute_noise(const AnalysisContext& ctx,
             power_at_crossing(d, laser_mw, id, losses[i], to_x_mm);
         const shortcut::Shortcut& partner =
             d.shortcuts.shortcuts[sc.crossing_partner];
+        sink.aggressor = id;
+        sink.source = XtalkSource::kShortcutCrossing;
         // The leak enters the partner chord and drifts toward both of its
         // ends; a matched receiver at either end catches it.
         for (const NodeId end : {partner.a, partner.b}) {
+          sink.node = end;
           const double rest_mm =
               partner.length / 1000.0 -
               chord_to_crossing_mm(d, sc.crossing_partner, end);
           deliver_shortcut_noise(d, sc.crossing_partner, end, r.wavelength,
-                                 p_at_x * kx, rest_mm, noise);
+                                 p_at_x * kx, rest_mm, sink);
         }
       }
     }
@@ -175,8 +203,11 @@ std::vector<double> compute_noise(const AnalysisContext& ctx,
           power_at_crossing(d, laser_mw, id, losses[i], to_x_mm);
       const NodeId far_end = in.a == cse.src ? in.b : in.a;
       const double rest_mm = in.length / 1000.0 - to_x_mm;
+      sink.aggressor = id;
+      sink.source = XtalkSource::kCseResidue;
+      sink.node = far_end;
       deliver_shortcut_noise(d, cse.shortcut_in, far_end, r.wavelength,
-                             p_at_x * kres, rest_mm, noise);
+                             p_at_x * kres, rest_mm, sink);
     }
 
     // --- 3b. Receiver drop residue (only without the Fig. 5(b) filter) --
@@ -190,8 +221,11 @@ std::vector<double> compute_noise(const AnalysisContext& ctx,
           laser_mw[r.wavelength] *
           phys::db_to_linear(-(losses[i].total_db() - lp.drop_db -
                                lp.photodetector_db));
+      sink.aggressor = id;
+      sink.source = XtalkSource::kReceiverResidue;
+      sink.node = sig.dst;
       walk_ring_noise(ctx, r.waveguide, sig.dst, r.wavelength,
-                      at_receiver * kres, noise);
+                      at_receiver * kres, sink);
     }
 
     // --- 4. Residual ring-geometry crossings ----------------------------
@@ -201,6 +235,8 @@ std::vector<double> compute_noise(const AnalysisContext& ctx,
          r.kind == mapping::RouteKind::kRingCcw) &&
         d.ring.crossings > 0) {
       const mapping::Direction dir = d.mapping.waveguides[r.waveguide].dir;
+      sink.aggressor = id;
+      sink.source = XtalkSource::kRingCrossing;
       for (const int h : mapping::occupied_hops(tour, sig.src, sig.dst, dir)) {
         for (int g = 0; g < tour.size(); ++g) {
           const int crossings = ctx.hop_crossings(h, g);
@@ -208,8 +244,9 @@ std::vector<double> compute_noise(const AnalysisContext& ctx,
           const double p =
               laser_mw[r.wavelength] *
               phys::db_to_linear(-losses[i].total_db() / 2.0);  // mid-path
+          sink.node = tour.at(g);
           walk_ring_noise(ctx, r.waveguide, tour.at(g), r.wavelength,
-                          p * kx * crossings, noise);
+                          p * kx * crossings, sink);
         }
       }
     }

@@ -21,8 +21,14 @@ namespace xring::analysis {
 /// Residue noise at photodetector drop-MRRs is removed by the MRR+terminator
 /// of Fig. 5(b) and therefore never contributes, exactly as the paper
 /// assumes.
+/// When `attribution` is non-null, every deposit is additionally recorded
+/// as an XtalkContribution row (victim, aggressor, source mechanism,
+/// injection node, power). The rows of one victim sum to its entry of the
+/// returned vector exactly — both are accumulated from the same deposits.
 std::vector<double> compute_noise(const AnalysisContext& ctx,
                                   const std::vector<LossBreakdown>& losses,
-                                  const std::vector<double>& laser_mw);
+                                  const std::vector<double>& laser_mw,
+                                  std::vector<XtalkContribution>* attribution =
+                                      nullptr);
 
 }  // namespace xring::analysis

@@ -48,6 +48,58 @@ struct RouterDesign {
   std::vector<SignalId> receivers_on(int waveguide, NodeId v, int wl) const;
 };
 
+/// Itemized insertion loss of one signal path. Units: dB (losses are
+/// positive magnitudes), mm, counts. Kept per signal in
+/// RouterMetrics::loss_ledger so reports can show where each dB went.
+struct LossBreakdown {
+  double propagation_db = 0.0;
+  double modulator_db = 0.0;
+  double drop_db = 0.0;
+  double through_db = 0.0;
+  double crossing_db = 0.0;
+  double bend_db = 0.0;
+  double photodetector_db = 0.0;
+  double pdn_db = 0.0;      ///< laser → sender feed (0 without PDN)
+  double coupler_db = 0.0;  ///< off-chip coupling (0 without PDN)
+
+  double path_mm = 0.0;
+  int crossings = 0;
+  int through_mrrs = 0;
+  int bends = 0;
+
+  /// il*: the on-path router loss, excluding everything before the sender.
+  double star_db() const {
+    return propagation_db + modulator_db + drop_db + through_db +
+           crossing_db + bend_db + photodetector_db;
+  }
+  /// il: full loss the laser must overcome.
+  double total_db() const { return star_db() + pdn_db + coupler_db; }
+};
+
+/// The physical mechanism that injected a crosstalk contribution.
+enum class XtalkSource {
+  kPdnLeak,           ///< comb-PDN crossing leaking CW laser power
+  kShortcutCrossing,  ///< shortcut-pair crossing leak into the partner chord
+  kCseResidue,        ///< uncoupled CSE drop residue on the inbound chord
+  kReceiverResidue,   ///< receiver drop residue (Fig. 5(b) filter absent)
+  kRingCrossing,      ///< residual ring-geometry crossing (ablations only)
+};
+
+const char* to_string(XtalkSource s);
+
+/// One row of the crosstalk attribution table: `noise_mw` of noise power
+/// reached `victim`'s photodetector, injected by `aggressor` (or by the CW
+/// laser light in the PDN, aggressor = -1) through `source` at `node`. The
+/// rows of one victim sum to its SignalReport::noise_mw — evaluate()
+/// guarantees the invariant by accumulating both from the same deposits.
+struct XtalkContribution {
+  SignalId victim = -1;
+  SignalId aggressor = -1;
+  XtalkSource source = XtalkSource::kPdnLeak;
+  NodeId node = -1;  ///< injection point of the leak (tap / crossing node)
+  double noise_mw = 0.0;
+};
+
 /// Per-signal analysis record.
 struct SignalReport {
   double il_db = 0.0;        ///< full insertion loss incl. PDN feed & coupler
@@ -79,6 +131,12 @@ struct RouterMetrics {
   /// worst-loss signal on that wavelength: P = 10^((il_w + S)/10).
   std::vector<double> laser_mw;
   std::vector<SignalReport> signals;
+  /// Provenance: itemized loss per signal (parallel to `signals`; each
+  /// entry's total_db()/star_db() equals the signal's il_db/il_star_db).
+  std::vector<LossBreakdown> loss_ledger;
+  /// Provenance: every crosstalk contribution that reached a photodetector.
+  /// A victim's rows sum to its SignalReport::noise_mw.
+  std::vector<XtalkContribution> xtalk_ledger;
 };
 
 }  // namespace xring::analysis

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "phys/units.hpp"
 
 namespace xring::analysis {
@@ -17,7 +18,11 @@ RouterMetrics evaluate(const RouterDesign& design) {
   m.signals.resize(num_signals);
 
   // --- Losses -----------------------------------------------------------
-  std::vector<LossBreakdown> losses(num_signals);
+  // The per-signal breakdowns are retained as the metrics' loss ledger: the
+  // report layer renders them as waterfalls, and the explainability tests
+  // hold them to the invariant total_db()/star_db() == il_db/il_star_db.
+  std::vector<LossBreakdown>& losses = m.loss_ledger;
+  losses.resize(num_signals);
   for (SignalId id = 0; id < num_signals; ++id) {
     losses[id] = signal_loss(ctx, id);
     SignalReport& r = m.signals[id];
@@ -41,7 +46,8 @@ RouterMetrics evaluate(const RouterDesign& design) {
   }
 
   // --- Crosstalk ----------------------------------------------------------
-  const std::vector<double> noise = compute_noise(ctx, losses, laser_mw);
+  const std::vector<double> noise =
+      compute_noise(ctx, losses, laser_mw, &m.xtalk_ledger);
 
   // --- Aggregation ---------------------------------------------------------
   int worst = -1;
@@ -53,6 +59,17 @@ RouterMetrics evaluate(const RouterDesign& design) {
     r.snr_db = r.noise_mw > design.params.crosstalk.noise_floor_mw
                    ? 10.0 * std::log10(r.signal_mw / r.noise_mw)
                    : kNoNoiseSnr;
+    if (r.snr_db < design.params.crosstalk.snr_warn_db) {
+      obs::diagnose(obs::Severity::kWarning, "analysis.snr_below_threshold",
+                    "signal " + std::to_string(id) + " SNR " +
+                        std::to_string(r.snr_db) + " dB below the " +
+                        std::to_string(design.params.crosstalk.snr_warn_db) +
+                        " dB threshold",
+                    {{"signal", std::to_string(id)},
+                     {"snr_db", std::to_string(r.snr_db)},
+                     {"threshold_db",
+                      std::to_string(design.params.crosstalk.snr_warn_db)}});
+    }
 
     m.il_worst_db = std::max(m.il_worst_db, r.il_db);
     if (worst < 0 || r.il_star_db > m.signals[worst].il_star_db) worst = id;

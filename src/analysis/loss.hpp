@@ -5,32 +5,8 @@
 
 namespace xring::analysis {
 
-/// Itemized insertion loss of one signal path. Units: dB (losses are
-/// positive magnitudes), mm, counts.
-struct LossBreakdown {
-  double propagation_db = 0.0;
-  double modulator_db = 0.0;
-  double drop_db = 0.0;
-  double through_db = 0.0;
-  double crossing_db = 0.0;
-  double bend_db = 0.0;
-  double photodetector_db = 0.0;
-  double pdn_db = 0.0;      ///< laser → sender feed (0 without PDN)
-  double coupler_db = 0.0;  ///< off-chip coupling (0 without PDN)
-
-  double path_mm = 0.0;
-  int crossings = 0;
-  int through_mrrs = 0;
-  int bends = 0;
-
-  /// il*: the on-path router loss, excluding everything before the sender.
-  double star_db() const {
-    return propagation_db + modulator_db + drop_db + through_db +
-           crossing_db + bend_db + photodetector_db;
-  }
-  /// il: full loss the laser must overcome.
-  double total_db() const { return star_db() + pdn_db + coupler_db; }
-};
+// LossBreakdown lives in design.hpp (RouterMetrics keeps one per signal in
+// its loss_ledger); loss.hpp re-exports it transitively.
 
 /// Shared precomputation for analyzing one design: per-hop realized routes
 /// and the hop-vs-hop crossing matrix of the ring geometry (non-zero only

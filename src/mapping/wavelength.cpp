@@ -72,16 +72,34 @@ int new_waveguide(Mapping& m, Direction dir) {
 
 /// Places a ring-routed signal first-fit over the waveguides of its
 /// direction, creating a new waveguide if every (waveguide, λ) slot under
-/// the #wl cap is blocked. Returns the (waveguide, wavelength) used.
+/// the #wl cap is blocked. Returns the (waveguide, wavelength) used; a
+/// conflict diagnostic is emitted when an existing waveguide of the
+/// direction could not host the signal (i.e. the overflow is a real
+/// wavelength conflict, not the first signal of its direction).
 std::pair<int, int> place_on_ring(const ring::Tour& tour,
                                   const netlist::Traffic& traffic, Mapping& m,
                                   Direction dir, SignalId id,
                                   int max_wavelengths) {
+  int candidates = 0;
   for (int w = 0; w < static_cast<int>(m.waveguides.size()); ++w) {
     if (m.waveguides[w].dir != dir) continue;
+    ++candidates;
     for (int wl = 0; wl < max_wavelengths; ++wl) {
       if (fits(tour, traffic, m, w, wl, id)) return {w, wl};
     }
+  }
+  if (candidates > 0) {
+    const auto& sig = traffic.signal(id);
+    obs::diagnose(
+        obs::Severity::kWarning, "mapping.wavelength_conflict",
+        "signal " + std::to_string(id) + " (" + std::to_string(sig.src) +
+            "→" + std::to_string(sig.dst) + ") fits no (waveguide, λ) slot " +
+            "under the #wl cap; adding ring waveguide " +
+            std::to_string(m.waveguides.size()),
+        {{"signal", std::to_string(id)},
+         {"direction", dir == Direction::kCw ? "cw" : "ccw"},
+         {"waveguides_tried", std::to_string(candidates)},
+         {"max_wavelengths", std::to_string(max_wavelengths)}});
   }
   return {new_waveguide(m, dir), 0};
 }

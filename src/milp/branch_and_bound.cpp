@@ -185,6 +185,8 @@ MipResult solve(const Model& model, const BnbOptions& options) {
         result.status = MipStatus::kUnbounded;
         result.seconds = elapsed();
         record_totals(result);
+        obs::diagnose(obs::Severity::kError, "milp.unbounded",
+                      "MILP relaxation is unbounded at the root");
         return result;
       }
       continue;
@@ -250,6 +252,29 @@ MipResult solve(const Model& model, const BnbOptions& options) {
     result.status = MipStatus::kNoSolution;
   } else {
     result.status = MipStatus::kInfeasible;
+  }
+  // Surface search trouble as structured diagnostics: an infeasible model is
+  // a hard error for the caller; a limit stop means the returned solution
+  // (if any) carries no optimality certificate.
+  if (result.status == MipStatus::kInfeasible) {
+    obs::diagnose(obs::Severity::kError, "milp.infeasible",
+                  "MILP model is infeasible",
+                  {{"nodes", std::to_string(result.nodes)}});
+  } else if (hit_limit) {
+    const bool node_stop = result.nodes >= options.node_limit;
+    obs::diagnose(obs::Severity::kWarning,
+                  node_stop ? "milp.node_limit" : "milp.time_limit",
+                  std::string("branch & bound stopped at the ") +
+                      (node_stop ? "node" : "time") + " limit with status " +
+                      to_string(result.status),
+                  {{"status", to_string(result.status)},
+                   {"nodes", std::to_string(result.nodes)},
+                   {"seconds", std::to_string(result.seconds)}});
+  } else if (lp_trouble) {
+    obs::diagnose(obs::Severity::kWarning, "milp.lp_iteration_limit",
+                  "an LP relaxation hit its iteration limit; its subtree was "
+                  "pruned without a bound certificate",
+                  {{"status", to_string(result.status)}});
   }
   return result;
 }

@@ -9,11 +9,7 @@
 
 namespace xring::obs {
 
-namespace {
-
-/// JSON number formatting: shortest round-trippable form, never NaN/Inf
-/// (JSON has neither; they become null).
-std::string num(double v) {
+std::string json_num(double v) {
   if (std::isnan(v) || std::isinf(v)) return "null";
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
@@ -24,7 +20,7 @@ std::string num(double v) {
   return buf;
 }
 
-std::string escape(const std::string& s) {
+std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
   for (const char c : s) {
@@ -46,10 +42,27 @@ std::string escape(const std::string& s) {
   return out;
 }
 
-void write_file(const std::string& path, const std::string& content) {
+void write_text_file(const std::string& path, const std::string& content) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("cannot open " + path + " for writing");
   out << content;
+  // Check the stream *after* writing and flushing: a full disk or a closed
+  // pipe fails the write, not the open, and must not pass silently as a
+  // truncated artifact.
+  out.flush();
+  if (!out) throw std::runtime_error("error writing " + path);
+  out.close();
+  if (out.fail()) throw std::runtime_error("error writing " + path);
+}
+
+namespace {
+
+// Short local aliases: this file predates the public names.
+std::string num(double v) { return json_num(v); }
+std::string escape(const std::string& s) { return json_escape(s); }
+
+void write_file(const std::string& path, const std::string& content) {
+  write_text_file(path, content);
 }
 
 }  // namespace
@@ -128,6 +141,130 @@ std::map<std::string, double> metrics_from_csv(const std::string& csv) {
     out[line.substr(0, comma)] = std::strtod(line.c_str() + comma + 1, nullptr);
   }
   return out;
+}
+
+namespace {
+
+/// Cursor over a JSON text for the flat-object parser below.
+struct JsonCursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                 text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("metrics JSON: " + what + " at offset " +
+                                std::to_string(pos));
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+  }
+
+  bool peek_is(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\') {
+        if (pos >= text.size()) fail("unterminated escape");
+        const char esc = text[pos++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) fail("truncated \\u escape");
+            c = static_cast<char>(
+                std::strtol(text.substr(pos, 4).c_str(), nullptr, 16));
+            pos += 4;
+            break;
+          }
+          default: fail("unsupported escape");
+        }
+      }
+      out += c;
+    }
+    if (pos >= text.size()) fail("unterminated string");
+    ++pos;  // closing quote
+    return out;
+  }
+
+  double parse_number_or_null() {
+    skip_ws();
+    if (text.compare(pos, 4, "null") == 0) {
+      pos += 4;
+      return std::nan("");
+    }
+    const char* begin = text.c_str() + pos;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) fail("expected a number");
+    pos += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+};
+
+}  // namespace
+
+std::map<std::string, double> metrics_from_json(const std::string& json) {
+  JsonCursor cur{json};
+  std::map<std::string, double> out;
+  cur.expect('{');
+  if (!cur.peek_is('}')) {
+    while (true) {
+      const std::string name = cur.parse_string();
+      cur.expect(':');
+      out[name] = cur.parse_number_or_null();
+      if (cur.peek_is(',')) {
+        ++cur.pos;
+        continue;
+      }
+      break;
+    }
+  }
+  cur.expect('}');
+  cur.skip_ws();
+  if (cur.pos != json.size()) cur.fail("trailing content");
+  return out;
+}
+
+std::string diagnostics_json(const Registry& reg) {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const Diagnostic& d : reg.diagnostics()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  {\"severity\":\"" << to_string(d.severity) << "\",\"code\":\""
+        << escape(d.code) << "\",\"message\":\"" << escape(d.message)
+        << "\",\"t_us\":" << num(d.t_us) << ",\"context\":{";
+    bool first_ctx = true;
+    for (const auto& [key, value] : d.context) {
+      if (!first_ctx) out << ",";
+      first_ctx = false;
+      out << "\"" << escape(key) << "\":\"" << escape(value) << "\"";
+    }
+    out << "}}";
+  }
+  out << "\n]\n";
+  return out.str();
 }
 
 void write_trace_json(const std::string& path, const Registry& reg) {

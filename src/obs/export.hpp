@@ -7,6 +7,14 @@
 
 namespace xring::obs {
 
+/// JSON string escaping shared by every JSON emitter (exporters here, run
+/// reports in xring_report).
+std::string json_escape(const std::string& s);
+
+/// JSON number formatting: shortest round-trippable form; NaN/Inf become
+/// null (JSON has neither).
+std::string json_num(double v);
+
 /// Chrome trace_event JSON ("X" complete events for spans, "C" counter
 /// events for series). Load the file at chrome://tracing or ui.perfetto.dev.
 std::string trace_json(const Registry& reg);
@@ -21,8 +29,28 @@ std::string metrics_csv(const Registry& reg);
 /// Used by the exporter round-trip tests and by report-diffing tools.
 std::map<std::string, double> metrics_from_csv(const std::string& csv);
 
+/// Inverse of metrics_json: parses a flat `{"name": value, ...}` object
+/// (string keys, numeric or null values; null becomes NaN). This is the
+/// reader side of the BENCH_*.json reports — tools/bench_compare diffs two
+/// of them. Throws std::invalid_argument on anything that is not a flat
+/// one-level object of numbers.
+std::map<std::string, double> metrics_from_json(const std::string& json);
+
+/// JSON array of every recorded diagnostic, in emission order:
+/// [{"severity": "...", "code": "...", "message": "...", "t_us": ...,
+///   "context": {"k": "v", ...}}, ...].
+std::string diagnostics_json(const Registry& reg);
+
+/// Writes `content` to `path`, checking the stream state *after* writing
+/// and flushing: a full disk or a closed pipe fails the write, not the
+/// open, and must surface as std::runtime_error, never as a silently
+/// truncated artifact. Shared by every artifact emitter (exporters here,
+/// run reports in xring_report).
+void write_text_file(const std::string& path, const std::string& content);
+
 // File-writing wrappers; throw std::runtime_error when the file can't be
-// opened. All default to the global registry.
+// opened or the write doesn't reach the disk intact (full disk, closed
+// pipe). All default to the global registry.
 void write_trace_json(const std::string& path, const Registry& reg = registry());
 void write_metrics_json(const std::string& path,
                         const Registry& reg = registry());

@@ -49,6 +49,15 @@ void Histogram::reset() {
   snap_ = HistogramSnapshot{};
 }
 
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
 Registry::Registry() : epoch_(Clock::now()) {}
 
 Counter& Registry::counter(const std::string& name) {
@@ -70,6 +79,12 @@ void Registry::append_series(const std::string& name, double value) {
   const double t = now_us();
   std::lock_guard<std::mutex> lock(mu_);
   series_[name].push_back(SeriesPoint{t, value});
+}
+
+void Registry::diagnose(Diagnostic d) {
+  d.t_us = now_us();
+  std::lock_guard<std::mutex> lock(mu_);
+  diagnostics_.push_back(std::move(d));
 }
 
 void Registry::record_span(SpanEvent ev) {
@@ -115,6 +130,11 @@ std::map<std::string, std::vector<SeriesPoint>> Registry::series() const {
   return series_;
 }
 
+std::vector<Diagnostic> Registry::diagnostics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return diagnostics_;
+}
+
 std::map<std::string, double> Registry::flatten() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, double> out;
@@ -125,6 +145,9 @@ std::map<std::string, double> Registry::flatten() const {
   for (const auto& [name, h] : histograms_) {
     const HistogramSnapshot s = h.snapshot();
     out[name + ".count"] = static_cast<double>(s.count);
+    // An unobserved histogram has no sum/mean/min/max; emitting zeros would
+    // read as a real observation of 0.
+    if (s.count == 0) continue;
     out[name + ".sum"] = s.sum;
     out[name + ".mean"] = s.mean();
     out[name + ".min"] = s.min;
@@ -145,6 +168,11 @@ std::map<std::string, double> Registry::flatten() const {
     out["span." + name + ".count"] = static_cast<double>(agg.first);
     out["span." + name + ".total_s"] = agg.second * 1e-6;
   }
+  if (!diagnostics_.empty()) {
+    for (const Diagnostic& d : diagnostics_) {
+      out[std::string("diag.") + to_string(d.severity)] += 1.0;
+    }
+  }
   return out;
 }
 
@@ -155,6 +183,7 @@ void Registry::reset() {
   histograms_.clear();
   series_.clear();
   spans_.clear();
+  diagnostics_.clear();
   epoch_ = Clock::now();
 }
 
@@ -169,6 +198,17 @@ Registry& registry() {
 
 Registry* swap_registry(Registry* r) {
   return g_override.exchange(r, std::memory_order_acq_rel);
+}
+
+void diagnose(Severity severity, std::string code, std::string message,
+              std::vector<std::pair<std::string, std::string>> context) {
+  if (!enabled()) return;
+  Diagnostic d;
+  d.severity = severity;
+  d.code = std::move(code);
+  d.message = std::move(message);
+  d.context = std::move(context);
+  registry().diagnose(std::move(d));
 }
 
 Span::Span(const char* name)

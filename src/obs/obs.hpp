@@ -6,6 +6,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace xring::obs {
@@ -73,6 +74,25 @@ struct SeriesPoint {
   double value = 0.0;
 };
 
+enum class Severity { kInfo, kWarning, kError };
+
+const char* to_string(Severity s);
+
+/// One structured diagnostic event. Pipeline stages emit these for the
+/// conditions a designer must know about to trust (or debug) a run: DRC
+/// violations, solver trouble (infeasible / limits hit), wavelength-cap
+/// overflows, and SNR threshold breaches. `code` is a stable dotted
+/// identifier ("milp.infeasible") that tooling keys on; `message` is for
+/// humans; `context` carries machine-readable key/value detail in emission
+/// order. `t_us` is stamped by Registry::diagnose.
+struct Diagnostic {
+  Severity severity = Severity::kInfo;
+  std::string code;
+  std::string message;
+  std::vector<std::pair<std::string, std::string>> context;
+  double t_us = 0.0;
+};
+
 /// Owns every metric and span of one run. Metric accessors return stable
 /// references (map nodes never move), so instrumentation sites may cache
 /// them. All methods are thread-safe. The registry itself always works;
@@ -89,6 +109,10 @@ class Registry {
   /// Appends a point (timestamped now) to the named series.
   void append_series(const std::string& name, double value);
 
+  /// Records a diagnostic (timestamped now). Emission sites gate on
+  /// `enabled()` like every other instrumentation site.
+  void diagnose(Diagnostic d);
+
   void record_span(SpanEvent ev);
 
   /// Microseconds elapsed since construction / last reset().
@@ -103,14 +127,19 @@ class Registry {
   std::map<std::string, double> gauges() const;
   std::map<std::string, HistogramSnapshot> histograms() const;
   std::map<std::string, std::vector<SeriesPoint>> series() const;
+  std::vector<Diagnostic> diagnostics() const;
 
   /// Flat {name: value} view of everything: counters and gauges verbatim,
-  /// histograms as name.count/.sum/.mean/.min/.max, series as name.count
-  /// and name.last, and per-span-name aggregates as span.<name>.count and
-  /// span.<name>.total_s. This is what the metrics exporters serialize.
+  /// histograms as name.count/.sum/.mean/.min/.max (the statistics are
+  /// omitted while count is 0 — an unobserved histogram has no min/max),
+  /// series as name.count and name.last, per-span-name aggregates as
+  /// span.<name>.count and span.<name>.total_s, and per-severity diagnostic
+  /// counts as diag.<severity> (only when diagnostics were recorded). This
+  /// is what the metrics exporters serialize.
   std::map<std::string, double> flatten() const;
 
-  /// Drops all metrics and spans and restarts the epoch.
+  /// Drops all metrics, spans, and buffered diagnostics and restarts the
+  /// epoch.
   void reset();
 
  private:
@@ -121,6 +150,7 @@ class Registry {
   std::map<std::string, Histogram> histograms_;
   std::map<std::string, std::vector<SeriesPoint>> series_;
   std::vector<SpanEvent> spans_;
+  std::vector<Diagnostic> diagnostics_;
 };
 
 /// Tracing/metrics master switch. Off by default: every instrumentation
@@ -136,6 +166,12 @@ Registry& registry();
 /// restore the built-in default). Returns the previous override, or nullptr
 /// if the default was active. The caller keeps ownership of both.
 Registry* swap_registry(Registry* r);
+
+/// Emission helper for instrumentation sites: records the diagnostic into
+/// the global registry, but only when tracing is enabled (the same gate the
+/// metric sites use), so a disabled run pays one relaxed atomic load.
+void diagnose(Severity severity, std::string code, std::string message,
+              std::vector<std::pair<std::string, std::string>> context = {});
 
 /// RAII wall-clock span. Construction always stamps the start time (so
 /// `elapsed_seconds()` works even with tracing disabled — the synthesizer

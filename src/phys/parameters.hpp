@@ -57,6 +57,10 @@ struct CrosstalkParams {
   /// Detection threshold: noise contributions below this power fraction of
   /// a femtowatt-scale floor are ignored when counting affected signals.
   double noise_floor_mw = 1e-12;
+  /// SNR (dB) below which the analysis flags a signal with a
+  /// `analysis.snr_below_threshold` diagnostic. The default matches the
+  /// regime the paper's Table III calls problematic for the baselines.
+  double snr_warn_db = 20.0;
 };
 
 /// Geometry parameters of the physical design (paper Sec. III-A/D):

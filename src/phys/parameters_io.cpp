@@ -56,6 +56,9 @@ std::map<std::string, std::function<double&(Parameters&)>> key_table() {
   keys["crosstalk.noise_floor_mw"] = [](Parameters& p) -> double& {
     return p.crosstalk.noise_floor_mw;
   };
+  keys["crosstalk.snr_warn_db"] = [](Parameters& p) -> double& {
+    return p.crosstalk.snr_warn_db;
+  };
   keys["geometry.modulator_um"] = [](Parameters& p) -> double& {
     return p.geometry.modulator_um;
   };

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "mapping/opening.hpp"
+#include "obs/obs.hpp"
 
 namespace xring::verify {
 
@@ -197,6 +198,7 @@ std::string to_string(Violation::Rule rule) {
 
 std::vector<Violation> check(const analysis::RouterDesign& design,
                              const DrcOptions& options) {
+  obs::Span span("verify.drc");
   std::vector<Violation> out;
   check_ring(design, out);
   check_shortcuts(design, options, out);
@@ -205,6 +207,17 @@ std::vector<Violation> check(const analysis::RouterDesign& design,
   check_openings(design, options, out);
   check_pdn(design, out);
   check_cse_wavelengths(design, out);
+  // Every violation doubles as a structured diagnostic (code drc.<rule>),
+  // so run reports show DRC results next to the solver/analysis events.
+  for (const Violation& v : out) {
+    obs::diagnose(obs::Severity::kError, "drc." + to_string(v.rule), v.message,
+                  {{"rule", to_string(v.rule)}});
+  }
+  if (obs::enabled()) {
+    obs::registry().counter("drc.checks").add();
+    obs::registry().counter("drc.violations").add(
+        static_cast<long long>(out.size()));
+  }
   return out;
 }
 

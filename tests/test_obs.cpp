@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
 #include <thread>
 
 #include "obs/export.hpp"
@@ -130,9 +131,59 @@ TEST_F(ObsMetrics, ResetClearsEverything) {
   reg_.gauge("b").set(1);
   { Span s("c"); }
   reg_.append_series("d", 1.0);
+  diagnose(Severity::kWarning, "e.code", "message");
   reg_.reset();
   EXPECT_TRUE(reg_.flatten().empty());
   EXPECT_TRUE(reg_.spans().empty());
+  EXPECT_TRUE(reg_.diagnostics().empty());
+}
+
+TEST_F(ObsMetrics, EmptyHistogramFlattensToCountOnly) {
+  // An observed-but-empty histogram must not fabricate min/max/sum/mean
+  // zeros that read as real observations; only .count=0 is emitted.
+  reg_.histogram("never_observed");
+  const auto flat = reg_.flatten();
+  EXPECT_EQ(flat.at("never_observed.count"), 0.0);
+  EXPECT_EQ(flat.count("never_observed.min"), 0u);
+  EXPECT_EQ(flat.count("never_observed.max"), 0u);
+  EXPECT_EQ(flat.count("never_observed.sum"), 0u);
+  EXPECT_EQ(flat.count("never_observed.mean"), 0u);
+}
+
+TEST_F(ObsMetrics, SingleSampleHistogramStats) {
+  reg_.histogram("one").observe(5.0);
+  const auto flat = reg_.flatten();
+  EXPECT_EQ(flat.at("one.count"), 1.0);
+  EXPECT_EQ(flat.at("one.min"), 5.0);
+  EXPECT_EQ(flat.at("one.max"), 5.0);
+  EXPECT_EQ(flat.at("one.mean"), 5.0);
+}
+
+TEST_F(ObsMetrics, DiagnosticsRecordSeverityCodeAndContext) {
+  diagnose(Severity::kError, "milp.infeasible", "no feasible tour",
+           {{"nodes", "14"}});
+  diagnose(Severity::kWarning, "mapping.wavelength_conflict", "overflow");
+  const auto diags = reg_.diagnostics();
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_EQ(diags[0].code, "milp.infeasible");
+  ASSERT_EQ(diags[0].context.size(), 1u);
+  EXPECT_EQ(diags[0].context[0].first, "nodes");
+  EXPECT_GE(diags[1].t_us, diags[0].t_us);
+  // Severity tallies surface in flatten for the metrics exporters.
+  const auto flat = reg_.flatten();
+  EXPECT_EQ(flat.at("diag.error"), 1.0);
+  EXPECT_EQ(flat.at("diag.warning"), 1.0);
+  EXPECT_EQ(flat.count("diag.info"), 0u);
+}
+
+TEST(ObsDiagnostics, NotRecordedWhenDisabled) {
+  Registry reg;
+  Registry* prev = swap_registry(&reg);
+  set_enabled(false);
+  diagnose(Severity::kError, "code", "message");
+  EXPECT_TRUE(reg.diagnostics().empty());
+  swap_registry(prev);
 }
 
 TEST_F(ObsMetrics, CountersAreThreadSafe) {
@@ -257,6 +308,19 @@ TEST_F(ObsExport, TraceJsonHasOneCompleteEventPerSpan) {
   // contain either).
   EXPECT_EQ(count("{"), count("}"));
   EXPECT_EQ(count("["), count("]"));
+}
+
+TEST_F(ObsExport, WriteFailuresThrowInsteadOfTruncating) {
+  // Opening an unwritable path fails up front ...
+  EXPECT_THROW(write_metrics_json("/nonexistent-dir/metrics.json", reg_),
+               std::runtime_error);
+  // ... and a write that fails only once data flows (ENOSPC — /dev/full
+  // accepts the open and rejects the flush, like a full disk) must also
+  // surface, not silently truncate the artifact.
+  if (std::ifstream("/dev/full").good()) {
+    reg_.counter("some.metric").add(1);
+    EXPECT_THROW(write_metrics_json("/dev/full", reg_), std::runtime_error);
+  }
 }
 
 TEST_F(ObsExport, JsonEscapesSpecialCharacters) {

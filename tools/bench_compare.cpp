@@ -1,0 +1,182 @@
+// bench_compare — regression gate over two flat metrics JSON reports
+// (the BENCH_*.json files written by the table benches and bench_micro).
+//
+//   bench_compare BASELINE.json CANDIDATE.json [options]
+//
+// options:
+//   --time-tolerance R   time-like metrics may grow up to R× the baseline
+//                        before counting as a regression (default: 3.0 —
+//                        wall times are machine- and load-dependent)
+//   --rel-tolerance R    quality metrics (losses, powers, counts) may drift
+//                        relatively by R (default: 1e-6 — the pipeline is
+//                        deterministic, so anything beyond rounding noise
+//                        is a real behavior change)
+//   --quiet              print regressions only
+//
+// Classification by metric name:
+//   time-like  `span.*`, `*.real_time_ns`, `*.cpu_time_ns`, `*.total_s`,
+//              `*.seconds`, or a last dot-component of `T` (the tables'
+//              wall-clock column). Only growth is flagged; getting faster
+//              never fails, and sub-noise-floor baselines are not gated.
+//   ignored    `*.iterations` (google-benchmark picks the repeat count
+//              from the machine's speed) and `*.t_us` timestamps.
+//   quality    everything else; compared tight in both directions.
+//
+// Only keys present in BOTH files are compared; one-sided keys are listed
+// as notes (renaming a metric should not silently drop it from the gate).
+//
+// Exit status: 0 all comparisons within tolerance, 1 at least one
+// regression, 2 usage or I/O error.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/export.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  if (in.bad()) throw std::runtime_error("error reading " + path);
+  return out.str();
+}
+
+bool has_suffix(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+bool is_ignored(const std::string& name) {
+  return has_suffix(name, ".iterations") || has_suffix(name, ".t_us");
+}
+
+bool is_time_like(const std::string& name) {
+  if (name.compare(0, 5, "span.") == 0) return true;
+  if (has_suffix(name, ".real_time_ns") || has_suffix(name, ".cpu_time_ns") ||
+      has_suffix(name, ".total_s") || has_suffix(name, ".seconds")) {
+    return true;
+  }
+  const std::size_t dot = name.rfind('.');
+  return dot != std::string::npos && name.substr(dot + 1) == "T";
+}
+
+/// Below this, a time-like baseline is considered noise and not gated:
+/// tripling a 40 µs span is scheduler jitter, not a regression. Metrics in
+/// seconds get a wider floor because table cells are rounded to hundredths
+/// — a sub-10 ms synthesis is recorded as 0 and any finite rerun would
+/// otherwise be an infinite ratio.
+double time_noise_floor(const std::string& name) {
+  if (has_suffix(name, "_ns")) return 1e6;  // 1 ms, metric in ns
+  return 0.1;                               // 100 ms, metric in seconds
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, candidate_path;
+  double time_tolerance = 3.0;
+  double rel_tolerance = 1e-6;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--time-tolerance") {
+      time_tolerance = std::strtod(value("--time-tolerance"), nullptr);
+    } else if (arg == "--rel-tolerance") {
+      rel_tolerance = std::strtod(value("--rel-tolerance"), nullptr);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (candidate_path.empty()) {
+      candidate_path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (candidate_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_compare BASELINE.json CANDIDATE.json "
+                 "[--time-tolerance R] [--rel-tolerance R] [--quiet]\n");
+    return 2;
+  }
+
+  std::map<std::string, double> base, cand;
+  try {
+    base = xring::obs::metrics_from_json(read_file(baseline_path));
+    cand = xring::obs::metrics_from_json(read_file(candidate_path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+
+  int compared = 0, regressions = 0, skipped = 0;
+  for (const auto& [name, b] : base) {
+    const auto it = cand.find(name);
+    if (it == cand.end()) {
+      if (!quiet) std::printf("note: %s only in baseline\n", name.c_str());
+      continue;
+    }
+    const double c = it->second;
+    if (is_ignored(name)) {
+      ++skipped;
+      continue;
+    }
+    ++compared;
+    if (std::isnan(b) || std::isnan(c)) {
+      // null (NaN) values compare equal only to null.
+      if (std::isnan(b) != std::isnan(c)) {
+        ++regressions;
+        std::printf("REGRESSION %s: %s -> %s\n", name.c_str(),
+                    std::isnan(b) ? "null" : "number",
+                    std::isnan(c) ? "null" : "number");
+      }
+      continue;
+    }
+    if (is_time_like(name)) {
+      const double floor = time_noise_floor(name);
+      if (c > std::max(b, floor) * time_tolerance) {
+        ++regressions;
+        std::printf("REGRESSION %s: %g -> %g (%.2fx > %.2fx tolerance)\n",
+                    name.c_str(), b, c, c / std::max(b, floor),
+                    time_tolerance);
+      }
+      continue;
+    }
+    const double tol = rel_tolerance * std::max(std::fabs(b), std::fabs(c));
+    if (std::fabs(c - b) > tol + 1e-9) {
+      ++regressions;
+      std::printf("REGRESSION %s: %.12g -> %.12g\n", name.c_str(), b, c);
+    }
+  }
+  for (const auto& [name, c] : cand) {
+    if (!quiet && base.find(name) == base.end()) {
+      std::printf("note: %s only in candidate\n", name.c_str());
+    }
+  }
+
+  if (!quiet || regressions > 0) {
+    std::printf("%d metrics compared (%d ignored), %d regression(s)\n",
+                compared, skipped, regressions);
+  }
+  return regressions > 0 ? 1 : 0;
+}

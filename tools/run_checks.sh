@@ -1,6 +1,8 @@
 #!/usr/bin/env sh
-# Full check pass: a sanitizer build (ASan + UBSan) of the whole tree and
-# the complete test suite run under it. Usage:
+# Full check pass: a sanitizer build (ASan + UBSan) of the whole tree, the
+# complete test suite run under it, and the bench regression gate (a fresh
+# Table I run diffed against bench/baselines/ with tools/bench_compare).
+# Usage:
 #
 #   tools/run_checks.sh [build-dir]       # default: build-sanitize
 #
@@ -14,3 +16,14 @@ build_dir=${1:-"$repo/build-sanitize"}
 cmake -B "$build_dir" -S "$repo" -DXRING_SANITIZE=address,undefined
 cmake --build "$build_dir" -j
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+# Bench regression gate: quality metrics (losses, powers, solver counts)
+# must match the committed baseline exactly; wall times get a wide berth
+# (sanitizers and CI machines are slow — only order-of-magnitude growth
+# fails). Update the baseline intentionally via docs/OBSERVABILITY.md's
+# "updating bench baselines" workflow.
+echo "== bench regression gate =="
+(cd "$build_dir/bench" && ./table1_routers_no_pdn > /dev/null)
+"$build_dir/tools/bench_compare" "$repo/bench/baselines/BENCH_table1.json" \
+  "$build_dir/bench/BENCH_table1.json" --time-tolerance 25 --quiet
+echo "bench gate OK"

@@ -22,12 +22,18 @@
 //                      plus shortcuts, mapping, opening, pdn, evaluate
 //   --metrics FILE     write the flat {name: value} metrics JSON (solver
 //                      node/cut/pivot counts, mapping stats, per-step wall
-//                      times); a .csv extension selects the CSV exporter
+//                      times); a .csv extension (case-insensitive) selects
+//                      the CSV exporter
+//   --report-html FILE write the self-contained HTML run report (span
+//                      timeline, diagnostics, MILP convergence, per-signal
+//                      loss waterfall, crosstalk aggressor matrix, metrics)
+//   --report-json FILE the same run report as machine-readable JSON
 //
 // floorplan options:
 //   --nodes N          standard size (8/16/32)
 //   --out FILE         output path (default: stdout)
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -39,6 +45,7 @@
 #include "obs/export.hpp"
 #include "phys/parameters_io.hpp"
 #include "report/design_report.hpp"
+#include "report/run_report.hpp"
 #include "report/table.hpp"
 #include "verify/drc.hpp"
 #include "viz/svg.hpp"
@@ -91,6 +98,20 @@ class Args {
   std::map<std::size_t, bool> used_;
 };
 
+/// True when `s` ends in `suffix`, compared case-insensitively — users write
+/// metrics.CSV as readily as metrics.csv.
+bool has_suffix_nocase(const std::string& s, const std::string& suffix) {
+  if (s.size() < suffix.size()) return false;
+  const std::size_t off = s.size() - suffix.size();
+  for (std::size_t i = 0; i < suffix.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(s[off + i])) !=
+        std::tolower(static_cast<unsigned char>(suffix[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
 netlist::Traffic make_traffic(const std::string& kind, int nodes) {
   if (kind == "all2all" || kind.empty()) {
     return netlist::Traffic::all_to_all(nodes);
@@ -128,9 +149,12 @@ int cmd_synth(Args& args) {
   const bool full_report = args.flag("--report");
   const std::string trace_file = args.value("--trace");
   const std::string metrics_file = args.value("--metrics");
+  const std::string report_html = args.value("--report-html");
+  const std::string report_json = args.value("--report-json");
   if (!args.report_unused()) return 2;
 
-  if (!trace_file.empty() || !metrics_file.empty()) {
+  if (!trace_file.empty() || !metrics_file.empty() || !report_html.empty() ||
+      !report_json.empty()) {
     obs::registry().reset();
     obs::set_enabled(true);
   }
@@ -138,20 +162,32 @@ int cmd_synth(Args& args) {
   const Synthesizer synth(fp);
   const SynthesisResult r = synth.run(opt);
 
+  // Artifact paths are collected and printed together once the run report
+  // ends, so they are easy to find after the (long) textual output.
+  std::vector<std::pair<std::string, std::string>> artifacts;
   if (!trace_file.empty()) {
     obs::write_trace_json(trace_file);
-    std::fprintf(stderr, "trace written to %s\n", trace_file.c_str());
+    artifacts.emplace_back("trace", trace_file);
   }
   if (!metrics_file.empty()) {
-    const bool as_csv = metrics_file.size() >= 4 &&
-                        metrics_file.compare(metrics_file.size() - 4, 4,
-                                             ".csv") == 0;
-    if (as_csv) {
+    if (has_suffix_nocase(metrics_file, ".csv")) {
       obs::write_metrics_csv(metrics_file);
     } else {
       obs::write_metrics_json(metrics_file);
     }
-    std::fprintf(stderr, "metrics written to %s\n", metrics_file.c_str());
+    artifacts.emplace_back("metrics", metrics_file);
+  }
+  report::RunReportOptions report_opt;
+  report_opt.title = "xring synth (" + std::to_string(fp.size()) + " nodes)";
+  if (!report_html.empty()) {
+    report::write_run_report_html(report_html, obs::registry(), &r.design,
+                                  &r.metrics, report_opt);
+    artifacts.emplace_back("run report (html)", report_html);
+  }
+  if (!report_json.empty()) {
+    report::write_run_report_json(report_json, obs::registry(), &r.design,
+                                  &r.metrics, report_opt);
+    artifacts.emplace_back("run report (json)", report_json);
   }
   const analysis::LatencyReport latency = analysis::compute_latency(r.metrics);
 
@@ -200,7 +236,10 @@ int cmd_synth(Args& args) {
 
   if (!svg.empty()) {
     viz::save_svg(r.design, svg);
-    std::fprintf(stderr, "layout written to %s\n", svg.c_str());
+    artifacts.emplace_back("layout (svg)", svg);
+  }
+  for (const auto& [kind, path] : artifacts) {
+    std::fprintf(stderr, "%s written to %s\n", kind.c_str(), path.c_str());
   }
   return 0;
 }
