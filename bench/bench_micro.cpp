@@ -19,7 +19,9 @@
 #include "baseline/ornoc.hpp"
 #include "mapping/opening.hpp"
 #include "geom/offset.hpp"
+#include "milp/branch_and_bound.hpp"
 #include "obs/export.hpp"
+#include "par/pool.hpp"
 #include "sim/simulator.hpp"
 #include "xring/synthesizer.hpp"
 
@@ -146,6 +148,74 @@ void BM_Simulator(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Simulator)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+/// Simplex kernels on a wide LP (few rows, many columns): the shape where
+/// candidate-list pricing pays, because a full Dantzig pass is O(n·nnz)
+/// per pivot while the list re-prices only its ~32 survivors.
+void BM_SimplexWideLp(benchmark::State& state) {
+  const int cols = static_cast<int>(state.range(0));
+  const int rows = 12;
+  lp::Problem p;
+  for (int j = 0; j < cols; ++j) {
+    // Deterministic pseudo-random objective in [-9, 9].
+    p.add_variable(0.0, 1.0, static_cast<double>((j * 37) % 19) - 9.0);
+  }
+  for (int i = 0; i < rows; ++i) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < cols; ++j) {
+      const int a = (i * 31 + j * 17) % 7 - 3;
+      if (a != 0) terms.emplace_back(j, static_cast<double>(a));
+    }
+    p.add_constraint(terms, lp::Sense::kLe, cols / 4.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::solve(p));
+  }
+}
+BENCHMARK(BM_SimplexWideLp)->Arg(256)->Arg(1024);
+
+/// Chunk-claiming overhead of parallel_for via an ordered reduce over a
+/// trivial body — what a fine-grained loop pays the substrate per chunk.
+void BM_ParallelReduceSum(benchmark::State& state) {
+  par::ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const long total = par::parallel_reduce(
+        pool, 0, 4096, 0L, [](long i, long& acc) { acc += i; },
+        [](long& into, long& chunk) { into += chunk; }, 64);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_ParallelReduceSum)->Arg(1)->Arg(2)->Arg(4);
+
+/// Raw submit/drain cost of the pool's queues and wakeups.
+void BM_PoolSubmitDrain(benchmark::State& state) {
+  par::ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    par::TaskGroup group(pool);
+    for (int i = 0; i < 256; ++i) group.run([] {});
+    group.wait();
+  }
+}
+BENCHMARK(BM_PoolSubmitDrain)->Arg(2)->Arg(4);
+
+/// The speculative B&B against the serial search on a cycle-cover MILP:
+/// same answer by construction, differing only in wall time.
+void BM_BnbCycleCoverThreads(benchmark::State& state) {
+  const int n = 13;
+  milp::Model m;
+  std::vector<int> x;
+  for (int i = 0; i < n; ++i) x.push_back(m.add_binary(1.0));
+  for (int i = 0; i < n; ++i) {
+    m.add_constraint({{x[i], 1.0}, {x[(i + 1) % n], 1.0}},
+                     milp::Sense::kGe, 1.0);
+  }
+  milp::BnbOptions opt;
+  opt.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(milp::solve(m, opt));
+  }
+}
+BENCHMARK(BM_BnbCycleCoverThreads)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_OffsetClosedRing(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

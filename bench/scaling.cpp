@@ -1,19 +1,31 @@
 // Scaling beyond the paper: the paper stops at 32 nodes; this bench pushes
 // the full flow to 48 and 64 (MILP for the paper's sizes, the certified
 // heuristic fallback above) and reports how cost metrics and synthesis time
-// grow.
+// grow. Each size runs a #wl sweep twice — serial (jobs=1) and on the full
+// pool (jobs=N) — so the table doubles as the parallel-substrate scaling
+// check: the T1/TN/speedup columns quantify the win, and the run aborts if
+// any metric differs between the two (the substrate's determinism contract).
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
+#include "par/pool.hpp"
 #include "report/table.hpp"
-#include "xring/synthesizer.hpp"
+#include "xring/sweep.hpp"
 
 int main() {
   using namespace xring;
-  std::printf("=== Scaling: full flow up to 64 nodes ===\n\n");
+  const int jobs_n = par::resolve_jobs(0);
+  std::printf("=== Scaling: full flow up to 64 nodes (jobs=1 vs jobs=%d) ===\n\n",
+              jobs_n);
 
+  std::string tn_header = "T";
+  tn_header += std::to_string(jobs_n);
+  tn_header += " (s)";
   report::Table t({"nodes", "signals", "ring (mm)", "wgs", "#wl", "il*_w",
-                   "P (W)", "#s", "T (s)"});
+                   "P (W)", "#s", "T1 (s)", tn_header, "speedup"});
+  bool identical = true;
   for (const int n : {8, 16, 32, 48, 64}) {
     netlist::Floorplan fp =
         n == 8    ? netlist::Floorplan::grid(2, 4, 2000)
@@ -23,12 +35,43 @@ int main() {
                   : netlist::Floorplan::grid(8, 8, 2000);
     Synthesizer synth(fp);
     SynthesisOptions opt;
-    opt.mapping.max_wavelengths = n;
     // The MILP's quadratic variable count makes 48+ nodes expensive for the
     // bundled solver; the conflict-aware heuristic plus 2-opt is certified
     // optimal on grids of the paper's sizes, so it carries the large end.
     opt.ring.use_milp = n <= 32;
-    const SynthesisResult r = synth.run(opt);
+    // A handful of #wl settings around the all-to-all requirement: enough
+    // parallel work for the sweep fan-out to show, small enough that 64
+    // nodes stays benchable.
+    const int max_wl = n;
+    const int min_wl = std::max(2, n - 3);
+
+    par::set_jobs(1);
+    const SweepResult serial =
+        sweep_xring(synth, opt, SweepGoal::kMinPower, min_wl, max_wl);
+    par::set_jobs(jobs_n);
+    const SweepResult parallel =
+        sweep_xring(synth, opt, SweepGoal::kMinPower, min_wl, max_wl);
+    par::set_jobs(0);
+
+    // Determinism gate: exact equality, not tolerance — the parallel sweep
+    // must replay the serial reduction bit for bit.
+    if (serial.best_wl != parallel.best_wl ||
+        serial.result.metrics.il_star_worst_db !=
+            parallel.result.metrics.il_star_worst_db ||
+        serial.result.metrics.total_power_w !=
+            parallel.result.metrics.total_power_w ||
+        serial.result.metrics.noisy_signals !=
+            parallel.result.metrics.noisy_signals) {
+      std::fprintf(stderr,
+                   "determinism violation at %d nodes: jobs=1 and jobs=%d "
+                   "disagree\n", n, jobs_n);
+      identical = false;
+    }
+
+    const SynthesisResult& r = parallel.result;
+    const double speedup =
+        parallel.wall_seconds > 0.0 ? serial.wall_seconds / parallel.wall_seconds
+                                    : 0.0;
     t.add_row({std::to_string(n), std::to_string(r.design.traffic.size()),
                report::num(r.design.ring.tour.total_length() / 1000.0, 1),
                std::to_string(r.metrics.waveguides),
@@ -36,10 +79,14 @@ int main() {
                report::num(r.metrics.il_star_worst_db, 2),
                report::num(r.metrics.total_power_w, 2),
                std::to_string(r.metrics.noisy_signals),
-               report::num(r.seconds, 2)});
+               report::num(serial.wall_seconds, 2),
+               report::num(parallel.wall_seconds, 2),
+               report::num(speedup, 2) + "x"});
   }
   std::printf("%s", t.to_string().c_str());
   std::printf("(#s stays 0 at every size: the crossing-free construction is\n"
-              " structural, not a small-network artifact)\n");
-  return 0;
+              " structural, not a small-network artifact; jobs=1 and jobs=%d\n"
+              " produce identical designs — the speedup column is free)\n",
+              jobs_n);
+  return identical ? EXIT_SUCCESS : EXIT_FAILURE;
 }

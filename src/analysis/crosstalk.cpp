@@ -1,7 +1,9 @@
 #include "analysis/crosstalk.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "par/pool.hpp"
 #include "phys/units.hpp"
 
 namespace xring::analysis {
@@ -10,24 +12,20 @@ namespace {
 
 constexpr double kNegligibleMw = 1e-15;
 
-/// Accumulates noise deposits into the per-victim totals and, when an
-/// attribution ledger is attached, records one provenance row per deposit.
-/// Callers stamp the aggressor/source/node fields before each walk so both
-/// views are fed from the same numbers (that is the sum invariant the
-/// explainability tests check).
+/// Records noise deposits as provenance rows. Callers stamp the
+/// aggressor/source/node fields before each walk. The rows are *the* result:
+/// compute_noise replays them, in emission order, into both the per-victim
+/// totals and the attribution ledger, so the two views are fed from the same
+/// numbers (the sum invariant the explainability tests check) and the
+/// emitters themselves can run on any thread.
 struct NoiseSink {
-  std::vector<double>& totals;
-  std::vector<XtalkContribution>* ledger = nullptr;
+  std::vector<XtalkContribution>& rows;
   SignalId aggressor = -1;
   XtalkSource source = XtalkSource::kPdnLeak;
   NodeId node = -1;
 
   void deposit(SignalId victim, double power_mw) {
-    totals[victim] += power_mw;
-    if (ledger != nullptr) {
-      ledger->push_back(
-          XtalkContribution{victim, aggressor, source, node, power_mw});
-    }
+    rows.push_back(XtalkContribution{victim, aggressor, source, node, power_mw});
   }
 };
 
@@ -128,42 +126,42 @@ void deliver_shortcut_noise(const RouterDesign& d, int sc, NodeId end,
   }
 }
 
-}  // namespace
+/// Rows from one comb-PDN crossing tap: every wavelength the laser emits
+/// leaks a fraction of its continuous-wave power into the crossed waveguide.
+void emit_pdn_tap(const AnalysisContext& ctx, const std::vector<double>& laser_mw,
+                  const pdn::CrossingTap& tap,
+                  std::vector<XtalkContribution>& rows) {
+  const RouterDesign& d = ctx.design();
+  const phys::LossParams& lp = d.params.loss;
+  const double kx = phys::db_to_linear(d.params.crosstalk.crossing_db);
+  NoiseSink sink{rows};
+  sink.aggressor = -1;
+  sink.source = XtalkSource::kPdnLeak;
+  sink.node = tap.node;
+  for (int wl = 0; wl < static_cast<int>(laser_mw.size()); ++wl) {
+    if (laser_mw[wl] <= 0.0) continue;
+    const double leak = laser_mw[wl] *
+                        phys::db_to_linear(-(tap.attenuation_db + lp.coupler_db)) *
+                        kx;
+    walk_ring_noise(ctx, tap.waveguide, tap.node, wl, leak, sink);
+  }
+}
 
-std::vector<double> compute_noise(const AnalysisContext& ctx,
-                                  const std::vector<LossBreakdown>& losses,
-                                  const std::vector<double>& laser_mw,
-                                  std::vector<XtalkContribution>* attribution) {
+/// Rows from one aggressor signal (crossing leaks, CSE/receiver residue,
+/// residual ring-geometry crossings).
+void emit_signal(const AnalysisContext& ctx,
+                 const std::vector<LossBreakdown>& losses,
+                 const std::vector<double>& laser_mw, std::size_t i,
+                 std::vector<XtalkContribution>& rows) {
   const RouterDesign& d = ctx.design();
   const phys::LossParams& lp = d.params.loss;
   const phys::CrosstalkParams& xt = d.params.crosstalk;
   const ring::Tour& tour = d.ring.tour;
   const double kx = phys::db_to_linear(xt.crossing_db);
   const double kres = phys::db_to_linear(xt.mrr_drop_residue_db);
+  NoiseSink sink{rows};
 
-  std::vector<double> noise(d.traffic.size(), 0.0);
-  NoiseSink sink{noise, attribution};
-  const int wavelengths = static_cast<int>(laser_mw.size());
-
-  // --- 1. Comb-PDN laser leakage ---------------------------------------
-  // Every PDN x ring crossing scatters a fraction of the continuous-wave
-  // power (all wavelengths the laser emits) into the crossed waveguide.
-  if (d.has_pdn) {
-    sink.aggressor = -1;
-    sink.source = XtalkSource::kPdnLeak;
-    for (const pdn::CrossingTap& tap : d.pdn.taps) {
-      sink.node = tap.node;
-      for (int wl = 0; wl < wavelengths; ++wl) {
-        if (laser_mw[wl] <= 0.0) continue;
-        const double leak =
-            laser_mw[wl] *
-            phys::db_to_linear(-(tap.attenuation_db + lp.coupler_db)) * kx;
-        walk_ring_noise(ctx, tap.waveguide, tap.node, wl, leak, sink);
-      }
-    }
-  }
-
-  for (std::size_t i = 0; i < d.mapping.routes.size(); ++i) {
+  {
     const SignalId id = static_cast<SignalId>(i);
     const mapping::SignalRoute& r = d.mapping.routes[i];
     const auto& sig = d.traffic.signal(id);
@@ -251,7 +249,50 @@ std::vector<double> compute_noise(const AnalysisContext& ctx,
       }
     }
   }
+}
 
+}  // namespace
+
+std::vector<double> compute_noise(const AnalysisContext& ctx,
+                                  const std::vector<LossBreakdown>& losses,
+                                  const std::vector<double>& laser_mw,
+                                  std::vector<XtalkContribution>* attribution) {
+  const RouterDesign& d = ctx.design();
+
+  // Work items: one per PDN crossing tap, then one per aggressor signal —
+  // the same order the serial code walked them. Each item only *records*
+  // its deposits; the replay below folds them into the totals strictly in
+  // item order, reproducing the serial accumulation (and its floating-point
+  // rounding) exactly, no matter how many threads emitted the rows.
+  const long taps =
+      d.has_pdn ? static_cast<long>(d.pdn.taps.size()) : 0;
+  const long items = taps + static_cast<long>(d.mapping.routes.size());
+  std::vector<std::vector<XtalkContribution>> item_rows(
+      static_cast<std::size_t>(items));
+
+  par::ThreadPool& pool = par::global_pool();
+  const long grain = std::max(1L, items / (8L * pool.jobs()));
+  par::parallel_for(
+      pool, 0, items,
+      [&](long k) {
+        auto& rows = item_rows[static_cast<std::size_t>(k)];
+        if (k < taps) {
+          emit_pdn_tap(ctx, laser_mw, d.pdn.taps[static_cast<std::size_t>(k)],
+                       rows);
+        } else {
+          emit_signal(ctx, losses, laser_mw,
+                      static_cast<std::size_t>(k - taps), rows);
+        }
+      },
+      grain);
+
+  std::vector<double> noise(d.traffic.size(), 0.0);
+  for (const auto& rows : item_rows) {
+    for (const XtalkContribution& row : rows) {
+      noise[row.victim] += row.noise_mw;
+      if (attribution != nullptr) attribution->push_back(row);
+    }
+  }
   return noise;
 }
 

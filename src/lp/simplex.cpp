@@ -91,21 +91,38 @@ struct State {
   double binv_at(int i, int j) const { return binv[static_cast<std::size_t>(i) * m + j]; }
 };
 
-/// w = Binv * A_col (sparse column).
-void ftran(const State& s, int col, std::vector<double>& w) {
-  std::fill(w.begin(), w.end(), 0.0);
-  for (const auto& [r, a] : s.cols[col]) {
-    for (int i = 0; i < s.m; ++i) w[i] += s.binv_at(i, r) * a;
+/// w = Binv * A_col (sparse column), plus the index list of w's nonzeros.
+/// Scans each Binv row once, contiguously (row-major layout), accumulating
+/// over the column's few nonzeros — the dominant kernel of every pivot.
+void ftran(const State& s, int col, std::vector<double>& w,
+           std::vector<int>& nz) {
+  const int m = s.m;
+  const double* __restrict binv = s.binv.data();
+  double* __restrict wp = w.data();
+  const auto& acol = s.cols[col];
+  for (int i = 0; i < m; ++i) {
+    const double* __restrict row = binv + static_cast<std::size_t>(i) * m;
+    double acc = 0.0;
+    for (const auto& [r, a] : acol) acc += row[r] * a;
+    wp[i] = acc;
+  }
+  nz.clear();
+  for (int i = 0; i < m; ++i) {
+    if (wp[i] != 0.0) nz.push_back(i);
   }
 }
 
 /// y = c_B^T * Binv.
 void btran(const State& s, std::vector<double>& y) {
+  const int m = s.m;
   std::fill(y.begin(), y.end(), 0.0);
-  for (int i = 0; i < s.m; ++i) {
+  const double* __restrict binv = s.binv.data();
+  double* __restrict yp = y.data();
+  for (int i = 0; i < m; ++i) {
     const double cb = s.cost[s.basis[i]];
     if (cb == 0.0) continue;
-    for (int j = 0; j < s.m; ++j) y[j] += cb * s.binv_at(i, j);
+    const double* __restrict row = binv + static_cast<std::size_t>(i) * m;
+    for (int j = 0; j < m; ++j) yp[j] += cb * row[j];
   }
 }
 
@@ -132,45 +149,112 @@ void recompute_basics(State& s) {
   }
 }
 
+/// Candidate list size for partial pricing: a full pricing pass keeps the
+/// best-scored eligible columns, and subsequent iterations re-price only
+/// those until the list runs dry. Optimality is only ever declared by a full
+/// pass, so the candidate list changes pivot order, never the answer.
+constexpr int kCandidateListSize = 32;
+
 /// One bounded-variable simplex phase on the current `cost` vector.
 /// Returns kOptimal when no improving column exists.
 Status iterate(State& s, int& iterations, int max_iterations) {
-  std::vector<double> y(s.m), w(s.m);
+  const int m = s.m;
+  std::vector<double> y(m), w(m);
+  std::vector<int> wnz, eta_nz, cand;
+  std::vector<std::pair<double, int>> scored;
+  wnz.reserve(m);
+  eta_nz.reserve(m);
+  cand.reserve(kCandidateListSize);
   int stall = 0;  // iterations since last objective improvement (Bland trigger)
+
+  // Eligibility of a nonbasic column under the current duals: sets the
+  // movement direction (+1 from lower, -1 from upper) when improving.
+  auto eligible = [&s](int j, double d, int& direction) {
+    if (s.where[j] == At::kBasic) return false;
+    if (s.lo[j] == s.hi[j]) return false;  // fixed, never enters
+    if (s.where[j] == At::kLower && d < -s.tol) {
+      direction = +1;
+      return true;
+    }
+    if (s.where[j] == At::kUpper && d > s.tol) {
+      direction = -1;
+      return true;
+    }
+    return false;
+  };
 
   while (iterations < max_iterations) {
     ++iterations;
     btran(s, y);
 
-    // Pricing: pick the entering column. Dantzig rule normally; Bland's rule
-    // (lowest eligible index) once degeneracy stalls progress, which
-    // guarantees termination.
-    const bool bland = stall > 2 * (s.m + 8);
+    // Pricing: pick the entering column. Dantzig rule over the candidate
+    // list normally (refilled by a full n-column pass when it runs dry);
+    // Bland's rule (lowest eligible index, always a full scan) once
+    // degeneracy stalls progress, which guarantees termination.
+    const bool bland = stall > 2 * (m + 8);
     int enter = -1;
-    double best = s.tol;
-    int direction = 0;  // +1: entering increases from lower, -1: decreases from upper
-    for (int j = 0; j < s.n; ++j) {
-      if (s.where[j] == At::kBasic) continue;
-      if (s.lo[j] == s.hi[j]) continue;  // fixed, never enters
-      const double d = reduced_cost(s, y, j);
-      if (s.where[j] == At::kLower && d < -s.tol) {
-        if (bland) { enter = j; direction = +1; break; }
-        if (-d > best) { best = -d; enter = j; direction = +1; }
-      } else if (s.where[j] == At::kUpper && d > s.tol) {
-        if (bland) { enter = j; direction = -1; break; }
-        if (d > best) { best = d; enter = j; direction = -1; }
+    int direction = 0;
+    if (bland) {
+      for (int j = 0; j < s.n; ++j) {
+        int dir = 0;
+        if (eligible(j, reduced_cost(s, y, j), dir)) {
+          enter = j;
+          direction = dir;
+          break;
+        }
+      }
+    } else {
+      double best = s.tol;
+      auto pick_from = [&](const std::vector<int>& js) {
+        for (const int j : js) {
+          const double d = reduced_cost(s, y, j);
+          int dir = 0;
+          if (!eligible(j, d, dir)) continue;
+          const double score = std::abs(d);
+          if (score > best) {
+            best = score;
+            enter = j;
+            direction = dir;
+          }
+        }
+      };
+      pick_from(cand);
+      if (enter < 0) {
+        // The list went stale: one full pricing pass, keeping the top
+        // columns (by |reduced cost|, ties to the lower index) as the next
+        // candidate list.
+        scored.clear();
+        for (int j = 0; j < s.n; ++j) {
+          const double d = reduced_cost(s, y, j);
+          int dir = 0;
+          if (eligible(j, d, dir)) scored.emplace_back(std::abs(d), j);
+        }
+        cand.clear();
+        if (!scored.empty()) {
+          const auto keep = std::min<std::size_t>(kCandidateListSize,
+                                                  scored.size());
+          std::partial_sort(scored.begin(),
+                            scored.begin() + static_cast<long>(keep),
+                            scored.end(), [](const auto& a, const auto& b) {
+                              if (a.first != b.first) return a.first > b.first;
+                              return a.second < b.second;
+                            });
+          for (std::size_t k = 0; k < keep; ++k) cand.push_back(scored[k].second);
+          pick_from(cand);
+        }
       }
     }
     if (enter < 0) return Status::kOptimal;
 
-    ftran(s, enter, w);
+    ftran(s, enter, w, wnz);
 
     // Ratio test. The entering variable moves by t in `direction`; each basic
-    // variable i changes by -direction * w[i] * t.
+    // variable i changes by -direction * w[i] * t. Rows with w[i] == 0 can
+    // never trip the tolerance checks, so only w's nonzeros are scanned.
     double t_max = s.hi[enter] - s.lo[enter];  // bound-flip limit
     int leave = -1;         // row index of the leaving basic variable
     int leave_to = 0;       // -1: leaves to lower bound, +1: leaves to upper
-    for (int i = 0; i < s.m; ++i) {
+    for (const int i : wnz) {
       const double wi = direction * w[i];
       const int bi = s.basis[i];
       if (wi > s.tol) {
@@ -196,9 +280,9 @@ Status iterate(State& s, int& iterations, int max_iterations) {
     if (t_max == kInfinity) return Status::kUnbounded;
     stall = t_max > s.tol ? 0 : stall + 1;
 
-    // Apply the step to all basic variables and the entering variable.
+    // Apply the step to the affected basic variables and the entering one.
     if (t_max > 0.0) {
-      for (int i = 0; i < s.m; ++i) {
+      for (const int i : wnz) {
         s.value[s.basis[i]] -= direction * w[i] * t_max;
       }
       s.value[enter] += direction * t_max;
@@ -218,17 +302,23 @@ Status iterate(State& s, int& iterations, int max_iterations) {
     s.where[enter] = At::kBasic;
     s.basis[leave] = enter;
 
-    // Update the dense basis inverse: standard eta update with pivot w[leave].
+    // Update the dense basis inverse: standard eta update with pivot
+    // w[leave]. Only rows with w[i] != 0 change, and within the pivot row
+    // only its nonzero columns contribute, so both loops run sparse.
     const double piv = w[leave];
     if (std::abs(piv) < 1e-12) return Status::kIterationLimit;  // numeric failure
-    for (int j = 0; j < s.m; ++j) s.binv_at(leave, j) /= piv;
-    for (int i = 0; i < s.m; ++i) {
+    double* __restrict binv = s.binv.data();
+    double* __restrict lrow = binv + static_cast<std::size_t>(leave) * m;
+    for (int j = 0; j < m; ++j) lrow[j] /= piv;
+    eta_nz.clear();
+    for (int j = 0; j < m; ++j) {
+      if (lrow[j] != 0.0) eta_nz.push_back(j);
+    }
+    for (const int i : wnz) {
       if (i == leave) continue;
       const double f = w[i];
-      if (f == 0.0) continue;
-      for (int j = 0; j < s.m; ++j) {
-        s.binv_at(i, j) -= f * s.binv_at(leave, j);
-      }
+      double* __restrict row = binv + static_cast<std::size_t>(i) * m;
+      for (const int j : eta_nz) row[j] -= f * lrow[j];
     }
   }
   return Status::kIterationLimit;
@@ -370,7 +460,7 @@ Solution solve_impl(const Problem& p, const SolveOptions& options) {
 Solution solve(const Problem& p, const SolveOptions& options) {
   obs::Span span("lp.solve");
   Solution out = solve_impl(p, options);
-  if (obs::enabled()) {
+  if (obs::enabled() && options.record_metrics) {
     obs::Registry& reg = obs::registry();
     reg.counter("lp.solves").add();
     reg.counter("lp.pivots").add(out.iterations);

@@ -74,6 +74,11 @@ class Problem {
 struct SolveOptions {
   int max_iterations = 200000;
   double tolerance = 1e-8;
+  /// When false, the solve skips the `lp.solves`/`lp.pivots`/`lp.iterations`
+  /// obs counters (the tracing span still fires). Used by the MILP's
+  /// speculative solves so those counters stay identical at every thread
+  /// count: the search records a speculated solve only when it consumes it.
+  bool record_metrics = true;
 };
 
 struct Solution {

@@ -1,10 +1,16 @@
 #include "milp/branch_and_bound.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
-#include <queue>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
 
 #include "obs/obs.hpp"
+#include "par/pool.hpp"
 
 namespace xring::milp {
 
@@ -29,13 +35,28 @@ struct Node {
   std::vector<std::pair<int, double>> fixings;  // (var, value in {0,1})
   double bound;  // parent's LP objective, in minimization sense
   int depth = 0;
+  long seq = 0;  // creation order; total-order tie-breaker and cache key
 };
 
-struct NodeOrder {
+/// Best-first order: lowest bound, then deepest (dive), then creation order.
+/// The `seq` tie-break makes the order *total*, so the pop sequence — and
+/// with it the whole search — is identical at every thread count.
+struct NodeBetter {
   bool operator()(const Node& a, const Node& b) const {
-    if (a.bound != b.bound) return a.bound > b.bound;  // min-heap on bound
-    return a.depth < b.depth;                          // prefer deeper (dive)
+    if (a.bound != b.bound) return a.bound < b.bound;
+    if (a.depth != b.depth) return a.depth > b.depth;
+    return a.seq < b.seq;
   }
+};
+
+/// A speculatively pre-solved node relaxation. `rows` pins the constraint
+/// count the LP snapshot had when the task launched: a lazy-constraint round
+/// grows the live problem and silently invalidates every entry solved
+/// against fewer rows.
+struct SpecEntry {
+  int rows = 0;
+  bool ready = false;
+  lp::Solution sol;
 };
 
 /// LP problem mirroring the MILP; rows grow as lazy constraints arrive.
@@ -142,8 +163,13 @@ MipResult solve(const Model& model, const BnbOptions& options) {
     }
   }
 
-  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
-  open.push(Node{{}, -lp::kInfinity, 0});
+  std::set<Node, NodeBetter> open;
+  long next_seq = 0;
+  auto push = [&](Node n) {
+    n.seq = next_seq++;
+    open.insert(std::move(n));
+  };
+  push(Node{{}, -lp::kInfinity, 0, 0});
 
   std::vector<double> saved_lo(model.num_variables());
   std::vector<double> saved_hi(model.num_variables());
@@ -151,6 +177,137 @@ MipResult solve(const Model& model, const BnbOptions& options) {
     saved_lo[v] = model.lower(v);
     saved_hi[v] = model.upper(v);
   }
+
+  // --- Speculative parallel mode ----------------------------------------
+  // The integration loop below replays the exact serial search order; the
+  // only thing other threads ever do is *pre-solve* the LP relaxations of
+  // the best open nodes against an immutable snapshot of the live problem.
+  // A speculated solution is bit-identical to what the serial code would
+  // have computed (same LP, same deterministic simplex), so consuming it is
+  // indistinguishable from solving inline — the search stays deterministic
+  // at every thread count, and wall-clock shrinks because node k+1..k+T are
+  // usually already solved when the loop reaches them.
+  const int threads = options.threads > 0
+                          ? std::min(options.threads, 512)
+                          : par::effective_jobs();
+  const bool speculative = threads > 1;
+
+  std::mutex spec_mu;
+  std::condition_variable spec_cv;
+  std::map<long, SpecEntry> cache;                 // keyed by Node::seq
+  std::shared_ptr<const lp::Problem> snapshot;     // immutable for tasks
+  std::atomic<double> shared_incumbent{incumbent_obj};
+  par::TaskGroup spec_group(par::global_pool());
+
+  auto refresh_snapshot = [&] {
+    if (!speculative) return;
+    auto snap = std::make_shared<const lp::Problem>(relaxation);
+    std::lock_guard<std::mutex> lk(spec_mu);
+    snapshot = std::move(snap);
+  };
+  refresh_snapshot();
+
+  // Launches pre-solves for the best open nodes that are neither cached,
+  // in flight, nor certain to be pruned. Capped at `threads` in flight.
+  auto speculate = [&] {
+    if (!speculative || open.empty()) return;
+    const int rows_now = relaxation.num_constraints();
+    const double inc = shared_incumbent.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(spec_mu);
+    int in_flight = 0;
+    for (const auto& [seq, e] : cache) {
+      if (!e.ready) ++in_flight;
+    }
+    int budget = threads - in_flight;
+    for (auto it = open.begin(); it != open.end() && budget > 0; ++it) {
+      if (inc < lp::kInfinity &&
+          it->bound >= inc - std::abs(inc) * options.gap - 1e-9) {
+        break;  // this and every later node will be pruned (bound order)
+      }
+      auto ce = cache.find(it->seq);
+      if (ce != cache.end() && (ce->second.rows == rows_now || !ce->second.ready)) {
+        continue;  // fresh, or still in flight (it will re-check on finish)
+      }
+      cache[it->seq] = SpecEntry{rows_now, false, {}};
+      --budget;
+      spec_group.run([&spec_mu, &spec_cv, &cache, snap = snapshot,
+                      node = *it, rows_now] {
+        lp::Problem local = *snap;
+        for (const auto& [var, val] : node.fixings) {
+          local.set_bounds(var, val, val);
+        }
+        // No metric recording here: the integration loop records consumed
+        // speculative solves itself, so lp.* counters replay the serial
+        // search exactly (discarded speculation leaves no counter trace).
+        lp::SolveOptions quiet;
+        quiet.record_metrics = false;
+        lp::Solution sol = lp::solve(local, quiet);
+        std::lock_guard<std::mutex> lk2(spec_mu);
+        auto e = cache.find(node.seq);
+        if (e != cache.end() && e->second.rows == rows_now && !e->second.ready) {
+          e->second.sol = std::move(sol);
+          e->second.ready = true;
+        }
+        spec_cv.notify_all();
+      });
+      if (obs::enabled()) obs::registry().counter("milp.spec_launched").add();
+    }
+  };
+
+  // The node relaxation the serial code would compute: taken from the
+  // speculation cache when a fresh entry exists (waiting for an in-flight
+  // one, helping the pool meanwhile), solved inline otherwise.
+  auto solve_node = [&](const Node& node) -> lp::Solution {
+    if (speculative) {
+      const int rows_now = relaxation.num_constraints();
+      std::unique_lock<std::mutex> lk(spec_mu);
+      auto it = cache.find(node.seq);
+      if (it != cache.end() && it->second.rows != rows_now) {
+        // Stale (lazy rows arrived after launch). Drop it; a still-running
+        // task finds its entry gone and discards its result.
+        cache.erase(it);
+        it = cache.end();
+      }
+      if (it != cache.end()) {
+        while (!it->second.ready) {
+          lk.unlock();
+          if (!par::global_pool().try_run_one()) {
+            lk.lock();
+            spec_cv.wait_for(lk, std::chrono::milliseconds(1));
+            lk.unlock();
+          }
+          lk.lock();
+          it = cache.find(node.seq);
+          if (it == cache.end()) break;
+        }
+        if (it != cache.end() && it->second.ready) {
+          lp::Solution sol = std::move(it->second.sol);
+          cache.erase(it);
+          lk.unlock();
+          if (obs::enabled()) {
+            obs::Registry& reg = obs::registry();
+            reg.counter("milp.spec_hits").add();
+            // Book the consumed solve as if it had run inline, keeping the
+            // lp.* counters bit-identical to the serial search.
+            reg.counter("lp.solves").add();
+            reg.counter("lp.pivots").add(sol.iterations);
+            reg.histogram("lp.iterations").observe(sol.iterations);
+          }
+          return sol;
+        }
+      }
+      lk.unlock();
+    }
+    for (const auto& [var, val] : node.fixings) {
+      relaxation.set_bounds(var, val, val);
+    }
+    lp::Solution rel = lp::solve(relaxation);
+    // Restore bounds immediately; the LP problem object is shared.
+    for (const auto& [var, val] : node.fixings) {
+      relaxation.set_bounds(var, saved_lo[var], saved_hi[var]);
+    }
+    return rel;
+  };
 
   bool hit_limit = false;
   bool lp_trouble = false;
@@ -161,23 +318,21 @@ MipResult solve(const Model& model, const BnbOptions& options) {
       hit_limit = true;
       break;
     }
-    Node node = open.top();
-    open.pop();
+    speculate();
+    Node node = *open.begin();
+    open.erase(open.begin());
     if (incumbent_obj < lp::kInfinity &&
         node.bound >= incumbent_obj - std::abs(incumbent_obj) * options.gap - 1e-9) {
+      if (speculative) {
+        // Never consumed; drop any pre-solve so the cache stays bounded.
+        std::lock_guard<std::mutex> lk(spec_mu);
+        cache.erase(node.seq);
+      }
       continue;  // pruned by an incumbent found after the node was queued
     }
     ++result.nodes;
 
-    // Apply this node's fixings.
-    for (const auto& [var, val] : node.fixings) {
-      relaxation.set_bounds(var, val, val);
-    }
-    lp::Solution rel = lp::solve(relaxation);
-    // Restore bounds immediately; the LP problem object is shared.
-    for (const auto& [var, val] : node.fixings) {
-      relaxation.set_bounds(var, saved_lo[var], saved_hi[var]);
-    }
+    lp::Solution rel = solve_node(node);
 
     if (rel.status == lp::Status::kInfeasible) continue;
     if (rel.status == lp::Status::kUnbounded) {
@@ -209,12 +364,14 @@ MipResult solve(const Model& model, const BnbOptions& options) {
       if (!cuts.empty()) {
         append_rows(relaxation, cuts);
         result.lazy_constraints_added += static_cast<int>(cuts.size());
+        refresh_snapshot();  // cached pre-solves are now stale (row count)
         // Re-queue the same node: its LP now sees the new rows.
-        open.push(node);
+        push(node);
         continue;
       }
       incumbent = rel.x;
       incumbent_obj = bound;
+      shared_incumbent.store(incumbent_obj, std::memory_order_relaxed);
       note_incumbent(incumbent_obj);
       continue;
     }
@@ -237,7 +394,7 @@ MipResult solve(const Model& model, const BnbOptions& options) {
       child.fixings.emplace_back(branch_var, val);
       child.bound = bound;
       child.depth = node.depth + 1;
-      open.push(child);
+      push(std::move(child));
     }
   }
 

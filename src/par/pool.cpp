@@ -1,0 +1,277 @@
+#include "par/pool.hpp"
+
+#include <cstdlib>
+
+#include "obs/obs.hpp"
+
+namespace xring::par {
+
+namespace {
+
+/// Which pool (if any) the current thread is a worker of, and its queue
+/// index there. Lets submit() route a worker's own spawns to its own deque.
+thread_local ThreadPool* t_pool = nullptr;
+thread_local std::size_t t_queue = 0;
+
+int env_jobs() {
+  const char* s = std::getenv("XRING_JOBS");
+  if (s == nullptr || *s == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || v < 1) return 0;
+  return static_cast<int>(std::min(v, 512L));
+}
+
+}  // namespace
+
+int hardware_jobs() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+int resolve_jobs(int requested) {
+  if (requested > 0) return std::min(requested, 512);
+  const int env = env_jobs();
+  if (env > 0) return env;
+  return hardware_jobs();
+}
+
+ThreadPool::ThreadPool(int jobs) : jobs_(resolve_jobs(jobs)) {
+  queues_.reserve(static_cast<std::size_t>(jobs_));
+  for (int q = 0; q < jobs_; ++q) queues_.push_back(std::make_unique<Queue>());
+  threads_.reserve(static_cast<std::size_t>(jobs_ - 1));
+  for (int w = 0; w < jobs_ - 1; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(static_cast<std::size_t>(w)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_relaxed);
+  {
+    // Pairs with the wait in worker_loop: taking the mutex here guarantees no
+    // worker is between its predicate check and going to sleep.
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  // Anything still queued (e.g. submitted after workers started exiting)
+  // runs here, so TaskGroup counters always resolve.
+  while (try_run_one()) {
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const std::size_t q =
+      (t_pool == this) ? t_queue : 0;  // 0 = shared injection queue
+  {
+    std::lock_guard<std::mutex> lk(queues_[q]->mu);
+    queues_[q]->tasks.push_back(std::move(task));
+  }
+  const long depth = pending_.fetch_add(1, std::memory_order_release) + 1;
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::registry();
+    reg.counter("par.tasks").add();
+    reg.histogram("par.queue_depth").observe(static_cast<double>(depth));
+  }
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+  }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::pop_from(std::size_t q, bool steal, std::function<void()>& task) {
+  Queue& queue = *queues_[q];
+  std::lock_guard<std::mutex> lk(queue.mu);
+  if (queue.tasks.empty()) return false;
+  if (steal) {
+    task = std::move(queue.tasks.front());
+    queue.tasks.pop_front();
+  } else {
+    task = std::move(queue.tasks.back());
+    queue.tasks.pop_back();
+  }
+  return true;
+}
+
+bool ThreadPool::next_task(std::size_t self, std::function<void()>& task) {
+  // Own deque, newest first.
+  if (self > 0 && pop_from(self, /*steal=*/false, task)) {
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  // Shared injection queue, oldest first.
+  if (pop_from(0, /*steal=*/true, task)) {
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  // Steal from the other workers, oldest first.
+  for (std::size_t off = 1; off < queues_.size(); ++off) {
+    const std::size_t victim = 1 + (self + off - 1) % (queues_.size() - 1);
+    if (victim == self) continue;
+    if (pop_from(victim, /*steal=*/true, task)) {
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      if (obs::enabled()) obs::registry().counter("par.steals").add();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::try_run_one() {
+  const std::size_t self = (t_pool == this) ? t_queue : 0;
+  std::function<void()> task;
+  if (!next_task(self, task)) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  t_pool = this;
+  t_queue = self + 1;  // queue 0 is the injection queue
+  std::function<void()> task;
+  for (;;) {
+    if (next_task(t_queue, task)) {
+      task();
+      task = nullptr;  // release captures before sleeping
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(sleep_mu_);
+    if (stop_.load(std::memory_order_relaxed)) break;
+    sleep_cv_.wait(lk, [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_relaxed) &&
+        pending_.load(std::memory_order_acquire) <= 0) {
+      break;
+    }
+  }
+  t_pool = nullptr;
+  t_queue = 0;
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+int g_jobs_override = 0;  // 0 = env/hardware sizing
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(g_jobs_override);
+  return *g_pool;
+}
+
+void set_jobs(int jobs) {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  g_jobs_override = jobs > 0 ? jobs : 0;
+  const int want = resolve_jobs(g_jobs_override);
+  if (g_pool && g_pool->jobs() == want) return;
+  g_pool.reset();  // joins workers and drains leftovers
+  g_pool = std::make_unique<ThreadPool>(want);
+}
+
+int effective_jobs() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  return g_pool ? g_pool->jobs() : resolve_jobs(g_jobs_override);
+}
+
+namespace detail {
+
+void drive(const std::shared_ptr<ForState>& st) {
+  for (;;) {
+    const long c = st->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= st->chunks) return;
+    if (!st->failed.load(std::memory_order_relaxed)) {
+      const long lo = st->begin + c * st->grain;
+      const long hi = std::min(st->end, lo + st->grain);
+      try {
+        st->run_range(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(st->mu);
+        if (st->failed_chunk < 0 || c < st->failed_chunk) {
+          st->failed_chunk = c;
+          st->error = std::current_exception();
+        }
+        st->failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 == st->chunks) {
+      std::lock_guard<std::mutex> lk(st->mu);
+      st->cv.notify_all();
+      return;
+    }
+  }
+}
+
+void run_for(ThreadPool& pool, const std::shared_ptr<ForState>& st) {
+  const long helpers =
+      std::min<long>(pool.workers(), st->chunks - 1);
+  for (long h = 0; h < helpers; ++h) {
+    pool.submit([st] { drive(st); });
+  }
+  drive(st);
+  // The caller ran out of chunks to claim; others may still be running
+  // theirs. Help with unrelated pool work while waiting (nested loops).
+  while (st->done.load(std::memory_order_acquire) != st->chunks) {
+    if (pool.try_run_one()) continue;
+    std::unique_lock<std::mutex> lk(st->mu);
+    st->cv.wait_for(lk, std::chrono::milliseconds(1), [&] {
+      return st->done.load(std::memory_order_acquire) == st->chunks;
+    });
+  }
+  if (st->error) std::rethrow_exception(st->error);
+}
+
+}  // namespace detail
+
+TaskGroup::~TaskGroup() {
+  try {
+    wait();
+  } catch (...) {
+    // wait() already resolved every task; a stored exception that nobody
+    // collected dies with the group.
+  }
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(st_->mu);
+    ++st_->outstanding;
+  }
+  pool_->submit([st = st_, fn = std::move(fn)] {
+    std::exception_ptr err;
+    try {
+      fn();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lk(st->mu);
+    if (err && !st->error) st->error = err;
+    if (--st->outstanding == 0) st->cv.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(st_->mu);
+      if (st_->outstanding == 0) break;
+    }
+    if (pool_->try_run_one()) continue;
+    std::unique_lock<std::mutex> lk(st_->mu);
+    st_->cv.wait_for(lk, std::chrono::milliseconds(1),
+                     [&] { return st_->outstanding == 0; });
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lk(st_->mu);
+    err = st_->error;
+    st_->error = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace xring::par

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <sstream>
 #include <vector>
 
 #include "obs/export.hpp"
+#include "par/pool.hpp"
 
 namespace xring::report {
 
@@ -384,6 +386,23 @@ void emit_xtalk_matrix(std::ostringstream& out,
   out << "</table></details>\n";
 }
 
+/// The execution environment: how many worker lanes the parallel substrate
+/// ran with, and where that number came from. Results never depend on it
+/// (the substrate is deterministic); wall times do.
+void emit_environment(std::ostringstream& out) {
+  const char* env_jobs = std::getenv("XRING_JOBS");
+  out << "<details open id=\"environment\"><summary>Environment</summary>\n"
+      << "<table><tr><th>setting</th><th>value</th></tr>\n"
+      << "<tr><td>threads (effective jobs)</td><td class=\"num\">"
+      << par::effective_jobs() << "</td></tr>\n"
+      << "<tr><td>hardware concurrency</td><td class=\"num\">"
+      << par::hardware_jobs() << "</td></tr>\n"
+      << "<tr><td><code>XRING_JOBS</code></td><td class=\"num\">"
+      << (env_jobs != nullptr && *env_jobs != '\0' ? html_escape(env_jobs)
+                                                   : std::string("unset"))
+      << "</td></tr>\n</table></details>\n";
+}
+
 void emit_metrics(std::ostringstream& out,
                   const std::map<std::string, double>& flat) {
   out << "<details id=\"metrics\"><summary>Metrics (" << flat.size()
@@ -445,6 +464,7 @@ std::string run_report_html(const obs::Registry& reg,
   }
   out << "</p>\n";
 
+  emit_environment(out);
   emit_diagnostics(out, diags);
   emit_timeline(out, spans, options.max_timeline_spans);
   emit_convergence(out, reg.series());
@@ -491,6 +511,19 @@ std::string run_report_json(const obs::Registry& reg,
   out << "\n},\n";
 
   out << "\"diagnostics\": " << obs::diagnostics_json(reg) << ",\n";
+
+  {
+    const char* env_jobs = std::getenv("XRING_JOBS");
+    out << "\"environment\": {\"jobs\": " << par::effective_jobs()
+        << ", \"hardware_concurrency\": " << par::hardware_jobs()
+        << ", \"xring_jobs_env\": ";
+    if (env_jobs != nullptr && *env_jobs != '\0') {
+      out << "\"" << json_escape(env_jobs) << "\"";
+    } else {
+      out << "null";
+    }
+    out << "},\n";
+  }
 
   if (design != nullptr && metrics != nullptr) {
     out << "\"signals\": [";

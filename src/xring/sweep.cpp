@@ -1,5 +1,11 @@
 #include "xring/sweep.hpp"
 
+#include <optional>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "par/pool.hpp"
+
 namespace xring {
 
 namespace {
@@ -32,33 +38,53 @@ bool better(SweepGoal goal, const analysis::RouterMetrics& a,
 
 SweepResult sweep(const SynthesisAtWl& synthesize, SweepGoal goal, int min_wl,
                   int max_wl) {
+  obs::Span span("sweep");
   SweepResult out;
+  if (max_wl < min_wl) return out;
+
+  // Evaluate every setting concurrently, then reduce serially in ascending
+  // #wl order — the exact loop the serial sweep ran, over the exact results
+  // it would have produced, so the winner (and every tie-break toward the
+  // smaller #wl) is identical at any thread count.
+  const int count = max_wl - min_wl + 1;
+  std::vector<std::optional<SynthesisResult>> results(
+      static_cast<std::size_t>(count));
+  par::parallel_for(par::global_pool(), 0, count, [&](long i) {
+    results[static_cast<std::size_t>(i)] = synthesize(min_wl + static_cast<int>(i));
+  });
+
   bool have = false;
-  for (int wl = min_wl; wl <= max_wl; ++wl) {
-    SynthesisResult r = synthesize(wl);
+  for (int i = 0; i < count; ++i) {
+    SynthesisResult& r = *results[static_cast<std::size_t>(i)];
     out.seconds += r.seconds;
     ++out.settings_tried;
     if (!have || better(goal, r.metrics, out.result.metrics)) {
       have = true;
-      out.best_wl = wl;
+      out.best_wl = min_wl + i;
       out.result = std::move(r);
     }
   }
+  out.wall_seconds = span.elapsed_seconds();
   return out;
 }
 
 SweepResult sweep_xring(const Synthesizer& synthesizer,
                         const SynthesisOptions& base, SweepGoal goal,
                         int min_wl, int max_wl) {
+  obs::Span span("sweep_xring");
   const ring::RingBuildResult ring =
       ring::build_ring(synthesizer.floorplan(), synthesizer.oracle(), base.ring);
-  return sweep(
+  SweepResult out = sweep(
       [&](int wl) {
         SynthesisOptions opt = base;
         opt.mapping.max_wavelengths = wl;
         return synthesizer.run_with_ring(opt, ring);
       },
       goal, min_wl, max_wl);
+  // Wall clock of the whole call, shared ring construction included (the
+  // per-setting `seconds` fold it in as if each setting had built it).
+  out.wall_seconds = span.elapsed_seconds();
+  return out;
 }
 
 }  // namespace xring

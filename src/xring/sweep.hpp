@@ -19,11 +19,23 @@ struct SweepResult {
   int best_wl = 0;
   SynthesisResult result;
   int settings_tried = 0;
-  double seconds = 0.0;  ///< total time across all tried settings
+  /// Cumulative work time: the sum of every tried setting's own `seconds`.
+  /// With a parallel sweep this exceeds the elapsed time.
+  double seconds = 0.0;
+  /// Wall-clock time of the whole sweep call. For sweep_xring this includes
+  /// the shared ring construction (which `seconds` already folds into each
+  /// setting via run_with_ring, so the two are *not* nested measures).
+  double wall_seconds = 0.0;
 };
 
 /// Tries every #wl in [min_wl, max_wl] and keeps the best setting for the
 /// goal. Ties go to the smaller #wl (cheaper laser bank).
+///
+/// Settings are evaluated concurrently on the global `par` pool (--jobs /
+/// XRING_JOBS); the winner is then chosen by a serial ordered reduction over
+/// ascending #wl, so the selected design is bit-identical to the serial
+/// sweep at any thread count. `synthesize` must therefore be safe to call
+/// concurrently (the XRing pipeline is: it shares only immutable state).
 SweepResult sweep(const SynthesisAtWl& synthesize, SweepGoal goal, int min_wl,
                   int max_wl);
 

@@ -1,0 +1,241 @@
+// The parallel execution substrate: thread-pool mechanics (work stealing,
+// exception propagation, nesting, degenerate ranges) and — the property the
+// whole design hangs on — bit-identical results from the parallel sweep and
+// the speculative MILP search at 1, 2, and 8 threads.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "milp/branch_and_bound.hpp"
+#include "obs/obs.hpp"
+#include "par/pool.hpp"
+#include "xring/sweep.hpp"
+
+namespace xring {
+namespace {
+
+// --- Pool mechanics ------------------------------------------------------
+
+TEST(ParallelFor, RunsEveryIndexExactlyOnce) {
+  par::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  par::parallel_for(pool, 0, 1000, [&](long i) { hits[i].fetch_add(1); }, 7);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroAndNegativeRangesAreNoOps) {
+  par::ThreadPool pool(4);
+  int calls = 0;
+  par::parallel_for(pool, 0, 0, [&](long) { ++calls; });
+  par::parallel_for(pool, 5, 5, [&](long) { ++calls; });
+  par::parallel_for(pool, 10, 3, [&](long) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, SingleJobPoolRunsInlineInOrder) {
+  par::ThreadPool pool(1);
+  EXPECT_EQ(pool.workers(), 0);
+  std::vector<long> order;
+  par::parallel_for(pool, 0, 16, [&](long i) { order.push_back(i); }, 3);
+  ASSERT_EQ(order.size(), 16u);
+  for (long i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, ExceptionPropagatesAndPoolSurvives) {
+  par::ThreadPool pool(4);
+  auto boom = [&] {
+    par::parallel_for(pool, 0, 100, [](long i) {
+      if (i == 37) throw std::runtime_error("chunk failure");
+    });
+  };
+  EXPECT_THROW(boom(), std::runtime_error);
+  // The pool must stay serviceable after a failed loop.
+  std::atomic<int> sum{0};
+  par::parallel_for(pool, 0, 10, [&](long i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ParallelFor, NestedLoopsComplete) {
+  par::ThreadPool pool(4);
+  std::atomic<long> total{0};
+  par::parallel_for(pool, 0, 8, [&](long) {
+    par::parallel_for(pool, 0, 64, [&](long) { total.fetch_add(1); }, 8);
+  });
+  EXPECT_EQ(total.load(), 8 * 64);
+}
+
+TEST(ParallelReduce, ChunkOrderIsIndependentOfThreadCount) {
+  // String concatenation is order-sensitive, so equality across pool sizes
+  // proves the combine order is fixed by the chunking, not the scheduling.
+  auto run = [](int jobs) {
+    par::ThreadPool pool(jobs);
+    return par::parallel_reduce(
+        pool, 0, 26, std::string(),
+        [](long i, std::string& acc) { acc += static_cast<char>('a' + i); },
+        [](std::string& into, std::string& chunk) { into += chunk; }, 3);
+  };
+  const std::string serial = run(1);
+  EXPECT_EQ(serial, "abcdefghijklmnopqrstuvwxyz");
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST(TaskGroup, WaitResolvesAllTasksAndRethrows) {
+  par::ThreadPool pool(4);
+  {
+    par::TaskGroup group(pool);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 64; ++i) group.run([&] { ran.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(ran.load(), 64);
+  }
+  {
+    par::TaskGroup group(pool);
+    group.run([] { throw std::runtime_error("task failure"); });
+    EXPECT_THROW(group.wait(), std::runtime_error);
+  }
+}
+
+TEST(Jobs, ResolutionOrderAndGlobalPoolResize) {
+  par::set_jobs(3);
+  EXPECT_EQ(par::effective_jobs(), 3);
+  EXPECT_EQ(par::global_pool().jobs(), 3);
+  par::set_jobs(0);  // back to env/hardware sizing
+  EXPECT_GE(par::effective_jobs(), 1);
+  EXPECT_GE(par::hardware_jobs(), 1);
+  EXPECT_EQ(par::resolve_jobs(5), 5);
+}
+
+// --- Determinism regressions across thread counts ------------------------
+
+/// Runs `fn` under a global pool of each thread count and checks all
+/// results identical to the 1-thread (serial) run via `eq`.
+template <class Fn, class Eq>
+void expect_identical_at_1_2_8(Fn fn, Eq eq) {
+  par::set_jobs(1);
+  const auto serial = fn();
+  par::set_jobs(2);
+  const auto two = fn();
+  par::set_jobs(8);
+  const auto eight = fn();
+  par::set_jobs(0);
+  eq(serial, two);
+  eq(serial, eight);
+}
+
+TEST(Determinism, SweepIdenticalAt128Threads) {
+  const auto fp = netlist::Floorplan::standard(8);
+  const Synthesizer synth(fp);
+  SynthesisOptions base;
+  auto run = [&] { return sweep_xring(synth, base, SweepGoal::kMinPower, 2, 6); };
+  expect_identical_at_1_2_8(run, [](const SweepResult& a, const SweepResult& b) {
+    EXPECT_EQ(a.best_wl, b.best_wl);
+    EXPECT_EQ(a.settings_tried, b.settings_tried);
+    // Bit-identical metrics, not just close: the ordered reduction replays
+    // the serial accumulation exactly.
+    EXPECT_EQ(a.result.metrics.il_star_worst_db, b.result.metrics.il_star_worst_db);
+    EXPECT_EQ(a.result.metrics.il_worst_db, b.result.metrics.il_worst_db);
+    EXPECT_EQ(a.result.metrics.total_power_w, b.result.metrics.total_power_w);
+    EXPECT_EQ(a.result.metrics.snr_worst_db, b.result.metrics.snr_worst_db);
+    EXPECT_EQ(a.result.metrics.wavelengths, b.result.metrics.wavelengths);
+    ASSERT_EQ(a.result.metrics.signals.size(), b.result.metrics.signals.size());
+    for (std::size_t i = 0; i < a.result.metrics.signals.size(); ++i) {
+      EXPECT_EQ(a.result.metrics.signals[i].il_db, b.result.metrics.signals[i].il_db);
+      EXPECT_EQ(a.result.metrics.signals[i].noise_mw,
+                b.result.metrics.signals[i].noise_mw);
+    }
+    EXPECT_GT(b.wall_seconds, 0.0);
+    EXPECT_GE(b.seconds, 0.0);
+  });
+}
+
+TEST(Determinism, MilpSearchIdenticalAt128Threads) {
+  // Cycle cover with a lazy handler bolted on: exercises branching, lazy
+  // rounds (snapshot invalidation), and incumbent pruning.
+  const int n = 13;
+  milp::Model m;
+  std::vector<int> x;
+  for (int i = 0; i < n; ++i) x.push_back(m.add_binary(1.0));
+  for (int i = 0; i < n; ++i) {
+    m.add_constraint({{x[i], 1.0}, {x[(i + 1) % n], 1.0}},
+                     milp::Sense::kGe, 1.0);
+  }
+  auto run = [&] {
+    milp::BnbOptions opt;
+    opt.lazy_handler = [&](const std::vector<double>& v) {
+      // Forbid taking the first three nodes together.
+      std::vector<milp::Constraint> cuts;
+      if (v[x[0]] > 0.5 && v[x[1]] > 0.5 && v[x[2]] > 0.5) {
+        cuts.push_back(milp::Constraint{
+            {{x[0], 1.0}, {x[1], 1.0}, {x[2], 1.0}}, milp::Sense::kLe, 2.0});
+      }
+      return cuts;
+    };
+    return milp::solve(m, opt);
+  };
+  expect_identical_at_1_2_8(run, [](const milp::MipResult& a,
+                                    const milp::MipResult& b) {
+    ASSERT_EQ(a.status, b.status);
+    EXPECT_EQ(a.objective, b.objective);  // exact, not approximate
+    EXPECT_EQ(a.nodes, b.nodes);
+    EXPECT_EQ(a.lazy_constraints_added, b.lazy_constraints_added);
+    ASSERT_EQ(a.x.size(), b.x.size());
+    for (std::size_t i = 0; i < a.x.size(); ++i) EXPECT_EQ(a.x[i], b.x[i]);
+  });
+}
+
+TEST(Determinism, LpCountersReplayTheSerialSearch) {
+  // The bench regression gate compares lp.solves/lp.pivots exactly, so the
+  // speculative search must book only the solves the serial search performs
+  // (discarded speculation stays off the books).
+  milp::Model m;
+  m.set_maximize(true);
+  const int a = m.add_binary(10), b = m.add_binary(13), c = m.add_binary(7);
+  m.add_constraint({{a, 3.0}, {b, 4.0}, {c, 2.0}}, milp::Sense::kLe, 6.0);
+  auto count = [&](int threads) {
+    milp::BnbOptions opt;
+    opt.threads = threads;
+    obs::set_enabled(true);
+    obs::registry().reset();
+    (void)milp::solve(m, opt);
+    const auto flat = obs::registry().flatten();
+    obs::set_enabled(false);
+    return std::make_pair(flat.at("lp.solves"), flat.at("lp.pivots"));
+  };
+  const auto serial = count(1);
+  const auto spec = count(8);
+  EXPECT_EQ(serial.first, spec.first);
+  EXPECT_EQ(serial.second, spec.second);
+}
+
+TEST(Determinism, BnbThreadsOptionOverridesGlobalPool) {
+  // An explicit BnbOptions::threads engages speculation even when the
+  // global pool is serial — and still returns the serial answer.
+  par::set_jobs(1);
+  milp::Model m;
+  m.set_maximize(true);
+  const int a = m.add_binary(10), b = m.add_binary(13), c = m.add_binary(7);
+  m.add_constraint({{a, 3.0}, {b, 4.0}, {c, 2.0}}, milp::Sense::kLe, 6.0);
+  milp::BnbOptions serial_opt;
+  serial_opt.threads = 1;
+  const milp::MipResult serial = milp::solve(m, serial_opt);
+  milp::BnbOptions spec_opt;
+  spec_opt.threads = 4;
+  const milp::MipResult spec = milp::solve(m, spec_opt);
+  par::set_jobs(0);
+  ASSERT_EQ(serial.status, milp::MipStatus::kOptimal);
+  ASSERT_EQ(spec.status, milp::MipStatus::kOptimal);
+  EXPECT_EQ(serial.objective, spec.objective);
+  EXPECT_EQ(serial.nodes, spec.nodes);
+  ASSERT_EQ(serial.x.size(), spec.x.size());
+  for (std::size_t i = 0; i < serial.x.size(); ++i) {
+    EXPECT_EQ(serial.x[i], spec.x[i]);
+  }
+}
+
+}  // namespace
+}  // namespace xring

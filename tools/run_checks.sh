@@ -27,3 +27,16 @@ echo "== bench regression gate =="
 "$build_dir/tools/bench_compare" "$repo/bench/baselines/BENCH_table1.json" \
   "$build_dir/bench/BENCH_table1.json" --time-tolerance 25 --quiet
 echo "bench gate OK"
+
+# ThreadSanitizer pass over the concurrent substrate (its own build tree —
+# TSan cannot share objects with ASan). Oversubscribed via XRING_JOBS so
+# races surface even on few-core machines.
+echo "== thread sanitizer =="
+tsan_dir="$repo/build-tsan"
+cmake -B "$tsan_dir" -S "$repo" -DXRING_SANITIZE=thread
+cmake --build "$tsan_dir" -j
+(cd "$tsan_dir/tests" &&
+  XRING_JOBS=8 ./test_par &&
+  XRING_JOBS=8 ./test_milp_bnb &&
+  XRING_JOBS=8 ./test_xring_synthesizer)
+echo "tsan OK"

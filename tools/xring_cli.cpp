@@ -8,6 +8,9 @@
 //   --floorplan FILE   load node placement from FILE (see netlist/io.hpp)
 //   --nodes N          use the standard N-node floorplan (8/16/32)
 //   --wl N             wavelength cap per ring waveguide (default: #nodes)
+//   --jobs N           worker threads for the parallel substrate (default:
+//                      the XRING_JOBS env var, then hardware concurrency);
+//                      results are identical at every thread count
 //   --traffic KIND     all2all | permutation | hotspot | bitrev
 //   --params FILE      load device parameters (see phys/parameters_io.hpp)
 //   --no-pdn           skip Step 4
@@ -43,6 +46,7 @@
 #include "analysis/latency.hpp"
 #include "netlist/io.hpp"
 #include "obs/export.hpp"
+#include "par/pool.hpp"
 #include "phys/parameters_io.hpp"
 #include "report/design_report.hpp"
 #include "report/run_report.hpp"
@@ -130,6 +134,9 @@ int cmd_synth(Args& args) {
   } else {
     fp = netlist::Floorplan::standard(std::stoi(args.value("--nodes", "16")));
   }
+
+  const std::string jobs = args.value("--jobs");
+  if (!jobs.empty()) par::set_jobs(std::stoi(jobs));
 
   SynthesisOptions opt;
   const std::string params_file = args.value("--params");
@@ -231,6 +238,7 @@ int cmd_synth(Args& args) {
                 report::snr(r.metrics.snr_worst_db).c_str());
     std::printf("worst latency    : %.1f ps (mean %.1f ps)\n",
                 latency.worst_ps, latency.mean_ps);
+    std::printf("threads          : %d\n", par::effective_jobs());
     std::printf("synthesis time   : %.3f s\n", r.seconds);
   }
 
