@@ -17,6 +17,7 @@
 #include <string>
 
 #include "baseline/ornoc.hpp"
+#include "mapping/occupancy.hpp"
 #include "mapping/opening.hpp"
 #include "geom/offset.hpp"
 #include "milp/branch_and_bound.hpp"
@@ -96,6 +97,48 @@ void BM_WavelengthAssignment(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WavelengthAssignment)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+/// The sweep-amortized Step-3 first half: assignment over a prebuilt shared
+/// ArcTable, i.e. what each #wl setting pays once the SweepCache exists.
+void BM_MappingAssign(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto fp = netlist::Floorplan::standard(n);
+  const auto traffic = netlist::Traffic::all_to_all(n);
+  const auto ring = ring::build_ring(fp).geometry;
+  const auto plan = shortcut::build_shortcuts(ring, fp);
+  const mapping::ArcTable arcs(ring.tour, traffic);
+  mapping::MappingOptions mo;
+  mo.max_wavelengths = n;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mapping::assign_wavelengths(ring.tour, traffic, plan, mo, &arcs));
+  }
+}
+BENCHMARK(BM_MappingAssign)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+/// Step-3 second half: opening insertion with relocation, on the occupancy
+/// index with a shared ArcTable. The base mapping is assigned once; each
+/// iteration re-opens a fresh copy (the copy is outside the timed region).
+void BM_CreateOpenings(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto fp = netlist::Floorplan::standard(n);
+  const auto traffic = netlist::Traffic::all_to_all(n);
+  const auto ring = ring::build_ring(fp).geometry;
+  const auto plan = shortcut::build_shortcuts(ring, fp);
+  const mapping::ArcTable arcs(ring.tour, traffic);
+  mapping::MappingOptions mo;
+  mo.max_wavelengths = n;
+  const mapping::Mapping base =
+      mapping::assign_wavelengths(ring.tour, traffic, plan, mo, &arcs);
+  for (auto _ : state) {
+    state.PauseTiming();
+    mapping::Mapping m = base;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        mapping::create_openings(ring.tour, traffic, m, mo, {}, &arcs));
+  }
+}
+BENCHMARK(BM_CreateOpenings)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
 
 void BM_FullXRingSynthesis(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

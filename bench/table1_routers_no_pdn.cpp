@@ -95,11 +95,14 @@ void run_network(int n) {
   // constrain the mapping.
   base.openings.enable = false;
   base.params = params;
+  // Shortcut plan + arc table are #wl-independent: built once, shared
+  // read-only across the sweep (same reuse sweep_xring performs).
+  const SweepCache cache = synth.make_sweep_cache(base, ring);
   const SweepResult xr = sweep(
       [&](int wl) {
         SynthesisOptions o = base;
         o.mapping.max_wavelengths = wl;
-        return synth.run_with_ring(o, ring);
+        return synth.run_with_ring(o, ring, &cache);
       },
       SweepGoal::kMinWorstLoss, n / 2, n);
   ring_row(t, "XRing", xr.result.metrics, ring.seconds + xr.seconds);

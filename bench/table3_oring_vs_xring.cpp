@@ -46,11 +46,15 @@ int main() {
     o.params = params;
     return baseline::synthesize_oring(fp, ring, o);
   };
+  SynthesisOptions base;
+  base.params = params;
+  // Shortcut plan + arc table are #wl-independent: built once, shared
+  // read-only across the sweep (same reuse sweep_xring performs).
+  const SweepCache cache = synth.make_sweep_cache(base, ring);
   auto xring_at = [&](int wl) {
-    SynthesisOptions o;
+    SynthesisOptions o = base;
     o.mapping.max_wavelengths = wl;
-    o.params = params;
-    return synth.run_with_ring(o, ring);
+    return synth.run_with_ring(o, ring, &cache);
   };
 
   for (const SweepGoal goal : {SweepGoal::kMinPower, SweepGoal::kMaxSnr}) {

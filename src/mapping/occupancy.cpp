@@ -1,0 +1,211 @@
+#include "mapping/occupancy.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace xring::mapping {
+
+namespace {
+
+/// The arc of a signal riding a waveguide of direction `dir`, as a
+/// (start position, hop count) interval: the cw arc src→dst for cw travel,
+/// the cw arc dst→src for ccw travel (the hops physically covered).
+ArcTable::Arc arc_of(const ring::Tour& tour, const netlist::Signal& sig,
+                     Direction dir) {
+  const NodeId from = dir == Direction::kCw ? sig.src : sig.dst;
+  const NodeId to = dir == Direction::kCw ? sig.dst : sig.src;
+  return {tour.position(from), tour.hops_cw(from, to)};
+}
+
+bool is_ring_route(const SignalRoute& r) {
+  return r.kind == RouteKind::kRingCw || r.kind == RouteKind::kRingCcw;
+}
+
+}  // namespace
+
+ArcTable::ArcTable(const ring::Tour& tour, const netlist::Traffic& traffic)
+    : nodes_(tour.size()),
+      words_((tour.size() + 63) / 64),
+      signal_count_(traffic.size()) {
+  arcs_.resize(static_cast<std::size_t>(2) * signal_count_);
+  masks_.assign(static_cast<std::size_t>(2) * signal_count_ * words_, 0);
+  NodeId max_id = 0;
+  for (const auto& sig : traffic.signals()) {
+    max_id = std::max({max_id, sig.src, sig.dst});
+  }
+  for (int p = 0; p < nodes_; ++p) max_id = std::max(max_id, tour.at(p));
+  positions_.assign(max_id + 1, -1);
+  for (int p = 0; p < nodes_; ++p) positions_[tour.at(p)] = p;
+
+  for (const auto& sig : traffic.signals()) {
+    for (const Direction dir : {Direction::kCw, Direction::kCcw}) {
+      const int idx = index(sig.id, dir);
+      const Arc a = arc_of(tour, sig, dir);
+      arcs_[idx] = a;
+      std::uint64_t* m = masks_.data() + static_cast<std::size_t>(idx) * words_;
+      for (int h = 0; h < a.len; ++h) {
+        const int hop = (a.start + h) % nodes_;
+        m[hop >> 6] |= std::uint64_t{1} << (hop & 63);
+      }
+    }
+  }
+}
+
+OccupancyIndex::OccupancyIndex(const ArcTable& arcs, Mapping& mapping)
+    : arcs_(&arcs), mapping_(&mapping) {
+  slots_.resize(mapping.waveguides.size());
+  passing_.resize(mapping.waveguides.size());
+  for (std::size_t w = 0; w < mapping.waveguides.size(); ++w) {
+    passing_[w].assign(arcs.nodes(), 0);
+    const RingWaveguide& wg = mapping.waveguides[w];
+    for (const SignalId id : wg.signals) {
+      add_to_slots(static_cast<int>(w), mapping.routes[id].wavelength, id, +1);
+    }
+  }
+}
+
+void OccupancyIndex::add_to_slots(int waveguide, int wavelength, SignalId id,
+                                  int sign) {
+  const Direction dir = mapping_->waveguides[waveguide].dir;
+  auto& wg_slots = slots_[waveguide];
+  if (static_cast<int>(wg_slots.size()) <= wavelength) {
+    wg_slots.resize(wavelength + 1);
+  }
+  auto& bits = wg_slots[wavelength];
+  if (bits.empty()) bits.assign(arcs_->words(), 0);
+  const std::uint64_t* m = arcs_->mask(id, dir);
+  for (int k = 0; k < arcs_->words(); ++k) {
+    // Placements within a slot are disjoint (every placement passed fits),
+    // so XOR both sets and clears exactly the signal's own bits.
+    bits[k] ^= m[k];
+  }
+  const ArcTable::Arc a = arcs_->arc(id, dir);
+  const int n = arcs_->nodes();
+  std::vector<int>& pass = passing_[waveguide];
+  for (int h = 1; h < a.len; ++h) {
+    pass[(a.start + h) % n] += sign;
+  }
+}
+
+bool OccupancyIndex::fits(int waveguide, int wavelength, SignalId id) const {
+  const Mapping& m = *mapping_;
+  const RingWaveguide& wg = m.waveguides[waveguide];
+  const Direction dir = wg.dir;
+
+  // An already-fixed opening must not lie inside the signal's arc.
+  if (wg.opening != -1 &&
+      arcs_->interior_contains(id, dir, arcs_->position(wg.opening))) {
+    return false;
+  }
+
+  const auto& wg_slots = slots_[waveguide];
+  if (wavelength >= static_cast<int>(wg_slots.size()) ||
+      wg_slots[wavelength].empty()) {
+    return true;  // nothing occupies this (waveguide, λ) slot yet
+  }
+  const std::uint64_t* slot = wg_slots[wavelength].data();
+  const std::uint64_t* mine = arcs_->mask(id, dir);
+  // If the signal itself already resides in this slot, its own bits are in
+  // `slot`; the brute-force reference skips `other == signal`, which here
+  // means the intersection must be exactly the signal's own mask.
+  const SignalRoute& r = m.routes[id];
+  const bool resident = is_ring_route(r) && r.waveguide == waveguide &&
+                        r.wavelength == wavelength;
+  for (int k = 0; k < arcs_->words(); ++k) {
+    if ((slot[k] & mine[k]) != (resident ? mine[k] : 0)) return false;
+  }
+  return true;
+}
+
+std::vector<SignalId> OccupancyIndex::signals_passing(int waveguide,
+                                                      NodeId node) const {
+  std::vector<SignalId> out;
+  const RingWaveguide& wg = mapping_->waveguides[waveguide];
+  const int pos = arcs_->position(node);
+  for (const SignalId id : wg.signals) {
+    if (arcs_->interior_contains(id, wg.dir, pos)) out.push_back(id);
+  }
+  return out;
+}
+
+void OccupancyIndex::place(SignalId id, int waveguide, int wavelength) {
+  assert(!in_transaction_ && "place() is not journaled; use relocate()");
+  Mapping& m = *mapping_;
+  RingWaveguide& wg = m.waveguides[waveguide];
+  SignalRoute& r = m.routes[id];
+  r.kind = wg.dir == Direction::kCw ? RouteKind::kRingCw : RouteKind::kRingCcw;
+  r.waveguide = waveguide;
+  r.wavelength = wavelength;
+  wg.signals.push_back(id);
+  add_to_slots(waveguide, wavelength, id, +1);
+}
+
+void OccupancyIndex::relocate(SignalId id, int to_waveguide,
+                              int to_wavelength) {
+  Mapping& m = *mapping_;
+  SignalRoute& r = m.routes[id];
+  const int from_waveguide = r.waveguide;
+  const int from_wavelength = r.wavelength;
+  auto& from_signals = m.waveguides[from_waveguide].signals;
+  int from_index = -1;
+  for (std::size_t i = 0; i < from_signals.size(); ++i) {
+    if (from_signals[i] == id) {
+      from_index = static_cast<int>(i);
+      break;
+    }
+  }
+  if (from_index < 0) {
+    throw std::logic_error("relocate: signal not on its route's waveguide");
+  }
+  if (in_transaction_) {
+    journal_.push_back(
+        {id, from_waveguide, from_wavelength, from_index, to_waveguide});
+  }
+  from_signals.erase(from_signals.begin() + from_index);
+  add_to_slots(from_waveguide, from_wavelength, id, -1);
+  m.waveguides[to_waveguide].signals.push_back(id);
+  r.waveguide = to_waveguide;
+  r.wavelength = to_wavelength;
+  add_to_slots(to_waveguide, to_wavelength, id, +1);
+}
+
+int OccupancyIndex::add_waveguide(Direction dir) {
+  assert(!in_transaction_ && "add_waveguide inside a transaction");
+  const int w = mapping_->add_waveguide(dir);
+  slots_.emplace_back();
+  passing_.emplace_back(arcs_->nodes(), 0);
+  return w;
+}
+
+void OccupancyIndex::begin_transaction() {
+  assert(!in_transaction_);
+  in_transaction_ = true;
+  journal_.clear();
+}
+
+void OccupancyIndex::commit() {
+  in_transaction_ = false;
+  journal_.clear();
+}
+
+void OccupancyIndex::rollback() {
+  Mapping& m = *mapping_;
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    const Relocation& rec = *it;
+    // The forward op push_back'd onto the target; undoing in reverse order
+    // guarantees the signal is still at the back.
+    auto& to_signals = m.waveguides[rec.to_waveguide].signals;
+    assert(!to_signals.empty() && to_signals.back() == rec.id);
+    add_to_slots(rec.to_waveguide, m.routes[rec.id].wavelength, rec.id, -1);
+    to_signals.pop_back();
+    auto& from_signals = m.waveguides[rec.from_waveguide].signals;
+    from_signals.insert(from_signals.begin() + rec.from_index, rec.id);
+    m.routes[rec.id].waveguide = rec.from_waveguide;
+    m.routes[rec.id].wavelength = rec.from_wavelength;
+    add_to_slots(rec.from_waveguide, rec.from_wavelength, rec.id, +1);
+  }
+  in_transaction_ = false;
+  journal_.clear();
+}
+
+}  // namespace xring::mapping

@@ -1,0 +1,154 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapping/wavelength.hpp"
+
+namespace xring::mapping {
+
+/// Precomputed arc geometry of every signal over one (tour, traffic) pair.
+///
+/// A ring-routed signal occupies a *contiguous* run of tour hops — the cw
+/// arc src→dst when riding a clockwise waveguide, the cw arc dst→src when
+/// riding a counter-clockwise one. The table stores that run twice per
+/// signal (one per direction) as a half-open hop interval [start, start+len)
+/// mod n plus a hop bitset, so the hot predicates of Step 3 become O(1)
+/// interval arithmetic / O(n/64) word scans instead of re-deriving
+/// `occupied_hops` / `interior_nodes` vectors on every probe.
+///
+/// The table depends only on (tour, traffic) — not on #wl — so one instance
+/// is shared read-only across every setting of a `#wl` sweep (it is
+/// immutable after construction and safe to read concurrently).
+class ArcTable {
+ public:
+  ArcTable() = default;
+  ArcTable(const ring::Tour& tour, const netlist::Traffic& traffic);
+
+  bool empty() const { return nodes_ == 0; }
+  int nodes() const { return nodes_; }
+  int words() const { return words_; }
+  int signals() const { return signal_count_; }
+
+  /// One directed arc: tour position of its first hop plus hop count.
+  struct Arc {
+    int start = 0;
+    int len = 0;
+  };
+
+  Arc arc(SignalId id, Direction dir) const { return arcs_[index(id, dir)]; }
+
+  /// Bitset (words() 64-bit words) over the hop indices the arc covers;
+  /// bit h set iff hop h (connecting tour position h to h+1) is occupied.
+  const std::uint64_t* mask(SignalId id, Direction dir) const {
+    return masks_.data() + static_cast<std::size_t>(index(id, dir)) * words_;
+  }
+
+  /// True when tour position `pos` is strictly inside the arc — i.e. the
+  /// node at `pos` is one of the signal's `interior_nodes`.
+  bool interior_contains(SignalId id, Direction dir, int pos) const {
+    const Arc a = arcs_[index(id, dir)];
+    const int d = pos - a.start;
+    const int wrapped = d < 0 ? d + nodes_ : d;
+    return wrapped > 0 && wrapped < a.len;
+  }
+
+  /// Tour position of a node, O(1) (mirror of Tour::position).
+  int position(NodeId node) const { return positions_[node]; }
+
+ private:
+  int index(SignalId id, Direction dir) const {
+    return (dir == Direction::kCw ? 0 : signal_count_) + id;
+  }
+
+  int nodes_ = 0;
+  int words_ = 0;
+  int signal_count_ = 0;
+  std::vector<Arc> arcs_;             ///< [direction][signal]
+  std::vector<std::uint64_t> masks_;  ///< [direction][signal][word]
+  std::vector<int> positions_;        ///< node id -> tour position
+};
+
+/// Incremental mirror of a Mapping's ring-waveguide occupancy.
+///
+/// Maintains, in lockstep with the Mapping it wraps:
+///   - per (waveguide, wavelength) hop bitsets, making `fits` an O(n/64)
+///     AND-intersection instead of a rescan of every co-resident signal;
+///   - per-waveguide per-tour-position passing-signal counts, making the
+///     opening phase's candidate scoring an array read instead of an
+///     O(signals × path) recount per node;
+///   - an undo journal, so the opening phase can attempt a batch of
+///     relocations directly on the real Mapping and roll them back on
+///     failure instead of deep-copying the whole Mapping per candidate.
+///
+/// All mutations of the mapping's ring state must go through this class
+/// while an index is live. Predicates are *bit-identical* to the brute-force
+/// reference implementations (`mapping::fits`, `mapping::passing_signals`):
+/// the index only evaluates the same predicates faster, which
+/// tests/test_mapping_index.cpp enforces differentially.
+class OccupancyIndex {
+ public:
+  /// Builds the index over the mapping's current ring placements.
+  OccupancyIndex(const ArcTable& arcs, Mapping& mapping);
+
+  /// Indexed equivalent of mapping::fits(tour, traffic, m, w, wl, id).
+  bool fits(int waveguide, int wavelength, SignalId id) const;
+
+  /// Indexed equivalent of mapping::passing_signals(..., w, tour.at(pos)).
+  int passing_count(int waveguide, int pos) const {
+    return passing_[waveguide][pos];
+  }
+
+  /// Signals on `waveguide` whose arcs pass through `node`, in the
+  /// waveguide's signal order (same order the brute-force scan yields).
+  std::vector<SignalId> signals_passing(int waveguide, NodeId node) const;
+
+  /// Appends the signal to the waveguide (push_back + route update + index
+  /// update). The (waveguide, wavelength) slot must fit the signal. Sets the
+  /// route kind from the waveguide's direction.
+  void place(SignalId id, int waveguide, int wavelength);
+
+  /// Moves a placed signal onto another same-direction waveguide: erases it
+  /// from its current waveguide's signal list (preserving the order of the
+  /// remaining entries), appends it to the target, and updates the route —
+  /// exactly the mutation sequence of the reference relocation. Journaled
+  /// when a transaction is open.
+  void relocate(SignalId id, int to_waveguide, int to_wavelength);
+
+  /// Adds a fresh empty waveguide of the direction; returns its index.
+  /// Not allowed inside a transaction (the opening phase only appends
+  /// waveguides on its non-transactional last-resort path).
+  int add_waveguide(Direction dir);
+
+  /// Transaction over relocate(): all relocations between begin and
+  /// rollback are undone in reverse, restoring the mapping and the index to
+  /// their exact pre-transaction state (including signal-vector order).
+  void begin_transaction();
+  void commit();
+  void rollback();
+
+  const ArcTable& arcs() const { return *arcs_; }
+
+ private:
+  void add_to_slots(int waveguide, int wavelength, SignalId id, int sign);
+
+  struct Relocation {
+    SignalId id;
+    int from_waveguide;
+    int from_wavelength;
+    int from_index;  ///< position in the source waveguide's signal vector
+    int to_waveguide;
+  };
+
+  const ArcTable* arcs_;
+  Mapping* mapping_;
+  /// slots_[w][wl]: occupancy bitset of wavelength wl on waveguide w (grown
+  /// lazily; an absent slot is all-zero).
+  std::vector<std::vector<std::vector<std::uint64_t>>> slots_;
+  /// passing_[w][pos]: # signals on w whose arc interior covers position pos.
+  std::vector<std::vector<int>> passing_;
+  bool in_transaction_ = false;
+  std::vector<Relocation> journal_;
+};
+
+}  // namespace xring::mapping

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
+#include "mapping/occupancy.hpp"
 #include "obs/obs.hpp"
 
 namespace xring::mapping {
@@ -26,55 +28,22 @@ int passing_signals(const ring::Tour& tour, const netlist::Traffic& traffic,
 namespace {
 
 /// Moves `id` off waveguide `from` onto another same-direction waveguide,
-/// keeping its direction and updating the route. When `allow_new` a fresh
-/// waveguide is opened as a last resort. Returns {moved, waveguide added}.
-std::pair<bool, bool> relocate(const ring::Tour& tour,
-                               const netlist::Traffic& traffic,
-                               Mapping& mapping, int from, SignalId id,
-                               int max_wavelengths, bool allow_new) {
+/// keeping its direction and updating the route through the index (which
+/// journals the move when a transaction is open). Probe order and predicate
+/// match the brute-force reference relocation exactly. Returns whether a
+/// slot was found.
+bool relocate(const Mapping& mapping, OccupancyIndex& index, int from,
+              SignalId id, int max_wavelengths) {
   const Direction dir = mapping.waveguides[from].dir;
   for (int w = 0; w < static_cast<int>(mapping.waveguides.size()); ++w) {
     if (w == from || mapping.waveguides[w].dir != dir) continue;
     for (int wl = 0; wl < max_wavelengths; ++wl) {
-      if (!fits(tour, traffic, mapping, w, wl, id)) continue;
-      auto& sigs = mapping.waveguides[from].signals;
-      sigs.erase(std::remove(sigs.begin(), sigs.end(), id), sigs.end());
-      mapping.waveguides[w].signals.push_back(id);
-      mapping.routes[id].waveguide = w;
-      mapping.routes[id].wavelength = wl;
-      return {true, false};
+      if (!index.fits(w, wl, id)) continue;
+      index.relocate(id, w, wl);
+      return true;
     }
   }
-  if (!allow_new) return {false, false};
-  // Fallback: fresh waveguide. Its own opening is chosen when the loop in
-  // create_openings reaches it (waveguides are processed by index).
-  RingWaveguide nw;
-  nw.dir = dir;
-  mapping.waveguides.push_back(std::move(nw));
-  const int w = static_cast<int>(mapping.waveguides.size()) - 1;
-  auto& sigs = mapping.waveguides[from].signals;
-  sigs.erase(std::remove(sigs.begin(), sigs.end(), id), sigs.end());
-  mapping.waveguides[w].signals.push_back(id);
-  mapping.routes[id].waveguide = w;
-  mapping.routes[id].wavelength = 0;
-  return {true, true};
-}
-
-/// Signals on waveguide `w` whose arcs pass through `node`.
-std::vector<SignalId> signals_passing(const ring::Tour& tour,
-                                      const netlist::Traffic& traffic,
-                                      const Mapping& mapping, int w,
-                                      NodeId node) {
-  std::vector<SignalId> out;
-  const Direction dir = mapping.waveguides[w].dir;
-  for (const SignalId id : mapping.waveguides[w].signals) {
-    const auto& sig = traffic.signal(id);
-    const auto interior = interior_nodes(tour, sig.src, sig.dst, dir);
-    if (std::find(interior.begin(), interior.end(), node) != interior.end()) {
-      out.push_back(id);
-    }
-  }
-  return out;
+  return false;
 }
 
 }  // namespace
@@ -82,21 +51,26 @@ std::vector<SignalId> signals_passing(const ring::Tour& tour,
 OpeningStats create_openings(const ring::Tour& tour,
                              const netlist::Traffic& traffic, Mapping& mapping,
                              const MappingOptions& mapping_options,
-                             const OpeningOptions& options) {
+                             const OpeningOptions& options,
+                             const ArcTable* shared_arcs) {
   OpeningStats stats;
   if (!options.enable) return stats;
+
+  std::optional<ArcTable> local_arcs;
+  if (shared_arcs == nullptr) local_arcs.emplace(tour, traffic);
+  const ArcTable& arcs = shared_arcs ? *shared_arcs : *local_arcs;
+  OccupancyIndex index(arcs, mapping);
 
   // Index loop, not range-for: relocation may append waveguides, which must
   // then get their own openings too.
   for (int w = 0; w < static_cast<int>(mapping.waveguides.size()); ++w) {
     // Candidate nodes ordered by how many signals pass them (the paper's
     // "nodes passed by the least number of signals"); ties broken by tour
-    // position for determinism.
+    // position for determinism. The counts are maintained incrementally by
+    // the index, so scoring is a plain array read per node.
     std::vector<std::pair<int, NodeId>> candidates;
     for (int pos = 0; pos < tour.size(); ++pos) {
-      const NodeId v = tour.at(pos);
-      candidates.emplace_back(passing_signals(tour, traffic, mapping, w, v),
-                              v);
+      candidates.emplace_back(index.passing_count(w, pos), tour.at(pos));
     }
     std::stable_sort(candidates.begin(), candidates.end(),
                      [](const auto& a, const auto& b) {
@@ -106,8 +80,9 @@ OpeningStats create_openings(const ring::Tour& tour,
     // Try candidates in order, committing the first whose passing signals
     // can all be relocated within the *existing* waveguides (moving a
     // signal "should not exceed the #wl or pass the opening node" —
-    // Sec. III-C). A transactional copy keeps failed attempts side-effect
-    // free.
+    // Sec. III-C). The index's undo journal keeps failed attempts
+    // side-effect free (replacing the old deep copy of the whole Mapping
+    // per candidate).
     bool placed = false;
     for (const auto& [count, node] : candidates) {
       if (count == 0) {
@@ -115,41 +90,41 @@ OpeningStats create_openings(const ring::Tour& tour,
         placed = true;
         break;
       }
-      Mapping trial = mapping;
+      const std::vector<SignalId> moving = index.signals_passing(w, node);
+      index.begin_transaction();
       bool ok = true;
       int moved_here = 0;
-      for (const SignalId id :
-           signals_passing(tour, traffic, mapping, w, node)) {
-        const auto [moved, added] =
-            relocate(tour, traffic, trial, w, id,
-                     mapping_options.max_wavelengths, /*allow_new=*/false);
-        (void)added;
-        if (!moved) {
+      for (const SignalId id : moving) {
+        if (!relocate(mapping, index, w, id,
+                      mapping_options.max_wavelengths)) {
           ok = false;
           break;
         }
         ++moved_here;
       }
       if (ok) {
-        mapping = std::move(trial);
+        index.commit();
         mapping.waveguides[w].opening = node;
         stats.relocated_signals += moved_here;
         placed = true;
         break;
       }
+      index.rollback();
     }
 
     // Last resort: the least-passed candidate, overflowing onto a fresh
     // waveguide (which then gets its own opening later in this loop).
     if (!placed) {
       const NodeId node = candidates.front().second;
-      for (const SignalId id :
-           signals_passing(tour, traffic, mapping, w, node)) {
-        const auto [moved, added] =
-            relocate(tour, traffic, mapping, w, id,
-                     mapping_options.max_wavelengths, /*allow_new=*/true);
-        stats.relocated_signals += moved ? 1 : 0;
-        stats.extra_waveguides += added ? 1 : 0;
+      const Direction dir = mapping.waveguides[w].dir;
+      for (const SignalId id : index.signals_passing(w, node)) {
+        if (!relocate(mapping, index, w, id,
+                      mapping_options.max_wavelengths)) {
+          const int nw = index.add_waveguide(dir);
+          index.relocate(id, nw, 0);
+          ++stats.extra_waveguides;
+        }
+        ++stats.relocated_signals;
       }
       mapping.waveguides[w].opening = node;
     }

@@ -23,12 +23,23 @@ struct OpeningStats {
 /// a fresh waveguide when no existing one fits, so the phase always
 /// succeeds; every ring waveguide ends up with an opening through which the
 /// PDN reaches the senders without crossing any ring waveguide.
+///
+/// Runs on the incremental OccupancyIndex (occupancy.hpp): candidate
+/// scoring reads maintained passing counts, and failed relocation attempts
+/// are rolled back through the index's undo journal instead of deep-copying
+/// the Mapping per candidate. `shared_arcs` (optional) is the sweep-shared
+/// ArcTable over the same (tour, traffic); results are bit-identical with
+/// or without it.
 OpeningStats create_openings(const ring::Tour& tour,
                              const netlist::Traffic& traffic, Mapping& mapping,
                              const MappingOptions& mapping_options,
-                             const OpeningOptions& options = {});
+                             const OpeningOptions& options = {},
+                             const ArcTable* shared_arcs = nullptr);
 
 /// Number of signals on waveguide `w` whose arc passes *through* `node`.
+/// Brute-force REFERENCE implementation (see OccupancyIndex::passing_count
+/// for the maintained version); kept for the DRC, tests, and the
+/// differential test.
 int passing_signals(const ring::Tour& tour, const netlist::Traffic& traffic,
                     const Mapping& mapping, int w, NodeId node);
 

@@ -41,10 +41,7 @@ Mapping ornoc_assignment(const ring::Tour& tour,
       if (chosen_w >= 0) break;
     }
     if (chosen_w < 0) {
-      RingWaveguide nw;
-      nw.dir = shorter;
-      m.waveguides.push_back(std::move(nw));
-      chosen_w = static_cast<int>(m.waveguides.size()) - 1;
+      chosen_w = m.add_waveguide(shorter);
       chosen_wl = 0;
       chosen_dir = shorter;
     }

@@ -1,18 +1,26 @@
 #include "mapping/wavelength.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
+#include <optional>
+#include <unordered_map>
 
+#include "mapping/occupancy.hpp"
 #include "obs/obs.hpp"
 
 namespace xring::mapping {
 
-int Mapping::ring_waveguides(Direction dir) const {
-  int n = 0;
-  for (const RingWaveguide& w : waveguides) {
-    if (w.dir == dir) ++n;
+int Mapping::add_waveguide(Direction dir) {
+  RingWaveguide w;
+  w.dir = dir;
+  waveguides.push_back(std::move(w));
+  if (dir == Direction::kCw) {
+    ++cw_waveguides;
+  } else {
+    ++ccw_waveguides;
   }
-  return n;
+  return static_cast<int>(waveguides.size()) - 1;
 }
 
 std::vector<int> occupied_hops(const ring::Tour& tour, NodeId src, NodeId dst,
@@ -62,22 +70,15 @@ bool fits(const ring::Tour& tour, const netlist::Traffic& traffic,
 
 namespace {
 
-/// Adds a new empty ring waveguide of the given direction; returns its index.
-int new_waveguide(Mapping& m, Direction dir) {
-  RingWaveguide w;
-  w.dir = dir;
-  m.waveguides.push_back(std::move(w));
-  return static_cast<int>(m.waveguides.size()) - 1;
-}
-
-/// Places a ring-routed signal first-fit over the waveguides of its
-/// direction, creating a new waveguide if every (waveguide, λ) slot under
-/// the #wl cap is blocked. Returns the (waveguide, wavelength) used; a
-/// conflict diagnostic is emitted when an existing waveguide of the
-/// direction could not host the signal (i.e. the overflow is a real
-/// wavelength conflict, not the first signal of its direction).
-std::pair<int, int> place_on_ring(const ring::Tour& tour,
-                                  const netlist::Traffic& traffic, Mapping& m,
+/// First-fit probe over the waveguides of the direction, on the incremental
+/// index: same probe order (waveguide index ascending, then wavelength) and
+/// same predicate as the brute-force reference, just O(n/64) per probe.
+/// When every (waveguide, λ) slot under the #wl cap is blocked, a new
+/// waveguide is appended; a conflict diagnostic is emitted when an existing
+/// waveguide of the direction could not host the signal (i.e. the overflow
+/// is a real wavelength conflict, not the first signal of its direction).
+std::pair<int, int> place_on_ring(const netlist::Traffic& traffic,
+                                  const Mapping& m, OccupancyIndex& index,
                                   Direction dir, SignalId id,
                                   int max_wavelengths) {
   int candidates = 0;
@@ -85,7 +86,7 @@ std::pair<int, int> place_on_ring(const ring::Tour& tour,
     if (m.waveguides[w].dir != dir) continue;
     ++candidates;
     for (int wl = 0; wl < max_wavelengths; ++wl) {
-      if (fits(tour, traffic, m, w, wl, id)) return {w, wl};
+      if (index.fits(w, wl, id)) return {w, wl};
     }
   }
   if (candidates > 0) {
@@ -101,7 +102,12 @@ std::pair<int, int> place_on_ring(const ring::Tour& tour,
          {"waveguides_tried", std::to_string(candidates)},
          {"max_wavelengths", std::to_string(max_wavelengths)}});
   }
-  return {new_waveguide(m, dir), 0};
+  return {index.add_waveguide(dir), 0};
+}
+
+std::uint64_t pair_key(NodeId src, NodeId dst) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(dst);
 }
 
 }  // namespace
@@ -109,7 +115,8 @@ std::pair<int, int> place_on_ring(const ring::Tour& tour,
 Mapping assign_wavelengths(const ring::Tour& tour,
                            const netlist::Traffic& traffic,
                            const shortcut::ShortcutPlan& shortcuts,
-                           const MappingOptions& options) {
+                           const MappingOptions& options,
+                           const ArcTable* shared_arcs) {
   Mapping m;
   m.routes.assign(traffic.size(), SignalRoute{});
 
@@ -137,14 +144,22 @@ Mapping assign_wavelengths(const ring::Tour& tour,
     }
 
     // CSE-routed signals: only mapped when the CSE path is strictly shorter
-    // than the best ring arc (shortcuts must benefit the network).
-    for (std::size_t c = 0; c < shortcuts.cse_routes.size(); ++c) {
-      const shortcut::CseRoute& route = shortcuts.cse_routes[c];
-      // Locate the corresponding traffic signal, if any.
+    // than the best ring arc (shortcuts must benefit the network). The
+    // (src, dst) → signal lookup is built once; like the linear scan it
+    // replaces, the first signal with the pair wins.
+    if (!shortcuts.cse_routes.empty()) {
+      std::unordered_map<std::uint64_t, SignalId> signal_by_pair;
+      signal_by_pair.reserve(traffic.signals().size());
       for (const auto& sig : traffic.signals()) {
-        if (sig.src != route.src || sig.dst != route.dst) continue;
+        signal_by_pair.emplace(pair_key(sig.src, sig.dst), sig.id);
+      }
+      for (std::size_t c = 0; c < shortcuts.cse_routes.size(); ++c) {
+        const shortcut::CseRoute& route = shortcuts.cse_routes[c];
+        const auto it = signal_by_pair.find(pair_key(route.src, route.dst));
+        if (it == signal_by_pair.end()) continue;
+        const auto& sig = traffic.signal(it->second);
         SignalRoute& r = m.routes[sig.id];
-        if (r.kind == RouteKind::kShortcut) break;  // direct shortcut wins
+        if (r.kind == RouteKind::kShortcut) continue;  // direct shortcut wins
         const geom::Coord ring_len =
             std::min(tour.arc_length_cw(sig.src, sig.dst),
                      tour.arc_length_ccw(sig.src, sig.dst));
@@ -161,7 +176,6 @@ Mapping assign_wavelengths(const ring::Tour& tour,
           // the residue's waveguide span.
           r.wavelength = route.shortcut_in < route.shortcut_out ? 2 : 3;
         }
-        break;
       }
     }
   }
@@ -175,28 +189,31 @@ Mapping assign_wavelengths(const ring::Tour& tour,
       ring_signals.push_back(sig.id);
     }
   }
-  auto shorter_arc = [&](SignalId id) {
-    const auto& sig = traffic.signal(id);
-    return std::min(tour.arc_length_cw(sig.src, sig.dst),
-                    tour.arc_length_ccw(sig.src, sig.dst));
-  };
-  std::stable_sort(ring_signals.begin(), ring_signals.end(),
-                   [&](SignalId x, SignalId y) {
-                     return shorter_arc(x) > shorter_arc(y);
-                   });
-
+  // Arc lengths are sort keys and direction choices; computed once per
+  // signal instead of inside the comparator.
+  std::vector<geom::Coord> cw_len(traffic.size()), ccw_len(traffic.size());
   for (const SignalId id : ring_signals) {
     const auto& sig = traffic.signal(id);
-    const geom::Coord cw = tour.arc_length_cw(sig.src, sig.dst);
-    const geom::Coord ccw = tour.arc_length_ccw(sig.src, sig.dst);
-    const Direction dir = cw <= ccw ? Direction::kCw : Direction::kCcw;
-    const auto [w, wl] = place_on_ring(tour, traffic, m, dir, id,
-                                       options.max_wavelengths);
-    SignalRoute& r = m.routes[id];
-    r.kind = dir == Direction::kCw ? RouteKind::kRingCw : RouteKind::kRingCcw;
-    r.waveguide = w;
-    r.wavelength = wl;
-    m.waveguides[w].signals.push_back(id);
+    cw_len[id] = tour.arc_length_cw(sig.src, sig.dst);
+    ccw_len[id] = tour.arc_length_ccw(sig.src, sig.dst);
+  }
+  std::stable_sort(ring_signals.begin(), ring_signals.end(),
+                   [&](SignalId x, SignalId y) {
+                     return std::min(cw_len[x], ccw_len[x]) >
+                            std::min(cw_len[y], ccw_len[y]);
+                   });
+
+  std::optional<ArcTable> local_arcs;
+  if (shared_arcs == nullptr) local_arcs.emplace(tour, traffic);
+  const ArcTable& arcs = shared_arcs ? *shared_arcs : *local_arcs;
+  OccupancyIndex index(arcs, m);
+
+  for (const SignalId id : ring_signals) {
+    const Direction dir =
+        cw_len[id] <= ccw_len[id] ? Direction::kCw : Direction::kCcw;
+    const auto [w, wl] =
+        place_on_ring(traffic, m, index, dir, id, options.max_wavelengths);
+    index.place(id, w, wl);
   }
 
   int max_wl = -1;

@@ -56,8 +56,22 @@ struct Mapping {
   /// Distinct wavelengths used anywhere (the tables' #wl column).
   int wavelengths_used = 0;
 
-  int ring_waveguides(Direction dir) const;
+  /// Per-direction waveguide counts, maintained by add_waveguide (every
+  /// pipeline site that appends a waveguide goes through it), so loops can
+  /// read ring_waveguides without a recount.
+  int cw_waveguides = 0;
+  int ccw_waveguides = 0;
+
+  int ring_waveguides(Direction dir) const {
+    return dir == Direction::kCw ? cw_waveguides : ccw_waveguides;
+  }
+
+  /// Appends a fresh empty ring waveguide of the direction and updates the
+  /// per-direction count; returns the new waveguide's index.
+  int add_waveguide(Direction dir);
 };
+
+class ArcTable;  // occupancy.hpp: precomputed arcs shared across a sweep
 
 /// The directed arc a ring-routed signal occupies, as tour hop indices.
 /// Clockwise signals cover the cw arc src→dst; counter-clockwise signals
@@ -76,14 +90,25 @@ std::vector<NodeId> interior_nodes(const ring::Tour& tour, NodeId src,
 /// first-fit-decreasing of the remaining signals onto ring waveguides in
 /// their shorter direction, opening new waveguides when #wl is exhausted.
 /// Openings are NOT chosen here; see opening.hpp.
+///
+/// The hot loop runs on the incremental OccupancyIndex (occupancy.hpp).
+/// `shared_arcs`, when given, must be an ArcTable built over the same
+/// (tour, traffic) pair — a `#wl` sweep builds it once (see
+/// Synthesizer::make_sweep_cache) instead of once per setting; when null a
+/// local table is built. Either way the result is bit-identical to the
+/// brute-force reference predicates below.
 Mapping assign_wavelengths(const ring::Tour& tour,
                            const netlist::Traffic& traffic,
                            const shortcut::ShortcutPlan& shortcuts,
-                           const MappingOptions& options = {});
+                           const MappingOptions& options = {},
+                           const ArcTable* shared_arcs = nullptr);
 
 /// True if the signal can be added to (waveguide, wavelength) without arc
 /// overlap with same-wavelength signals and without passing the waveguide's
-/// opening (when already fixed). Shared helper of mapping and opening steps.
+/// opening (when already fixed). Brute-force REFERENCE implementation:
+/// the synthesis hot paths use OccupancyIndex::fits (bit-identical, O(n/64)
+/// instead of O(co-resident signals × path)); this version is kept for the
+/// differential test (tests/test_mapping_index.cpp), the DRC, and reports.
 bool fits(const ring::Tour& tour, const netlist::Traffic& traffic,
           const Mapping& mapping, int waveguide, int wavelength,
           SignalId signal);

@@ -74,11 +74,15 @@ SweepResult sweep_xring(const Synthesizer& synthesizer,
   obs::Span span("sweep_xring");
   const ring::RingBuildResult ring =
       ring::build_ring(synthesizer.floorplan(), synthesizer.oracle(), base.ring);
+  // The shortcut plan and the mapping arc table depend on the ring and the
+  // base options but not on #wl: build them once and share them (read-only)
+  // across every concurrently-evaluated setting.
+  const SweepCache cache = synthesizer.make_sweep_cache(base, ring);
   SweepResult out = sweep(
       [&](int wl) {
         SynthesisOptions opt = base;
         opt.mapping.max_wavelengths = wl;
-        return synthesizer.run_with_ring(opt, ring);
+        return synthesizer.run_with_ring(opt, ring, &cache);
       },
       goal, min_wl, max_wl);
   // Wall clock of the whole call, shared ring construction included (the

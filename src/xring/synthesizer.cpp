@@ -11,26 +11,47 @@ SynthesisResult Synthesizer::run(const SynthesisOptions& options) const {
   obs::Span root("synth");
   const ring::RingBuildResult ring =
       ring::build_ring(*floorplan_, oracle_, options.ring);
-  SynthesisResult out = synthesize_from_ring(options, ring);
+  SynthesisResult out = synthesize_from_ring(options, ring, nullptr);
   // The root span covers ring construction, so its elapsed time alone is the
   // full wall-clock figure.
   out.seconds = root.elapsed_seconds();
   return out;
 }
 
-SynthesisResult Synthesizer::run_with_ring(
-    const SynthesisOptions& options, const ring::RingBuildResult& ring) const {
+SynthesisResult Synthesizer::run_with_ring(const SynthesisOptions& options,
+                                           const ring::RingBuildResult& ring,
+                                           const SweepCache* cache) const {
   obs::Span root("synth");
-  SynthesisResult out = synthesize_from_ring(options, ring);
-  // The ring was prebuilt outside this call (the sweep layer reuses one ring
-  // across #wl settings); charging its build time here keeps both entry
-  // points' `seconds` comparable — each reports a full Step 1-4 synthesis.
-  out.seconds = ring.seconds + root.elapsed_seconds();
+  SynthesisResult out = synthesize_from_ring(options, ring, cache);
+  // The ring (and the sweep cache, when given) was prebuilt outside this
+  // call (the sweep layer reuses both across #wl settings); charging their
+  // build time here keeps both entry points' `seconds` comparable — each
+  // reports a full Step 1-4 synthesis.
+  out.seconds = ring.seconds + (cache ? cache->seconds : 0.0) +
+                root.elapsed_seconds();
   return out;
 }
 
-SynthesisResult Synthesizer::synthesize_from_ring(
+SweepCache Synthesizer::make_sweep_cache(
     const SynthesisOptions& options, const ring::RingBuildResult& ring) const {
+  obs::Span span("sweep_cache");
+  SweepCache cache;
+  {
+    obs::Span step2("shortcuts");
+    cache.shortcuts = shortcut::build_shortcuts(ring.geometry, *floorplan_,
+                                                options.shortcuts);
+  }
+  const netlist::Traffic traffic =
+      options.traffic ? *options.traffic
+                      : netlist::Traffic::all_to_all(floorplan_->size());
+  cache.arcs = mapping::ArcTable(ring.geometry.tour, traffic);
+  cache.seconds = span.elapsed_seconds();
+  return cache;
+}
+
+SynthesisResult Synthesizer::synthesize_from_ring(
+    const SynthesisOptions& options, const ring::RingBuildResult& ring,
+    const SweepCache* cache) const {
   SynthesisResult out;
   out.ring_stats = ring;
 
@@ -42,23 +63,30 @@ SynthesisResult Synthesizer::synthesize_from_ring(
   d.ring = ring.geometry;
   d.params = options.params;
 
-  // Step 2: shortcuts.
-  {
+  // Step 2: shortcuts (reused from the sweep cache when one is given — the
+  // plan depends only on ring + floorplan + shortcut options, not on #wl).
+  if (cache != nullptr) {
+    d.shortcuts = cache->shortcuts;
+  } else {
     obs::Span span("shortcuts");
     d.shortcuts = shortcut::build_shortcuts(d.ring, *floorplan_,
                                             options.shortcuts);
   }
 
-  // Step 3: wavelength assignment, then openings.
+  // Step 3: wavelength assignment, then openings — both on the incremental
+  // occupancy index, over the sweep-shared arc table when available.
+  const mapping::ArcTable* arcs = cache ? &cache->arcs : nullptr;
   {
     obs::Span span("mapping");
     d.mapping = mapping::assign_wavelengths(d.ring.tour, d.traffic,
-                                            d.shortcuts, options.mapping);
+                                            d.shortcuts, options.mapping,
+                                            arcs);
   }
   {
     obs::Span span("opening");
-    out.opening_stats = mapping::create_openings(
-        d.ring.tour, d.traffic, d.mapping, options.mapping, options.openings);
+    out.opening_stats =
+        mapping::create_openings(d.ring.tour, d.traffic, d.mapping,
+                                 options.mapping, options.openings, arcs);
   }
 
   // Step 4: PDN.

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "analysis/evaluate.hpp"
+#include "mapping/occupancy.hpp"
 #include "mapping/opening.hpp"
 #include "ring/builder.hpp"
 
@@ -42,6 +43,23 @@ struct SynthesisResult {
   double seconds = 0.0;
 };
 
+/// Per-sweep shared state: everything in Steps 2-3 that depends on the
+/// ring, floorplan, traffic, and shortcut options but NOT on
+/// `mapping.max_wavelengths`. A `#wl` sweep builds one instance and feeds
+/// it to every setting instead of re-deriving it per probe:
+///   - the Step-2 shortcut plan (previously rebuilt once per setting),
+///   - the Step-3 arc table (per-signal hop intervals + bitsets backing the
+///     incremental occupancy index; see mapping/occupancy.hpp).
+/// Immutable after construction and shared read-only across the parallel
+/// sweep's threads.
+struct SweepCache {
+  shortcut::ShortcutPlan shortcuts;
+  mapping::ArcTable arcs;
+  /// Wall time spent building the cache; folded into each setting's
+  /// reported `seconds` the same way the prebuilt ring's build time is.
+  double seconds = 0.0;
+};
+
 /// The XRing synthesis pipeline (paper Sec. III):
 ///   1. ring waveguide construction (MILP + sub-cycle merge),
 ///   2. shortcut construction,
@@ -56,9 +74,18 @@ class Synthesizer {
   SynthesisResult run(const SynthesisOptions& options = {}) const;
 
   /// Step 1 is independent of #wl settings; callers sweeping #wl reuse one
-  /// prebuilt ring through this entry point.
+  /// prebuilt ring through this entry point. `cache`, when given, must have
+  /// been built by make_sweep_cache from the same ring and the same options
+  /// (any `mapping.max_wavelengths` — that is the one knob it is independent
+  /// of); results are bit-identical with or without it.
   SynthesisResult run_with_ring(const SynthesisOptions& options,
-                                const ring::RingBuildResult& ring) const;
+                                const ring::RingBuildResult& ring,
+                                const SweepCache* cache = nullptr) const;
+
+  /// Builds the #wl-independent shared state (shortcut plan + arc table)
+  /// once, for reuse across every setting of a sweep.
+  SweepCache make_sweep_cache(const SynthesisOptions& options,
+                              const ring::RingBuildResult& ring) const;
 
   const netlist::Floorplan& floorplan() const { return *floorplan_; }
   const ring::ConflictOracle& oracle() const { return oracle_; }
@@ -67,7 +94,8 @@ class Synthesizer {
   /// Steps 2-4 + evaluation from an already-built ring (no root span; both
   /// public entry points wrap this in their own `synth` span).
   SynthesisResult synthesize_from_ring(const SynthesisOptions& options,
-                                       const ring::RingBuildResult& ring) const;
+                                       const ring::RingBuildResult& ring,
+                                       const SweepCache* cache) const;
 
   const netlist::Floorplan* floorplan_;
   ring::ConflictOracle oracle_;

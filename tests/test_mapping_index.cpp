@@ -1,0 +1,498 @@
+// Differential test of the incremental arc-occupancy index
+// (mapping/occupancy.hpp) against the brute-force reference predicates and
+// against verbatim re-implementations of the pre-index Step-3 algorithms.
+//
+// The index's contract is BIT-IDENTICAL behavior: same probe order, same
+// first-fit choices, same tie-breaks, same openings, same relocation and
+// overflow decisions — it only evaluates the same predicates faster. Every
+// test here therefore asserts exact equality of complete mappings, not just
+// metric-level agreement. Coverage includes all-to-all n ∈ {8, 16, 32},
+// seeded randomized traffic patterns, post-relocation states (a fresh index
+// over the opening phase's output still agrees with brute force), and the
+// undo-journal rollback path.
+
+#include "mapping/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "mapping/opening.hpp"
+#include "ring/builder.hpp"
+#include "shortcut/shortcut.hpp"
+
+namespace xring::mapping {
+namespace {
+
+using netlist::NodeId;
+using netlist::Traffic;
+
+// --------------------------------------------------------------------------
+// Reference implementations: the exact pre-index Step-3 hot loops (deep-copy
+// transactions, per-probe occupied_hops/interior_nodes derivation), built on
+// the exported brute-force predicates `fits` / `passing_signals`.
+
+std::pair<int, int> ref_place_on_ring(const ring::Tour& tour,
+                                      const Traffic& traffic, Mapping& m,
+                                      Direction dir, SignalId id,
+                                      int max_wavelengths) {
+  for (int w = 0; w < static_cast<int>(m.waveguides.size()); ++w) {
+    if (m.waveguides[w].dir != dir) continue;
+    for (int wl = 0; wl < max_wavelengths; ++wl) {
+      if (fits(tour, traffic, m, w, wl, id)) return {w, wl};
+    }
+  }
+  return {m.add_waveguide(dir), 0};
+}
+
+Mapping ref_assign_wavelengths(const ring::Tour& tour, const Traffic& traffic,
+                               const shortcut::ShortcutPlan& shortcuts,
+                               const MappingOptions& options) {
+  Mapping m;
+  m.routes.assign(traffic.size(), SignalRoute{});
+
+  if (options.use_shortcuts) {
+    for (const auto& sig : traffic.signals()) {
+      const int sc = shortcuts.shortcuts.empty()
+                         ? -1
+                         : shortcuts.find(sig.src, sig.dst);
+      if (sc < 0) continue;
+      SignalRoute& r = m.routes[sig.id];
+      r.kind = RouteKind::kShortcut;
+      r.shortcut = sc;
+      const shortcut::Shortcut& s = shortcuts.shortcuts[sc];
+      if (s.crossing_partner < 0) {
+        r.wavelength = 0;
+      } else {
+        r.wavelength = sc < s.crossing_partner ? 0 : 1;
+      }
+    }
+    for (std::size_t c = 0; c < shortcuts.cse_routes.size(); ++c) {
+      const shortcut::CseRoute& route = shortcuts.cse_routes[c];
+      // The pre-index linear rescan: first traffic signal with the pair.
+      for (const auto& sig : traffic.signals()) {
+        if (sig.src != route.src || sig.dst != route.dst) continue;
+        SignalRoute& r = m.routes[sig.id];
+        if (r.kind == RouteKind::kShortcut) break;
+        const geom::Coord ring_len =
+            std::min(tour.arc_length_cw(sig.src, sig.dst),
+                     tour.arc_length_ccw(sig.src, sig.dst));
+        const bool better_than_current =
+            r.kind != RouteKind::kCse ||
+            route.length < shortcuts.cse_routes[r.cse].length;
+        if (route.length < ring_len && better_than_current) {
+          r.kind = RouteKind::kCse;
+          r.cse = static_cast<int>(c);
+          r.wavelength = route.shortcut_in < route.shortcut_out ? 2 : 3;
+        }
+        break;
+      }
+    }
+  }
+
+  std::vector<SignalId> ring_signals;
+  for (const auto& sig : traffic.signals()) {
+    if (m.routes[sig.id].kind == RouteKind::kUnrouted) {
+      ring_signals.push_back(sig.id);
+    }
+  }
+  auto shorter_arc = [&](SignalId id) {
+    const auto& sig = traffic.signal(id);
+    return std::min(tour.arc_length_cw(sig.src, sig.dst),
+                    tour.arc_length_ccw(sig.src, sig.dst));
+  };
+  std::stable_sort(ring_signals.begin(), ring_signals.end(),
+                   [&](SignalId x, SignalId y) {
+                     return shorter_arc(x) > shorter_arc(y);
+                   });
+
+  for (const SignalId id : ring_signals) {
+    const auto& sig = traffic.signal(id);
+    const geom::Coord cw = tour.arc_length_cw(sig.src, sig.dst);
+    const geom::Coord ccw = tour.arc_length_ccw(sig.src, sig.dst);
+    const Direction dir = cw <= ccw ? Direction::kCw : Direction::kCcw;
+    const auto [w, wl] =
+        ref_place_on_ring(tour, traffic, m, dir, id, options.max_wavelengths);
+    SignalRoute& r = m.routes[id];
+    r.kind = dir == Direction::kCw ? RouteKind::kRingCw : RouteKind::kRingCcw;
+    r.waveguide = w;
+    r.wavelength = wl;
+    m.waveguides[w].signals.push_back(id);
+  }
+
+  int max_wl = -1;
+  for (const SignalRoute& r : m.routes) max_wl = std::max(max_wl, r.wavelength);
+  m.wavelengths_used = max_wl + 1;
+  return m;
+}
+
+std::pair<bool, bool> ref_relocate(const ring::Tour& tour,
+                                   const Traffic& traffic, Mapping& mapping,
+                                   int from, SignalId id, int max_wavelengths,
+                                   bool allow_new) {
+  const Direction dir = mapping.waveguides[from].dir;
+  for (int w = 0; w < static_cast<int>(mapping.waveguides.size()); ++w) {
+    if (w == from || mapping.waveguides[w].dir != dir) continue;
+    for (int wl = 0; wl < max_wavelengths; ++wl) {
+      if (!fits(tour, traffic, mapping, w, wl, id)) continue;
+      auto& sigs = mapping.waveguides[from].signals;
+      sigs.erase(std::remove(sigs.begin(), sigs.end(), id), sigs.end());
+      mapping.waveguides[w].signals.push_back(id);
+      mapping.routes[id].waveguide = w;
+      mapping.routes[id].wavelength = wl;
+      return {true, false};
+    }
+  }
+  if (!allow_new) return {false, false};
+  const int w = mapping.add_waveguide(dir);
+  auto& sigs = mapping.waveguides[from].signals;
+  sigs.erase(std::remove(sigs.begin(), sigs.end(), id), sigs.end());
+  mapping.waveguides[w].signals.push_back(id);
+  mapping.routes[id].waveguide = w;
+  mapping.routes[id].wavelength = 0;
+  return {true, true};
+}
+
+std::vector<SignalId> ref_signals_passing(const ring::Tour& tour,
+                                          const Traffic& traffic,
+                                          const Mapping& mapping, int w,
+                                          NodeId node) {
+  std::vector<SignalId> out;
+  const Direction dir = mapping.waveguides[w].dir;
+  for (const SignalId id : mapping.waveguides[w].signals) {
+    const auto& sig = traffic.signal(id);
+    const auto interior = interior_nodes(tour, sig.src, sig.dst, dir);
+    if (std::find(interior.begin(), interior.end(), node) != interior.end()) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+OpeningStats ref_create_openings(const ring::Tour& tour,
+                                 const Traffic& traffic, Mapping& mapping,
+                                 const MappingOptions& mapping_options) {
+  OpeningStats stats;
+  for (int w = 0; w < static_cast<int>(mapping.waveguides.size()); ++w) {
+    std::vector<std::pair<int, NodeId>> candidates;
+    for (int pos = 0; pos < tour.size(); ++pos) {
+      const NodeId v = tour.at(pos);
+      candidates.emplace_back(passing_signals(tour, traffic, mapping, w, v),
+                              v);
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+
+    bool placed = false;
+    for (const auto& [count, node] : candidates) {
+      if (count == 0) {
+        mapping.waveguides[w].opening = node;
+        placed = true;
+        break;
+      }
+      Mapping trial = mapping;  // the pre-index deep-copy transaction
+      bool ok = true;
+      int moved_here = 0;
+      for (const SignalId id :
+           ref_signals_passing(tour, traffic, mapping, w, node)) {
+        const auto [moved, added] =
+            ref_relocate(tour, traffic, trial, w, id,
+                         mapping_options.max_wavelengths, /*allow_new=*/false);
+        (void)added;
+        if (!moved) {
+          ok = false;
+          break;
+        }
+        ++moved_here;
+      }
+      if (ok) {
+        mapping = std::move(trial);
+        mapping.waveguides[w].opening = node;
+        stats.relocated_signals += moved_here;
+        placed = true;
+        break;
+      }
+    }
+
+    if (!placed) {
+      const NodeId node = candidates.front().second;
+      for (const SignalId id :
+           ref_signals_passing(tour, traffic, mapping, w, node)) {
+        const auto [moved, added] =
+            ref_relocate(tour, traffic, mapping, w, id,
+                         mapping_options.max_wavelengths, /*allow_new=*/true);
+        stats.relocated_signals += moved ? 1 : 0;
+        stats.extra_waveguides += added ? 1 : 0;
+      }
+      mapping.waveguides[w].opening = node;
+    }
+  }
+
+  int max_wl = -1;
+  for (const SignalRoute& r : mapping.routes) {
+    max_wl = std::max(max_wl, r.wavelength);
+  }
+  mapping.wavelengths_used = max_wl + 1;
+  return stats;
+}
+
+// --------------------------------------------------------------------------
+
+void expect_mappings_identical(const Mapping& a, const Mapping& b) {
+  ASSERT_EQ(a.routes.size(), b.routes.size());
+  for (std::size_t i = 0; i < a.routes.size(); ++i) {
+    EXPECT_EQ(a.routes[i].kind, b.routes[i].kind) << "signal " << i;
+    EXPECT_EQ(a.routes[i].waveguide, b.routes[i].waveguide) << "signal " << i;
+    EXPECT_EQ(a.routes[i].wavelength, b.routes[i].wavelength) << "signal " << i;
+    EXPECT_EQ(a.routes[i].shortcut, b.routes[i].shortcut) << "signal " << i;
+    EXPECT_EQ(a.routes[i].cse, b.routes[i].cse) << "signal " << i;
+  }
+  ASSERT_EQ(a.waveguides.size(), b.waveguides.size());
+  for (std::size_t w = 0; w < a.waveguides.size(); ++w) {
+    EXPECT_EQ(a.waveguides[w].dir, b.waveguides[w].dir) << "waveguide " << w;
+    EXPECT_EQ(a.waveguides[w].opening, b.waveguides[w].opening)
+        << "waveguide " << w;
+    EXPECT_EQ(a.waveguides[w].signals, b.waveguides[w].signals)
+        << "waveguide " << w;
+  }
+  EXPECT_EQ(a.wavelengths_used, b.wavelengths_used);
+  EXPECT_EQ(a.ring_waveguides(Direction::kCw), b.ring_waveguides(Direction::kCw));
+  EXPECT_EQ(a.ring_waveguides(Direction::kCcw),
+            b.ring_waveguides(Direction::kCcw));
+}
+
+/// Asserts a freshly built index over `mapping` agrees with the brute-force
+/// predicates on every (waveguide, wavelength, signal) and (waveguide, node).
+void expect_index_agrees(const ring::Tour& tour, const Traffic& traffic,
+                         Mapping& mapping, int max_wavelengths) {
+  const ArcTable arcs(tour, traffic);
+  const OccupancyIndex index(arcs, mapping);
+  for (int w = 0; w < static_cast<int>(mapping.waveguides.size()); ++w) {
+    for (int pos = 0; pos < tour.size(); ++pos) {
+      const NodeId v = tour.at(pos);
+      EXPECT_EQ(index.passing_count(w, pos),
+                passing_signals(tour, traffic, mapping, w, v))
+          << "w=" << w << " pos=" << pos;
+      EXPECT_EQ(index.signals_passing(w, v),
+                ref_signals_passing(tour, traffic, mapping, w, v))
+          << "w=" << w << " pos=" << pos;
+    }
+    for (const auto& sig : traffic.signals()) {
+      for (int wl = 0; wl < max_wavelengths; ++wl) {
+        EXPECT_EQ(index.fits(w, wl, sig.id),
+                  fits(tour, traffic, mapping, w, wl, sig.id))
+            << "w=" << w << " wl=" << wl << " signal=" << sig.id;
+      }
+    }
+  }
+}
+
+Traffic random_traffic(int nodes, int signal_count, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> pick(0, nodes - 1);
+  std::set<std::pair<int, int>> used;
+  std::vector<netlist::Signal> signals;
+  while (static_cast<int>(signals.size()) < signal_count) {
+    const int src = pick(rng);
+    const int dst = pick(rng);
+    if (src == dst || !used.insert({src, dst}).second) continue;
+    netlist::Signal s;
+    s.id = static_cast<int>(signals.size());
+    s.src = src;
+    s.dst = dst;
+    signals.push_back(s);
+  }
+  return Traffic(std::move(signals));
+}
+
+struct Instance {
+  ring::RingGeometry ring;
+  Traffic traffic;
+  shortcut::ShortcutPlan plan;
+};
+
+Instance make_instance(int nodes, const Traffic& traffic,
+                       bool with_shortcuts) {
+  const auto fp = netlist::Floorplan::standard(nodes);
+  Instance inst;
+  inst.ring = ring::build_ring(fp).geometry;
+  inst.traffic = traffic;
+  if (with_shortcuts) inst.plan = shortcut::build_shortcuts(inst.ring, fp);
+  return inst;
+}
+
+class MappingIndexAllToAll : public ::testing::TestWithParam<int> {};
+
+TEST_P(MappingIndexAllToAll, ArcTableMatchesHopDerivation) {
+  const int n = GetParam();
+  const Instance inst = make_instance(n, Traffic::all_to_all(n), false);
+  const ring::Tour& tour = inst.ring.tour;
+  const ArcTable arcs(tour, inst.traffic);
+  for (const auto& sig : inst.traffic.signals()) {
+    for (const Direction dir : {Direction::kCw, Direction::kCcw}) {
+      const auto hops = occupied_hops(tour, sig.src, sig.dst, dir);
+      const std::set<int> hop_set(hops.begin(), hops.end());
+      const std::uint64_t* mask = arcs.mask(sig.id, dir);
+      for (int h = 0; h < tour.size(); ++h) {
+        const bool bit = (mask[h >> 6] >> (h & 63)) & 1;
+        EXPECT_EQ(bit, hop_set.count(h) > 0)
+            << "signal " << sig.id << " hop " << h;
+      }
+      const auto interior = interior_nodes(tour, sig.src, sig.dst, dir);
+      const std::set<NodeId> interior_set(interior.begin(), interior.end());
+      for (int pos = 0; pos < tour.size(); ++pos) {
+        EXPECT_EQ(arcs.interior_contains(sig.id, dir, pos),
+                  interior_set.count(tour.at(pos)) > 0)
+            << "signal " << sig.id << " pos " << pos;
+      }
+    }
+  }
+}
+
+TEST_P(MappingIndexAllToAll, AssignAndOpeningsMatchReference) {
+  const int n = GetParam();
+  for (const bool with_shortcuts : {false, true}) {
+    const Instance inst =
+        make_instance(n, Traffic::all_to_all(n), with_shortcuts);
+    MappingOptions mo;
+    mo.max_wavelengths = n / 2;  // tight cap: exercises overflow + conflicts
+    mo.use_shortcuts = with_shortcuts;
+
+    Mapping indexed = assign_wavelengths(inst.ring.tour, inst.traffic,
+                                         inst.plan, mo);
+    Mapping reference =
+        ref_assign_wavelengths(inst.ring.tour, inst.traffic, inst.plan, mo);
+    expect_mappings_identical(indexed, reference);
+    expect_index_agrees(inst.ring.tour, inst.traffic, indexed,
+                        mo.max_wavelengths);
+
+    const OpeningStats is =
+        create_openings(inst.ring.tour, inst.traffic, indexed, mo);
+    const OpeningStats rs =
+        ref_create_openings(inst.ring.tour, inst.traffic, reference, mo);
+    EXPECT_EQ(is.relocated_signals, rs.relocated_signals);
+    EXPECT_EQ(is.extra_waveguides, rs.extra_waveguides);
+    expect_mappings_identical(indexed, reference);
+    // Post-relocation state: a fresh index over the opening phase's output
+    // still agrees with brute force everywhere.
+    expect_index_agrees(inst.ring.tour, inst.traffic, indexed,
+                        mo.max_wavelengths);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MappingIndexAllToAll,
+                         ::testing::Values(8, 16, 32));
+
+TEST(MappingIndexRandom, AssignAndOpeningsMatchReferenceSeeded) {
+  const int n = 16;
+  for (const unsigned seed : {1u, 7u, 42u, 1337u}) {
+    const Traffic traffic = random_traffic(n, 80, seed);
+    const Instance inst = make_instance(n, traffic, true);
+    MappingOptions mo;
+    mo.max_wavelengths = 4;  // very tight: forces relocation overflow paths
+    Mapping indexed =
+        assign_wavelengths(inst.ring.tour, inst.traffic, inst.plan, mo);
+    Mapping reference =
+        ref_assign_wavelengths(inst.ring.tour, inst.traffic, inst.plan, mo);
+    expect_mappings_identical(indexed, reference);
+
+    const OpeningStats is =
+        create_openings(inst.ring.tour, inst.traffic, indexed, mo);
+    const OpeningStats rs =
+        ref_create_openings(inst.ring.tour, inst.traffic, reference, mo);
+    EXPECT_EQ(is.relocated_signals, rs.relocated_signals) << "seed " << seed;
+    EXPECT_EQ(is.extra_waveguides, rs.extra_waveguides) << "seed " << seed;
+    expect_mappings_identical(indexed, reference);
+    expect_index_agrees(inst.ring.tour, inst.traffic, indexed,
+                        mo.max_wavelengths);
+  }
+}
+
+TEST(MappingIndexTransaction, RollbackRestoresExactState) {
+  const int n = 16;
+  const Instance inst = make_instance(n, Traffic::all_to_all(n), true);
+  MappingOptions mo;
+  mo.max_wavelengths = n;
+  Mapping mapping =
+      assign_wavelengths(inst.ring.tour, inst.traffic, inst.plan, mo);
+  const Mapping snapshot = mapping;
+
+  const ArcTable arcs(inst.ring.tour, inst.traffic);
+  OccupancyIndex index(arcs, mapping);
+
+  // Move every relocatable signal of waveguide 0 somewhere else, then roll
+  // everything back.
+  ASSERT_FALSE(mapping.waveguides.empty());
+  const std::vector<SignalId> signals = mapping.waveguides[0].signals;
+  index.begin_transaction();
+  int moved = 0;
+  for (const SignalId id : signals) {
+    const Direction dir = mapping.waveguides[0].dir;
+    for (int w = 1; w < static_cast<int>(mapping.waveguides.size()); ++w) {
+      if (mapping.waveguides[w].dir != dir) continue;
+      bool done = false;
+      for (int wl = 0; wl < mo.max_wavelengths && !done; ++wl) {
+        if (index.fits(w, wl, id)) {
+          index.relocate(id, w, wl);
+          ++moved;
+          done = true;
+        }
+      }
+      if (done) break;
+    }
+  }
+  ASSERT_GT(moved, 0) << "test needs at least one journaled relocation";
+  index.rollback();
+
+  expect_mappings_identical(mapping, snapshot);
+  // The rolled-back index has not drifted: it still matches brute force.
+  expect_index_agrees(inst.ring.tour, inst.traffic, mapping,
+                      mo.max_wavelengths);
+
+  // And a committed transaction keeps its effect.
+  index.begin_transaction();
+  bool committed = false;
+  for (const SignalId id : mapping.waveguides[0].signals) {
+    for (int w = 1;
+         w < static_cast<int>(mapping.waveguides.size()) && !committed; ++w) {
+      if (mapping.waveguides[w].dir != mapping.waveguides[0].dir) continue;
+      for (int wl = 0; wl < mo.max_wavelengths && !committed; ++wl) {
+        if (index.fits(w, wl, id)) {
+          index.relocate(id, w, wl);
+          committed = true;
+        }
+      }
+    }
+    if (committed) break;
+  }
+  ASSERT_TRUE(committed);
+  index.commit();
+  EXPECT_NE(mapping.waveguides[0].signals, snapshot.waveguides[0].signals);
+  expect_index_agrees(inst.ring.tour, inst.traffic, mapping,
+                      mo.max_wavelengths);
+}
+
+TEST(MappingIndexShared, SharedArcTableIsBitIdentical) {
+  const int n = 16;
+  const Instance inst = make_instance(n, Traffic::all_to_all(n), true);
+  const ArcTable shared(inst.ring.tour, inst.traffic);
+  MappingOptions mo;
+  mo.max_wavelengths = 10;
+
+  Mapping with_shared = assign_wavelengths(inst.ring.tour, inst.traffic,
+                                           inst.plan, mo, &shared);
+  Mapping without = assign_wavelengths(inst.ring.tour, inst.traffic,
+                                       inst.plan, mo, nullptr);
+  expect_mappings_identical(with_shared, without);
+
+  create_openings(inst.ring.tour, inst.traffic, with_shared, mo, {}, &shared);
+  create_openings(inst.ring.tour, inst.traffic, without, mo, {}, nullptr);
+  expect_mappings_identical(with_shared, without);
+}
+
+}  // namespace
+}  // namespace xring::mapping

@@ -11,6 +11,10 @@
 //                        relatively by R (default: 1e-6 — the pipeline is
 //                        deterministic, so anything beyond rounding noise
 //                        is a real behavior change)
+//   --only-prefix P      compare only metrics whose name starts with P
+//                        (e.g. `--only-prefix mapping.` gates the Step-3
+//                        counters alone); one-sided-key notes are filtered
+//                        the same way
 //   --quiet              print regressions only
 //
 // Classification by metric name:
@@ -24,6 +28,10 @@
 //
 // Only keys present in BOTH files are compared; one-sided keys are listed
 // as notes (renaming a metric should not silently drop it from the gate).
+//
+// When `span.mapping.total_s` / `span.opening.total_s` appear in both
+// files, the summary line also reports their before → after ratios — the
+// Step-3 hot spans this tool most often gates.
 //
 // Exit status: 0 all comparisons within tolerance, 1 at least one
 // regression, 2 usage or I/O error.
@@ -84,6 +92,7 @@ int main(int argc, char** argv) {
   std::string baseline_path, candidate_path;
   double time_tolerance = 3.0;
   double rel_tolerance = 1e-6;
+  std::string only_prefix;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -99,6 +108,8 @@ int main(int argc, char** argv) {
       time_tolerance = std::strtod(value("--time-tolerance"), nullptr);
     } else if (arg == "--rel-tolerance") {
       rel_tolerance = std::strtod(value("--rel-tolerance"), nullptr);
+    } else if (arg == "--only-prefix") {
+      only_prefix = value("--only-prefix");
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -116,7 +127,8 @@ int main(int argc, char** argv) {
   if (candidate_path.empty()) {
     std::fprintf(stderr,
                  "usage: bench_compare BASELINE.json CANDIDATE.json "
-                 "[--time-tolerance R] [--rel-tolerance R] [--quiet]\n");
+                 "[--time-tolerance R] [--rel-tolerance R] "
+                 "[--only-prefix P] [--quiet]\n");
     return 2;
   }
 
@@ -129,8 +141,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const auto in_scope = [&](const std::string& name) {
+    return only_prefix.empty() ||
+           name.compare(0, only_prefix.size(), only_prefix) == 0;
+  };
+
   int compared = 0, regressions = 0, skipped = 0;
   for (const auto& [name, b] : base) {
+    if (!in_scope(name)) continue;
     const auto it = cand.find(name);
     if (it == cand.end()) {
       if (!quiet) std::printf("note: %s only in baseline\n", name.c_str());
@@ -169,14 +187,29 @@ int main(int argc, char** argv) {
     }
   }
   for (const auto& [name, c] : cand) {
-    if (!quiet && base.find(name) == base.end()) {
+    if (!quiet && in_scope(name) && base.find(name) == base.end()) {
       std::printf("note: %s only in candidate\n", name.c_str());
     }
   }
 
+  // The Step-3 hot spans, called out whenever both reports carry them: the
+  // quickest read on whether a mapping/opening change moved the needle.
+  std::string hot_spans;
+  for (const char* key : {"span.mapping.total_s", "span.opening.total_s"}) {
+    const auto b = base.find(key);
+    const auto c = cand.find(key);
+    if (b == base.end() || c == cand.end() || !in_scope(key)) continue;
+    if (std::isnan(b->second) || std::isnan(c->second)) continue;
+    char buf[128];
+    std::snprintf(buf, sizeof buf, ", %s %.3gs -> %.3gs (%.2fx)", key,
+                  b->second, c->second,
+                  b->second > 0 ? c->second / b->second : 0.0);
+    hot_spans += buf;
+  }
+
   if (!quiet || regressions > 0) {
-    std::printf("%d metrics compared (%d ignored), %d regression(s)\n",
-                compared, skipped, regressions);
+    std::printf("%d metrics compared (%d ignored), %d regression(s)%s\n",
+                compared, skipped, regressions, hot_spans.c_str());
   }
   return regressions > 0 ? 1 : 0;
 }

@@ -26,6 +26,13 @@ echo "== bench regression gate =="
 (cd "$build_dir/bench" && ./table1_routers_no_pdn > /dev/null)
 "$build_dir/tools/bench_compare" "$repo/bench/baselines/BENCH_table1.json" \
   "$build_dir/bench/BENCH_table1.json" --time-tolerance 25 --quiet
+# The mapping.* counters (waveguides, wavelengths, relocations, openings)
+# are the occupancy index's bit-identical contract with the brute-force
+# Step 3: they must match the committed baseline EXACTLY, with no time
+# escape hatch.
+"$build_dir/tools/bench_compare" "$repo/bench/baselines/BENCH_table1.json" \
+  "$build_dir/bench/BENCH_table1.json" --only-prefix mapping. \
+  --rel-tolerance 0 --quiet
 echo "bench gate OK"
 
 # ThreadSanitizer pass over the concurrent substrate (its own build tree —
@@ -38,5 +45,6 @@ cmake --build "$tsan_dir" -j
 (cd "$tsan_dir/tests" &&
   XRING_JOBS=8 ./test_par &&
   XRING_JOBS=8 ./test_milp_bnb &&
-  XRING_JOBS=8 ./test_xring_synthesizer)
+  XRING_JOBS=8 ./test_xring_synthesizer &&
+  XRING_JOBS=8 ./test_mapping_index)
 echo "tsan OK"
