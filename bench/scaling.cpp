@@ -9,14 +9,128 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
+#include "obs/obs.hpp"
 #include "par/pool.hpp"
 #include "report/table.hpp"
+#include "ring/builder.hpp"
 #include "xring/sweep.hpp"
 
-int main() {
+namespace {
+
+using namespace xring;
+
+netlist::Floorplan ring_floorplan(int n) {
+  return n == 32    ? netlist::Floorplan::grid(4, 8, 2000)
+         : n == 64  ? netlist::Floorplan::grid(8, 8, 2000)
+         : n == 96  ? netlist::Floorplan::grid(8, 12, 2000)
+         : n == 128 ? netlist::Floorplan::grid(8, 16, 2000)
+                    : netlist::Floorplan::grid(1, n, 2000);
+}
+
+/// One Step-1 MILP solve (sparse LU kernel) with the lp/milp counters read
+/// back from a fresh registry. Returns false on a non-optimal/feasible stop.
+struct RingRun {
+  ring::RingBuildResult result;
+  double pivots = 0.0;
+  double refactorizations = 0.0;
+  double warm_pivots = 0.0;
+};
+
+RingRun run_ring_milp(int n, double time_limit) {
+  obs::set_enabled(true);
+  obs::registry().reset();
+  ring::RingBuildOptions opt;
+  opt.use_milp = true;
+  opt.time_limit_seconds = time_limit;
+  RingRun out;
+  out.result = ring::build_ring(ring_floorplan(n), opt);
+  const auto flat = obs::registry().flatten();
+  auto get = [&](const char* key) {
+    const auto it = flat.find(key);
+    return it == flat.end() ? 0.0 : it->second;
+  };
+  out.pivots = get("lp.pivots");
+  out.refactorizations = get("lp.refactorizations");
+  out.warm_pivots = get("milp.warm_pivots");
+  obs::set_enabled(false);
+  return out;
+}
+
+/// CI smoke mode (`--ring N`): a single ring-construction MILP must reach a
+/// solver-certified optimum inside the caller's timeout. Exercises the
+/// sparse kernel at a size the dense inverse could not touch.
+int ring_smoke(int n) {
+  const RingRun run = run_ring_milp(n, 300.0);
+  std::printf("ring-construction MILP n=%d: status=%s nodes=%ld pivots=%.0f "
+              "refactorizations=%.0f length=%.0fum in %.2fs\n",
+              n, milp::to_string(run.result.mip_status).c_str(),
+              run.result.bnb_nodes, run.pivots, run.refactorizations,
+              static_cast<double>(run.result.geometry.tour.total_length()),
+              run.result.seconds);
+  return run.result.mip_status == milp::MipStatus::kOptimal ? EXIT_SUCCESS
+                                                            : EXIT_FAILURE;
+}
+
+/// Ring-construction MILP scaling table: n = 32..128, serial vs full-pool
+/// solve (speculation only helps multi-node searches, so the columns also
+/// document where the search is single-node). The dense-inverse kernel is
+/// O(m^2) memory — at n=128 that basis alone would be ~560 MB — which is
+/// why this table only exists with the sparse LU kernel.
+bool ring_scaling_table(int jobs_n) {
+  std::printf("=== Step-1 ring-construction MILP (sparse LU kernel) ===\n\n");
+  std::string tn_header = "T";
+  tn_header += std::to_string(jobs_n);
+  tn_header += " (s)";
+  report::Table t({"nodes", "LP rows", "LP cols", "status", "pivots",
+                   "refac", "T1 (s)", tn_header, "speedup"});
+  bool identical = true;
+  for (const int n : {32, 64, 96, 128}) {
+    par::set_jobs(1);
+    const RingRun serial = run_ring_milp(n, 300.0);
+    par::set_jobs(jobs_n);
+    const RingRun parallel = run_ring_milp(n, 300.0);
+    par::set_jobs(0);
+    if (serial.result.geometry.tour.total_length() !=
+            parallel.result.geometry.tour.total_length() ||
+        serial.result.mip_status != parallel.result.mip_status ||
+        serial.result.bnb_nodes != parallel.result.bnb_nodes) {
+      std::fprintf(stderr,
+                   "determinism violation at %d nodes: jobs=1 and jobs=%d "
+                   "disagree on the ring-construction solve\n", n, jobs_n);
+      identical = false;
+    }
+    // Row/column counts of the root relaxation: 2n degree rows + n(n-1)/2
+    // anti-2-cycle rows over n(n-1) edge binaries (lazy Eq.3 rows extra).
+    const int rows = 2 * n + n * (n - 1) / 2;
+    const int cols = n * (n - 1);
+    const double speedup = parallel.result.seconds > 0.0
+                               ? serial.result.seconds / parallel.result.seconds
+                               : 0.0;
+    t.add_row({std::to_string(n), std::to_string(rows), std::to_string(cols),
+               milp::to_string(parallel.result.mip_status),
+               report::num(parallel.pivots, 0),
+               report::num(parallel.refactorizations, 0),
+               report::num(serial.result.seconds, 2),
+               report::num(parallel.result.seconds, 2),
+               report::num(speedup, 2) + "x"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  return identical;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace xring;
+  if (argc == 3 && std::strcmp(argv[1], "--ring") == 0) {
+    return ring_smoke(std::atoi(argv[2]));
+  }
   const int jobs_n = par::resolve_jobs(0);
+
+  if (!ring_scaling_table(jobs_n)) return EXIT_FAILURE;
   std::printf("=== Scaling: full flow up to 64 nodes (jobs=1 vs jobs=%d) ===\n\n",
               jobs_n);
 

@@ -2,11 +2,14 @@
 
 #include <chrono>
 
+#include "obs/obs.hpp"
+
 namespace xring::baseline {
 
 SynthesisResult synthesize_oring(const netlist::Floorplan& floorplan,
                                  const ring::RingBuildResult& ring,
                                  const OringOptions& options) {
+  obs::Span span("baseline.synth");
   const auto start = std::chrono::steady_clock::now();
 
   SynthesisResult out;
@@ -23,15 +26,22 @@ SynthesisResult synthesize_oring(const netlist::Floorplan& floorplan,
   mapping::MappingOptions mo;
   mo.max_wavelengths = options.max_wavelengths;
   mo.use_shortcuts = false;
-  d.mapping = mapping::assign_wavelengths(d.ring.tour, d.traffic, d.shortcuts,
-                                          mo);
+  {
+    obs::Span map_span("baseline.mapping");
+    d.mapping = mapping::assign_wavelengths(d.ring.tour, d.traffic,
+                                            d.shortcuts, mo);
+  }
 
   if (options.with_pdn) {
+    obs::Span pdn_span("baseline.pdn");
     d.pdn = pdn::comb_pdn(d.ring.tour, d.mapping, d.params);
     d.has_pdn = true;
   }
 
-  out.metrics = analysis::evaluate(d);
+  {
+    obs::Span eval_span("baseline.evaluate");
+    out.metrics = analysis::evaluate(d);
+  }
   out.seconds = ring.seconds + std::chrono::duration<double>(
                                    std::chrono::steady_clock::now() - start)
                                    .count();

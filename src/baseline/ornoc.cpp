@@ -3,12 +3,14 @@
 #include <chrono>
 
 #include "mapping/ornoc_assignment.hpp"
+#include "obs/obs.hpp"
 
 namespace xring::baseline {
 
 SynthesisResult synthesize_ornoc(const netlist::Floorplan& floorplan,
                                  const ring::RingBuildResult& ring,
                                  const OrnocOptions& options) {
+  obs::Span span("baseline.synth");
   const auto start = std::chrono::steady_clock::now();
 
   SynthesisResult out;
@@ -24,11 +26,15 @@ SynthesisResult synthesize_ornoc(const netlist::Floorplan& floorplan,
                                         options.max_wavelengths);
 
   if (options.with_pdn) {
+    obs::Span pdn_span("baseline.pdn");
     d.pdn = pdn::comb_pdn(d.ring.tour, d.mapping, d.params);
     d.has_pdn = true;
   }
 
-  out.metrics = analysis::evaluate(d);
+  {
+    obs::Span eval_span("baseline.evaluate");
+    out.metrics = analysis::evaluate(d);
+  }
   out.seconds = ring.seconds + std::chrono::duration<double>(
                                    std::chrono::steady_clock::now() - start)
                                    .count();

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
+#include "lp/basis.hpp"
 #include "obs/obs.hpp"
 
 namespace xring::lp {
@@ -72,7 +74,7 @@ struct State {
   int first_artificial = 0;
 
   // Per-column data.
-  std::vector<std::vector<std::pair<int, double>>> cols;
+  std::vector<SparseCol> cols;
   std::vector<double> lo, hi;
   std::vector<double> cost;        // active objective
   std::vector<double> real_cost;   // phase-2 objective
@@ -82,48 +84,25 @@ struct State {
   std::vector<double> b;           // equality right-hand side
 
   // Basis.
-  std::vector<int> basis;              // basis[i] = column basic in row i
-  std::vector<double> binv;            // dense m*m row-major basis inverse
+  std::vector<int> basis;          // basis[i] = column basic in slot i
+  std::unique_ptr<BasisRep> rep;   // factorized representation of B
+  bool need_phase1 = false;        // an artificial ended up basic in the crash
 
   double tol = 1e-8;
 
-  double& binv_at(int i, int j) { return binv[static_cast<std::size_t>(i) * m + j]; }
-  double binv_at(int i, int j) const { return binv[static_cast<std::size_t>(i) * m + j]; }
+  std::vector<double> cb;          // scratch: objective of the basic columns
 };
 
-/// w = Binv * A_col (sparse column), plus the index list of w's nonzeros.
-/// Scans each Binv row once, contiguously (row-major layout), accumulating
-/// over the column's few nonzeros — the dominant kernel of every pivot.
-void ftran(const State& s, int col, std::vector<double>& w,
-           std::vector<int>& nz) {
-  const int m = s.m;
-  const double* __restrict binv = s.binv.data();
-  double* __restrict wp = w.data();
-  const auto& acol = s.cols[col];
-  for (int i = 0; i < m; ++i) {
-    const double* __restrict row = binv + static_cast<std::size_t>(i) * m;
-    double acc = 0.0;
-    for (const auto& [r, a] : acol) acc += row[r] * a;
-    wp[i] = acc;
-  }
-  nz.clear();
-  for (int i = 0; i < m; ++i) {
-    if (wp[i] != 0.0) nz.push_back(i);
-  }
+/// w = B^-1 * A_col, plus the index list of w's nonzeros.
+void ftran(State& s, int col, std::vector<double>& w, std::vector<int>& nz) {
+  s.rep->ftran(s.cols[col], w, nz);
 }
 
-/// y = c_B^T * Binv.
-void btran(const State& s, std::vector<double>& y) {
-  const int m = s.m;
-  std::fill(y.begin(), y.end(), 0.0);
-  const double* __restrict binv = s.binv.data();
-  double* __restrict yp = y.data();
-  for (int i = 0; i < m; ++i) {
-    const double cb = s.cost[s.basis[i]];
-    if (cb == 0.0) continue;
-    const double* __restrict row = binv + static_cast<std::size_t>(i) * m;
-    for (int j = 0; j < m; ++j) yp[j] += cb * row[j];
-  }
+/// y^T = c_B^T B^-1 under the active cost vector.
+void btran_cost(State& s, std::vector<double>& y) {
+  s.cb.resize(s.m);
+  for (int i = 0; i < s.m; ++i) s.cb[i] = s.cost[s.basis[i]];
+  s.rep->btran(s.cb, y);
 }
 
 double reduced_cost(const State& s, const std::vector<double>& y, int col) {
@@ -133,7 +112,7 @@ double reduced_cost(const State& s, const std::vector<double>& y, int col) {
 }
 
 /// Recomputes basic variable values from scratch:
-/// x_B = Binv * (b - A_N x_N).
+/// x_B = B^-1 * (b - A_N x_N).
 void recompute_basics(State& s) {
   std::vector<double> rhs = s.b;
   for (int j = 0; j < s.n; ++j) {
@@ -142,11 +121,18 @@ void recompute_basics(State& s) {
     if (v == 0.0) continue;
     for (const auto& [r, a] : s.cols[j]) rhs[r] -= a * v;
   }
-  for (int i = 0; i < s.m; ++i) {
-    double v = 0.0;
-    for (int j = 0; j < s.m; ++j) v += s.binv_at(i, j) * rhs[j];
-    s.value[s.basis[i]] = v;
-  }
+  std::vector<double> xb;
+  s.rep->ftran_dense(rhs, xb);
+  for (int i = 0; i < s.m; ++i) s.value[s.basis[i]] = xb[i];
+}
+
+/// Refactorizes the current basis and refreshes the basic values (drift from
+/// the incremental updates is wiped at the same time). Returns false when
+/// the basis is numerically singular.
+bool refactorize(State& s) {
+  if (!s.rep->factorize(s.cols, s.basis)) return false;
+  recompute_basics(s);
+  return true;
 }
 
 /// Candidate list size for partial pricing: a full pricing pass keeps the
@@ -155,15 +141,14 @@ void recompute_basics(State& s) {
 /// pass, so the candidate list changes pivot order, never the answer.
 constexpr int kCandidateListSize = 32;
 
-/// One bounded-variable simplex phase on the current `cost` vector.
+/// One bounded-variable primal simplex phase on the current `cost` vector.
 /// Returns kOptimal when no improving column exists.
 Status iterate(State& s, int& iterations, int max_iterations) {
   const int m = s.m;
   std::vector<double> y(m), w(m);
-  std::vector<int> wnz, eta_nz, cand;
+  std::vector<int> wnz, cand;
   std::vector<std::pair<double, int>> scored;
   wnz.reserve(m);
-  eta_nz.reserve(m);
   cand.reserve(kCandidateListSize);
   int stall = 0;  // iterations since last objective improvement (Bland trigger)
 
@@ -185,7 +170,7 @@ Status iterate(State& s, int& iterations, int max_iterations) {
 
   while (iterations < max_iterations) {
     ++iterations;
-    btran(s, y);
+    btran_cost(s, y);
 
     // Pricing: pick the entering column. Dantzig rule over the candidate
     // list normally (refilled by a full n-column pass when it runs dry);
@@ -252,7 +237,7 @@ Status iterate(State& s, int& iterations, int max_iterations) {
     // variable i changes by -direction * w[i] * t. Rows with w[i] == 0 can
     // never trip the tolerance checks, so only w's nonzeros are scanned.
     double t_max = s.hi[enter] - s.lo[enter];  // bound-flip limit
-    int leave = -1;         // row index of the leaving basic variable
+    int leave = -1;         // slot index of the leaving basic variable
     int leave_to = 0;       // -1: leaves to lower bound, +1: leaves to upper
     for (const int i : wnz) {
       const double wi = direction * w[i];
@@ -295,33 +280,138 @@ Status iterate(State& s, int& iterations, int max_iterations) {
       continue;
     }
 
-    // Basis change: `enter` becomes basic in row `leave`.
+    // Basis change: `enter` becomes basic in slot `leave`.
     const int out = s.basis[leave];
     s.where[out] = leave_to < 0 ? At::kLower : At::kUpper;
     s.value[out] = leave_to < 0 ? s.lo[out] : s.hi[out];
     s.where[enter] = At::kBasic;
     s.basis[leave] = enter;
 
-    // Update the dense basis inverse: standard eta update with pivot
-    // w[leave]. Only rows with w[i] != 0 change, and within the pivot row
-    // only its nonzero columns contribute, so both loops run sparse.
-    const double piv = w[leave];
-    if (std::abs(piv) < 1e-12) return Status::kIterationLimit;  // numeric failure
-    double* __restrict binv = s.binv.data();
-    double* __restrict lrow = binv + static_cast<std::size_t>(leave) * m;
-    for (int j = 0; j < m; ++j) lrow[j] /= piv;
-    eta_nz.clear();
-    for (int j = 0; j < m; ++j) {
-      if (lrow[j] != 0.0) eta_nz.push_back(j);
-    }
-    for (const int i : wnz) {
-      if (i == leave) continue;
-      const double f = w[i];
-      double* __restrict row = binv + static_cast<std::size_t>(i) * m;
-      for (const int j : eta_nz) row[j] -= f * lrow[j];
+    switch (s.rep->update(leave, w, wnz)) {
+      case BasisRep::Update::kOk:
+        break;
+      case BasisRep::Update::kRefactorize:
+        if (!refactorize(s)) return Status::kIterationLimit;
+        break;
+      case BasisRep::Update::kSingular:
+        // The ratio test guarantees |w[leave]| > tol, so this only fires on
+        // severe numerical trouble; a fresh factorization either recovers
+        // or confirms the failure.
+        if (!refactorize(s)) return Status::kIterationLimit;
+        break;
     }
   }
   return Status::kIterationLimit;
+}
+
+/// Bounded-variable dual simplex: drives an (infeasible-primal,
+/// feasible-dual) basis back to primal feasibility. This is the warm-start
+/// engine: after the MILP branch-and-bound fixes one binary's bounds, the
+/// parent's optimal basis stays dual feasible and a handful of these pivots
+/// replaces a full two-phase resolve. Leaving variable: the basic with the
+/// largest bound violation (ties to the lowest slot); entering variable: the
+/// bounded dual ratio test (ties to the lowest column), which preserves dual
+/// feasibility.
+Status dual_iterate(State& s, int& iterations, int max_iterations,
+                    int max_dual_pivots, int& dual_pivots) {
+  const int m = s.m;
+  std::vector<double> y(m), w(m), rho(m), er(m);
+  std::vector<int> wnz;
+  wnz.reserve(m);
+  int local = 0;
+
+  while (true) {
+    // Leaving slot: the most infeasible basic variable.
+    int r = -1;
+    int dir = 0;  // +1: below lower bound, -1: above upper bound
+    double worst = s.tol;
+    for (int i = 0; i < m; ++i) {
+      const int bi = s.basis[i];
+      const double v = s.value[bi];
+      const double below = s.lo[bi] - v;
+      const double above = v - s.hi[bi];
+      if (below > worst) {
+        worst = below;
+        r = i;
+        dir = +1;
+      }
+      if (above > worst) {
+        worst = above;
+        r = i;
+        dir = -1;
+      }
+    }
+    if (r < 0) return Status::kOptimal;  // primal feasible again
+
+    if (iterations >= max_iterations || local >= max_dual_pivots) {
+      return Status::kIterationLimit;
+    }
+    ++iterations;
+    ++dual_pivots;
+    ++local;
+
+    btran_cost(s, y);
+    std::fill(er.begin(), er.end(), 0.0);
+    er[r] = 1.0;
+    s.rep->btran(er, rho);  // rho^T = e_r^T B^-1
+
+    // Bounded dual ratio test over the pivot row alpha_j = rho . a_j.
+    int enter = -1;
+    double best_ratio = 0.0;
+    for (int j = 0; j < s.n; ++j) {
+      if (s.where[j] == At::kBasic || s.lo[j] == s.hi[j]) continue;
+      double alpha = 0.0;
+      for (const auto& [rr, a] : s.cols[j]) alpha += rho[rr] * a;
+      const double abar = dir * alpha;
+      double ratio;
+      if (s.where[j] == At::kLower && abar < -s.tol) {
+        ratio = std::max(reduced_cost(s, y, j), 0.0) / (-abar);
+      } else if (s.where[j] == At::kUpper && abar > s.tol) {
+        ratio = std::max(-reduced_cost(s, y, j), 0.0) / abar;
+      } else {
+        continue;
+      }
+      if (enter < 0 || ratio < best_ratio ||
+          (ratio == best_ratio && j < enter)) {
+        enter = j;
+        best_ratio = ratio;
+      }
+    }
+    if (enter < 0) return Status::kInfeasible;  // dual unbounded
+
+    ftran(s, enter, w, wnz);
+    const double piv = w[r];
+    if (std::abs(piv) < s.tol) {
+      // The row computed via rho disagrees with the ftran column: the
+      // representation has drifted. Refactorize and retry the violation.
+      if (!refactorize(s)) return Status::kIterationLimit;
+      continue;
+    }
+
+    // Step: the leaving variable travels exactly to its violated bound.
+    const int p = s.basis[r];
+    const double target = dir > 0 ? s.lo[p] : s.hi[p];
+    const double t = (target - s.value[p]) / (-piv);  // entering step
+    if (t != 0.0) {
+      for (const int i : wnz) {
+        s.value[s.basis[i]] -= w[i] * t;
+      }
+      s.value[enter] += t;
+    }
+    s.where[p] = dir > 0 ? At::kLower : At::kUpper;
+    s.value[p] = target;
+    s.where[enter] = At::kBasic;
+    s.basis[r] = enter;
+
+    switch (s.rep->update(r, w, wnz)) {
+      case BasisRep::Update::kOk:
+        break;
+      case BasisRep::Update::kRefactorize:
+      case BasisRep::Update::kSingular:
+        if (!refactorize(s)) return Status::kIterationLimit;
+        break;
+    }
+  }
 }
 
 double objective_value(const State& s, const std::vector<double>& cost) {
@@ -330,8 +420,19 @@ double objective_value(const State& s, const std::vector<double>& cost) {
   return v;
 }
 
-Solution solve_impl(const Problem& p, const SolveOptions& options) {
-  State s;
+std::unique_ptr<BasisRep> make_rep(Kernel kernel, int m) {
+  return kernel == Kernel::kDenseInverse ? make_dense_basis(m)
+                                         : make_sparse_lu_basis(m);
+}
+
+/// Builds the internal column space (structurals, slacks, one artificial per
+/// row) and the crash basis: every inequality row whose slack starts
+/// feasible gets its slack basic; only the remaining rows (equalities and
+/// inequality rows violated by the nonbasic start) receive a basic
+/// artificial. Fewer basic artificials means phase 1 starts closer to
+/// feasibility — on the ring-construction models only the 2n assignment
+/// equalities need artificials, not the O(n^2) two-cycle rows.
+void build_state(const Problem& p, const SolveOptions& options, State& s) {
   s.m = p.num_constraints();
   s.n_struct = p.num_variables();
   s.tol = options.tolerance;
@@ -347,17 +448,17 @@ Solution solve_impl(const Problem& p, const SolveOptions& options) {
   }
 
   // Slack columns turn every inequality into an equality.
+  std::vector<int> slack_col(s.m, -1);
   for (int i = 0; i < s.m; ++i) {
     const Sense sense = p.senses()[i];
     if (sense == Sense::kEq) continue;
+    slack_col[i] = static_cast<int>(s.cols.size());
     s.cols.push_back({{i, sense == Sense::kLe ? 1.0 : -1.0}});
     s.lo.push_back(0.0);
     s.hi.push_back(kInfinity);
     s.real_cost.push_back(0.0);
   }
 
-  // Artificial columns provide the initial identity basis. Their sign is
-  // chosen after nonbasic values are fixed so each starts feasible (>= 0).
   s.first_artificial = static_cast<int>(s.cols.size());
   s.n = s.first_artificial + s.m;
 
@@ -367,7 +468,7 @@ Solution solve_impl(const Problem& p, const SolveOptions& options) {
   s.hi.resize(s.n, kInfinity);
   s.real_cost.resize(s.n, 0.0);
 
-  // Nonbasic structural/slack variables start at the finite bound closest to
+  // Nonbasic structural variables start at the finite bound closest to
   // zero (variables with only infinite upper bounds start at their lower).
   for (int j = 0; j < s.first_artificial; ++j) {
     if (s.lo[j] == -kInfinity && s.hi[j] == kInfinity) {
@@ -383,57 +484,64 @@ Solution solve_impl(const Problem& p, const SolveOptions& options) {
     }
   }
 
-  // Residual of each row given the nonbasic values decides artificial signs.
+  // Residual of each row given the nonbasic structural values decides the
+  // crash: slack basic where that is feasible, signed artificial elsewhere.
   std::vector<double> residual = s.b;
   for (int j = 0; j < s.first_artificial; ++j) {
     if (s.value[j] == 0.0) continue;
     for (const auto& [r, a] : s.cols[j]) residual[r] -= a * s.value[j];
   }
   s.basis.resize(s.m);
+  s.need_phase1 = false;
   for (int i = 0; i < s.m; ++i) {
-    const double sign = residual[i] >= 0.0 ? 1.0 : -1.0;
-    s.cols.push_back({{i, sign}});
-    const int col = s.first_artificial + i;
-    s.basis[i] = col;
-    s.where[col] = At::kBasic;
-    s.value[col] = std::abs(residual[i]);
+    const int art = s.first_artificial + i;
+    const int sl = slack_col[i];
+    const double slack_sign = p.senses()[i] == Sense::kLe ? 1.0 : -1.0;
+    const double slack_value = residual[i] * slack_sign;  // slack coef is ±1
+    if (sl >= 0 && slack_value >= 0.0) {
+      // Feasible slack: it carries the row, the artificial is fixed away.
+      s.basis[i] = sl;
+      s.where[sl] = At::kBasic;
+      s.value[sl] = slack_value;
+      s.cols.push_back({{i, 1.0}});
+      s.hi[art] = 0.0;  // never enters
+    } else {
+      const double sign = residual[i] >= 0.0 ? 1.0 : -1.0;
+      s.cols.push_back({{i, sign}});
+      s.basis[i] = art;
+      s.where[art] = At::kBasic;
+      s.value[art] = std::abs(residual[i]);
+      s.need_phase1 = s.need_phase1 || s.value[art] != 0.0 ||
+                      p.senses()[i] == Sense::kEq;
+    }
   }
 
-  // Identity basis inverse, scaled by artificial signs.
-  s.binv.assign(static_cast<std::size_t>(s.m) * s.m, 0.0);
-  for (int i = 0; i < s.m; ++i) {
-    s.binv_at(i, i) = residual[i] >= 0.0 ? 1.0 : -1.0;
-  }
+  s.rep = make_rep(options.kernel, s.m);
+}
 
-  Solution out;
-
-  // Phase 1: minimize the sum of artificials.
-  s.cost.assign(s.n, 0.0);
-  for (int i = 0; i < s.m; ++i) s.cost[s.first_artificial + i] = 1.0;
-  Status st = iterate(s, out.iterations, options.max_iterations);
-  if (st == Status::kIterationLimit) {
-    out.status = st;
-    return out;
-  }
-  const double infeas = objective_value(s, s.cost);
-  if (infeas > 1e-6) {
-    out.status = Status::kInfeasible;
-    return out;
-  }
-
-  // Phase 2: fix artificials at zero and optimize the real objective.
+/// Fixes every artificial at zero (phase-2 semantics).
+void fix_artificials(State& s) {
   for (int i = 0; i < s.m; ++i) {
     const int col = s.first_artificial + i;
     s.lo[col] = 0.0;
     s.hi[col] = 0.0;
     if (s.where[col] != At::kBasic) s.value[col] = 0.0;
   }
-  s.cost = s.real_cost;
-  recompute_basics(s);
-  st = iterate(s, out.iterations, options.max_iterations);
-  out.status = st == Status::kUnbounded ? Status::kUnbounded : st;
-  if (st != Status::kOptimal) return out;
+}
 
+void collect_stats(const State& s, Solution& out) {
+  const FactorStats& fs = s.rep->stats;
+  out.stats.refactorizations +=
+      static_cast<int>(std::max<long long>(fs.factorizations - 1, 0));
+  out.stats.eta_nnz += fs.eta_nnz;
+  out.stats.ftran_calls += fs.ftran_calls;
+  out.stats.ftran_nnz += fs.ftran_nnz;
+}
+
+/// Extracts the optimal solution, duals, reduced costs, and (optionally) the
+/// basis snapshot from an optimal state.
+void finalize_solution(State& s, const Problem& p, const SolveOptions& options,
+                       Solution& out) {
   out.status = Status::kOptimal;
   out.x.assign(s.n_struct, 0.0);
   for (int j = 0; j < s.n_struct; ++j) out.x[j] = s.value[j];
@@ -444,7 +552,7 @@ Solution solve_impl(const Problem& p, const SolveOptions& options) {
   // Duals and reduced costs from the optimal basis, flipped back into the
   // caller's objective sense (internally everything is a minimization).
   std::vector<double> y(s.m);
-  btran(s, y);
+  btran_cost(s, y);
   const double sense = p.maximize() ? -1.0 : 1.0;
   out.duals.resize(s.m);
   for (int i = 0; i < s.m; ++i) out.duals[i] = sense * y[i];
@@ -452,7 +560,172 @@ Solution solve_impl(const Problem& p, const SolveOptions& options) {
   for (int j = 0; j < s.n_struct; ++j) {
     out.reduced_costs[j] = sense * reduced_cost(s, y, j);
   }
+
+  if (options.export_basis != nullptr) {
+    WarmBasis& wb = *options.export_basis;
+    wb.rows = s.m;
+    wb.structurals = s.n_struct;
+    wb.columns = s.n;
+    wb.basis = s.basis;
+    wb.at_upper.assign(s.n, 0);
+    for (int j = 0; j < s.n; ++j) {
+      if (s.where[j] == At::kUpper) wb.at_upper[j] = 1;
+    }
+  }
+}
+
+Solution solve_cold(const Problem& p, const SolveOptions& options,
+                    SolveStats carry) {
+  State s;
+  build_state(p, options, s);
+  Solution out;
+  out.stats = carry;
+
+  if (!s.rep->factorize(s.cols, s.basis)) {
+    out.status = Status::kIterationLimit;  // crash basis must factorize
+    collect_stats(s, out);
+    return out;
+  }
+
+  if (s.need_phase1) {
+    // Phase 1: minimize the sum of artificials.
+    s.cost.assign(s.n, 0.0);
+    for (int i = 0; i < s.m; ++i) s.cost[s.first_artificial + i] = 1.0;
+    Status st = iterate(s, out.iterations, options.max_iterations);
+    if (st == Status::kIterationLimit) {
+      out.status = st;
+      collect_stats(s, out);
+      return out;
+    }
+    const double infeas = objective_value(s, s.cost);
+    if (infeas > 1e-6) {
+      out.status = Status::kInfeasible;
+      collect_stats(s, out);
+      return out;
+    }
+  }
+
+  // Phase 2: fix artificials at zero and optimize the real objective.
+  fix_artificials(s);
+  s.cost = s.real_cost;
+  recompute_basics(s);
+  Status st = iterate(s, out.iterations, options.max_iterations);
+  collect_stats(s, out);
+  if (st != Status::kOptimal) {
+    out.status = st == Status::kUnbounded ? Status::kUnbounded : st;
+    return out;
+  }
+  finalize_solution(s, p, options, out);
   return out;
+}
+
+/// Warm-started solve: restore the caller's basis, refactorize, and run the
+/// dual simplex until primal feasibility, then the primal pricing loop as an
+/// optimality check. Returns false when the warm start cannot be used (shape
+/// mismatch, singular basis, or iteration trouble) — the caller falls back
+/// to the cold path, which computes the identical answer.
+///
+/// The problem may have grown rows since the basis was exported (lazy cuts
+/// are append-only): each new row enters the basis with its own slack
+/// (artificial for equalities). That keeps the basis block lower-triangular
+/// — the new rows' duals are zero, so every old reduced cost is unchanged
+/// and the extended basis is still dual feasible; only the new basic slacks
+/// can violate their bounds, which is exactly what the dual simplex repairs.
+bool solve_warm(const Problem& p, const SolveOptions& options,
+                const WarmBasis& warm, Solution& out) {
+  State s;
+  build_state(p, options, s);
+  if (warm.structurals != s.n_struct || warm.rows > s.m) return false;
+
+  // The snapshot's internal layout: structurals, then one slack per non-Eq
+  // row (in row order), then one artificial per row. Rows are append-only,
+  // so structural and slack indices carry over unchanged and only the
+  // artificial block shifts.
+  const int old_rows = warm.rows;
+  int old_slacks = 0;
+  for (int i = 0; i < old_rows; ++i) {
+    if (p.senses()[i] != Sense::kEq) ++old_slacks;
+  }
+  if (warm.columns != s.n_struct + old_slacks + old_rows ||
+      static_cast<int>(warm.basis.size()) != old_rows ||
+      static_cast<int>(warm.at_upper.size()) != warm.columns) {
+    return false;
+  }
+  const int old_first_artificial = s.n_struct + old_slacks;
+  auto remap = [&](int j) {
+    return j < old_first_artificial ? j
+                                    : s.first_artificial +
+                                          (j - old_first_artificial);
+  };
+
+  // Restore the nonbasic resting bounds, then the basis on top.
+  fix_artificials(s);
+  for (int j = 0; j < s.n; ++j) {
+    s.where[j] = s.lo[j] == -kInfinity ? At::kUpper : At::kLower;
+    s.value[j] = s.where[j] == At::kUpper ? s.hi[j] : s.lo[j];
+  }
+  for (int jo = 0; jo < warm.columns; ++jo) {
+    if (warm.at_upper[jo] == 0) continue;
+    const int j = remap(jo);
+    if (s.hi[j] == kInfinity) continue;
+    s.where[j] = At::kUpper;
+    s.value[j] = s.hi[j];
+  }
+  for (int i = 0; i < old_rows; ++i) {
+    const int col = remap(warm.basis[i]);
+    if (col < 0 || col >= s.n) return false;
+    s.basis[i] = col;
+    s.where[col] = At::kBasic;
+  }
+  int slack_seen = old_slacks;
+  for (int i = old_rows; i < s.m; ++i) {
+    // New row: its slack (by construction the next one in the slack block)
+    // or, for an equality, its artificial becomes basic.
+    const int col = p.senses()[i] == Sense::kEq ? s.first_artificial + i
+                                                : s.n_struct + slack_seen;
+    if (p.senses()[i] != Sense::kEq) ++slack_seen;
+    s.basis[i] = col;
+    s.where[col] = At::kBasic;
+  }
+  s.cost = s.real_cost;
+
+  if (!s.rep->factorize(s.cols, s.basis)) return false;
+  recompute_basics(s);
+
+  out.stats.warm = true;
+  const int dual_cap = 200 + 2 * s.m;
+  Status st = dual_iterate(s, out.iterations, options.max_iterations, dual_cap,
+                           out.stats.dual_pivots);
+  if (st == Status::kInfeasible) {
+    out.status = Status::kInfeasible;
+    collect_stats(s, out);
+    return true;
+  }
+  if (st != Status::kOptimal) return false;  // fall back to the cold path
+
+  st = iterate(s, out.iterations, options.max_iterations);
+  collect_stats(s, out);
+  if (st == Status::kUnbounded) {
+    out.status = Status::kUnbounded;
+    return true;
+  }
+  if (st != Status::kOptimal) return false;
+  finalize_solution(s, p, options, out);
+  return true;
+}
+
+Solution solve_impl(const Problem& p, const SolveOptions& options) {
+  if (options.warm_start != nullptr && options.warm_start->valid()) {
+    Solution out;
+    if (solve_warm(p, options, *options.warm_start, out)) return out;
+    // The failed attempt's kernel work still happened; carry its counters
+    // into the cold solve so the metrics stay truthful.
+    SolveStats carry = out.stats;
+    carry.warm = false;
+    carry.dual_pivots = 0;
+    return solve_cold(p, options, carry);
+  }
+  return solve_cold(p, options, {});
 }
 
 }  // namespace
@@ -460,13 +733,24 @@ Solution solve_impl(const Problem& p, const SolveOptions& options) {
 Solution solve(const Problem& p, const SolveOptions& options) {
   obs::Span span("lp.solve");
   Solution out = solve_impl(p, options);
-  if (obs::enabled() && options.record_metrics) {
-    obs::Registry& reg = obs::registry();
-    reg.counter("lp.solves").add();
-    reg.counter("lp.pivots").add(out.iterations);
-    reg.histogram("lp.iterations").observe(out.iterations);
-  }
+  out.stats.rows = p.num_constraints();
+  if (obs::enabled() && options.record_metrics) record_solve_metrics(out);
   return out;
+}
+
+void record_solve_metrics(const Solution& out) {
+  if (!obs::enabled()) return;
+  obs::Registry& reg = obs::registry();
+  reg.counter("lp.solves").add();
+  reg.counter("lp.pivots").add(out.iterations);
+  reg.histogram("lp.iterations").observe(out.iterations);
+  reg.counter("lp.refactorizations").add(out.stats.refactorizations);
+  reg.counter("lp.eta_nnz").add(out.stats.eta_nnz);
+  if (out.stats.ftran_calls > 0 && out.stats.rows > 0) {
+    reg.histogram("lp.ftran_density")
+        .observe(static_cast<double>(out.stats.ftran_nnz) /
+                 (static_cast<double>(out.stats.ftran_calls) * out.stats.rows));
+  }
 }
 
 }  // namespace xring::lp

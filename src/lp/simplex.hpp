@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -71,6 +72,43 @@ class Problem {
   bool maximize_ = false;
 };
 
+/// Basis representation used by the solver. kSparseLu (the default) keeps a
+/// Markowitz-ordered sparse LU of the basis with product-form eta updates
+/// and periodic refactorization — memory and per-pivot cost scale with
+/// fill-in. kDenseInverse is the original explicit m*m inverse, retained as
+/// a differential-testing reference (O(m^2) memory; unusable at the 64-128
+/// node ring-construction sizes).
+enum class Kernel { kSparseLu, kDenseInverse };
+
+/// An opaque snapshot of an optimal simplex basis, exported via
+/// SolveOptions::export_basis and fed back through SolveOptions::warm_start.
+/// Valid only for a problem with the same constraint rows, senses, and
+/// variable count as the one that produced it (bounds may differ — that is
+/// the point: the MILP branch-and-bound re-solves each child node from the
+/// parent's basis after a single bound change with a handful of dual-simplex
+/// pivots instead of a full two-phase resolve).
+struct WarmBasis {
+  int rows = 0;         ///< constraint count of the producing problem
+  int structurals = 0;  ///< structural variable count
+  int columns = 0;      ///< internal column count (struct + slack + artificial)
+  std::vector<int> basis;           ///< slot -> internal column
+  std::vector<std::uint8_t> at_upper;  ///< nonbasic resting bound per column
+  bool valid() const { return !basis.empty(); }
+};
+
+/// Per-solve kernel statistics, surfaced as obs metrics by `solve` (and by
+/// the MILP when it consumes a speculative solve, so the counters replay the
+/// serial search at every thread count).
+struct SolveStats {
+  int refactorizations = 0;  ///< basis factorizations beyond the initial one
+  long long eta_nnz = 0;     ///< nonzeros appended to the eta file
+  long long ftran_calls = 0;
+  long long ftran_nnz = 0;   ///< sum of ftran result nonzeros
+  int dual_pivots = 0;       ///< dual-simplex pivots (warm starts only)
+  bool warm = false;         ///< solve started from SolveOptions::warm_start
+  int rows = 0;              ///< constraint rows (denominator of ftran density)
+};
+
 struct SolveOptions {
   int max_iterations = 200000;
   double tolerance = 1e-8;
@@ -79,6 +117,16 @@ struct SolveOptions {
   /// speculative solves so those counters stay identical at every thread
   /// count: the search records a speculated solve only when it consumes it.
   bool record_metrics = true;
+  Kernel kernel = Kernel::kSparseLu;
+  /// Optional basis to warm-start from (see WarmBasis). Ignored when its
+  /// dimensions do not match the problem. A warm solve skips phase 1
+  /// entirely: it refactorizes the given basis and runs the bounded-variable
+  /// dual simplex until primal feasibility is restored, then verifies
+  /// optimality with the primal pricing loop. Falls back to a cold solve on
+  /// any numerical trouble — the answer is the same either way.
+  const WarmBasis* warm_start = nullptr;
+  /// When non-null, receives the optimal basis (only filled on kOptimal).
+  WarmBasis* export_basis = nullptr;
 };
 
 struct Solution {
@@ -94,10 +142,19 @@ struct Solution {
   /// Reduced cost per structural variable at the optimum (objective sense
   /// of the caller).
   std::vector<double> reduced_costs;
-  int iterations = 0;
+  int iterations = 0;  ///< total simplex pivot loop passes (primal + dual)
+  SolveStats stats;
 };
 
-/// Solves the LP with a two-phase revised bounded-variable primal simplex.
+/// Solves the LP with a revised bounded-variable simplex: two-phase primal
+/// from a slack/artificial crash basis, or dual simplex from
+/// SolveOptions::warm_start when one is supplied.
 Solution solve(const Problem& problem, const SolveOptions& options = {});
+
+/// Records the `lp.*` obs metrics for one completed solve. `solve` calls
+/// this when options.record_metrics is set; the MILP calls it when it
+/// consumes a speculatively pre-solved node so the counters are identical
+/// at every thread count.
+void record_solve_metrics(const Solution& solution);
 
 }  // namespace xring::lp

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace xring::mapping {
 
 Mapping ornoc_assignment(const ring::Tour& tour,
                          const netlist::Traffic& traffic,
                          int max_wavelengths) {
+  obs::Span span("baseline.mapping");
   Mapping m;
   m.routes.assign(traffic.size(), SignalRoute{});
 

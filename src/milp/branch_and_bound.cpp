@@ -36,6 +36,11 @@ struct Node {
   double bound;  // parent's LP objective, in minimization sense
   int depth = 0;
   long seq = 0;  // creation order; total-order tie-breaker and cache key
+  /// The parent's optimal basis: the child's relaxation differs by one bound
+  /// change, so the LP warm-starts from it with a few dual pivots. Shared
+  /// (immutable) between siblings and any speculative pre-solve of this
+  /// node, which keeps speculated and inline solves bit-identical.
+  std::shared_ptr<const lp::WarmBasis> warm;
 };
 
 /// Best-first order: lowest bound, then deepest (dive), then creation order.
@@ -57,6 +62,14 @@ struct SpecEntry {
   int rows = 0;
   bool ready = false;
   lp::Solution sol;
+  std::shared_ptr<const lp::WarmBasis> basis;  // exported optimal basis
+};
+
+/// A node relaxation plus the optimal basis it exported (empty unless the
+/// solve ended kOptimal); children warm-start from that basis.
+struct NodeSolve {
+  lp::Solution sol;
+  std::shared_ptr<const lp::WarmBasis> basis;
 };
 
 /// LP problem mirroring the MILP; rows grow as lazy constraints arrive.
@@ -228,7 +241,7 @@ MipResult solve(const Model& model, const BnbOptions& options) {
       if (ce != cache.end() && (ce->second.rows == rows_now || !ce->second.ready)) {
         continue;  // fresh, or still in flight (it will re-check on finish)
       }
-      cache[it->seq] = SpecEntry{rows_now, false, {}};
+      cache[it->seq] = SpecEntry{rows_now, false, {}, {}};
       --budget;
       spec_group.run([&spec_mu, &spec_cv, &cache, snap = snapshot,
                       node = *it, rows_now] {
@@ -239,13 +252,19 @@ MipResult solve(const Model& model, const BnbOptions& options) {
         // No metric recording here: the integration loop records consumed
         // speculative solves itself, so lp.* counters replay the serial
         // search exactly (discarded speculation leaves no counter trace).
+        // The warm basis is the same one the inline path would use, so the
+        // speculated solution is bit-identical to an inline solve.
         lp::SolveOptions quiet;
         quiet.record_metrics = false;
+        quiet.warm_start = node.warm.get();
+        auto basis = std::make_shared<lp::WarmBasis>();
+        quiet.export_basis = basis.get();
         lp::Solution sol = lp::solve(local, quiet);
         std::lock_guard<std::mutex> lk2(spec_mu);
         auto e = cache.find(node.seq);
         if (e != cache.end() && e->second.rows == rows_now && !e->second.ready) {
           e->second.sol = std::move(sol);
+          e->second.basis = std::move(basis);
           e->second.ready = true;
         }
         spec_cv.notify_all();
@@ -257,7 +276,7 @@ MipResult solve(const Model& model, const BnbOptions& options) {
   // The node relaxation the serial code would compute: taken from the
   // speculation cache when a fresh entry exists (waiting for an in-flight
   // one, helping the pool meanwhile), solved inline otherwise.
-  auto solve_node = [&](const Node& node) -> lp::Solution {
+  auto solve_node = [&](const Node& node) -> NodeSolve {
     if (speculative) {
       const int rows_now = relaxation.num_constraints();
       std::unique_lock<std::mutex> lk(spec_mu);
@@ -281,19 +300,16 @@ MipResult solve(const Model& model, const BnbOptions& options) {
           if (it == cache.end()) break;
         }
         if (it != cache.end() && it->second.ready) {
-          lp::Solution sol = std::move(it->second.sol);
+          NodeSolve ns{std::move(it->second.sol), std::move(it->second.basis)};
           cache.erase(it);
           lk.unlock();
           if (obs::enabled()) {
-            obs::Registry& reg = obs::registry();
-            reg.counter("milp.spec_hits").add();
+            obs::registry().counter("milp.spec_hits").add();
             // Book the consumed solve as if it had run inline, keeping the
             // lp.* counters bit-identical to the serial search.
-            reg.counter("lp.solves").add();
-            reg.counter("lp.pivots").add(sol.iterations);
-            reg.histogram("lp.iterations").observe(sol.iterations);
+            lp::record_solve_metrics(ns.sol);
           }
-          return sol;
+          return ns;
         }
       }
       lk.unlock();
@@ -301,12 +317,16 @@ MipResult solve(const Model& model, const BnbOptions& options) {
     for (const auto& [var, val] : node.fixings) {
       relaxation.set_bounds(var, val, val);
     }
-    lp::Solution rel = lp::solve(relaxation);
+    lp::SolveOptions opt;
+    opt.warm_start = node.warm.get();
+    auto basis = std::make_shared<lp::WarmBasis>();
+    opt.export_basis = basis.get();
+    NodeSolve ns{lp::solve(relaxation, opt), std::move(basis)};
     // Restore bounds immediately; the LP problem object is shared.
     for (const auto& [var, val] : node.fixings) {
       relaxation.set_bounds(var, saved_lo[var], saved_hi[var]);
     }
-    return rel;
+    return ns;
   };
 
   bool hit_limit = false;
@@ -332,7 +352,18 @@ MipResult solve(const Model& model, const BnbOptions& options) {
     }
     ++result.nodes;
 
-    lp::Solution rel = solve_node(node);
+    NodeSolve solved = solve_node(node);
+    lp::Solution& rel = solved.sol;
+    if (obs::enabled()) {
+      // Booked at consumption time (not when a speculative task runs), so
+      // the counters replay the serial search at every thread count.
+      if (rel.stats.warm) {
+        obs::registry().counter("milp.warm_pivots").add(rel.stats.dual_pivots);
+      } else {
+        obs::registry().counter("milp.cold_solves").add();
+      }
+    }
+    const bool basis_usable = solved.basis && solved.basis->valid();
 
     if (rel.status == lp::Status::kInfeasible) continue;
     if (rel.status == lp::Status::kUnbounded) {
@@ -365,12 +396,18 @@ MipResult solve(const Model& model, const BnbOptions& options) {
         append_rows(relaxation, cuts);
         result.lazy_constraints_added += static_cast<int>(cuts.size());
         refresh_snapshot();  // cached pre-solves are now stale (row count)
-        // Re-queue the same node: its LP now sees the new rows.
+        // Re-queue the same node: its LP now sees the new rows. It restarts
+        // from the basis this solve just exported — the LP extends it over
+        // the appended rows and repairs it with dual pivots.
+        if (basis_usable) node.warm = solved.basis;
         push(node);
         continue;
       }
       incumbent = rel.x;
-      incumbent_obj = bound;
+      // Recompute the incumbent objective from the rounded point rather
+      // than trusting the LP bound: the sum over integral values is exact
+      // and identical no matter which kernel (or warm path) produced x.
+      incumbent_obj = sign * objective_of(model, incumbent);
       shared_incumbent.store(incumbent_obj, std::memory_order_relaxed);
       note_incumbent(incumbent_obj);
       continue;
@@ -394,6 +431,7 @@ MipResult solve(const Model& model, const BnbOptions& options) {
       child.fixings.emplace_back(branch_var, val);
       child.bound = bound;
       child.depth = node.depth + 1;
+      if (basis_usable) child.warm = solved.basis;
       push(std::move(child));
     }
   }

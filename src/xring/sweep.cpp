@@ -55,6 +55,15 @@ SweepResult sweep(const SynthesisAtWl& synthesize, SweepGoal goal, int min_wl,
 
   bool have = false;
   for (int i = 0; i < count; ++i) {
+    if (!results[static_cast<std::size_t>(i)].has_value()) {
+      // A setting produced no result (the synthesize callback defaulted or
+      // threw into a swallowing wrapper); skip it rather than dereference
+      // an empty optional.
+      obs::diagnose(obs::Severity::kWarning, "sweep.missing_result",
+                    "sweep setting produced no result; skipped",
+                    {{"wavelengths", std::to_string(min_wl + i)}});
+      continue;
+    }
     SynthesisResult& r = *results[static_cast<std::size_t>(i)];
     out.seconds += r.seconds;
     ++out.settings_tried;

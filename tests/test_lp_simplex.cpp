@@ -159,6 +159,65 @@ TEST(Simplex, AccumulatesDuplicateTerms) {
   EXPECT_NEAR(s.x[x], 2.0, 1e-7);
 }
 
+TEST(Simplex, DuplicateTermsCancelToZero) {
+  // +1 then -1 on the same (row, var) accumulates to a zero coefficient:
+  // the row must not restrict x at all.
+  Problem p;
+  p.set_maximize(true);
+  const int x = p.add_variable(0, 7, 1.0);
+  const int row = p.add_constraint(Sense::kLe, 1.0);
+  p.add_term(row, x, 1.0);
+  p.add_term(row, x, -1.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.x[x], 7.0, 1e-7);
+}
+
+TEST(Simplex, BealeCyclingExampleTerminates) {
+  // Beale's classic cycling LP: the textbook Dantzig rule loops forever on
+  // this degenerate vertex; the stall-triggered switch to Bland's rule must
+  // terminate it at the optimum -0.05 (x1 = 1/25, x3 = 1).
+  Problem p;
+  const int x1 = p.add_variable(0, kInfinity, -0.75);
+  const int x2 = p.add_variable(0, kInfinity, 150.0);
+  const int x3 = p.add_variable(0, kInfinity, -0.02);
+  const int x4 = p.add_variable(0, kInfinity, 6.0);
+  p.add_constraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                   Sense::kLe, 0.0);
+  p.add_constraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                   Sense::kLe, 0.0);
+  p.add_constraint({{x3, 1.0}}, Sense::kLe, 1.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, -0.05, 1e-9);
+}
+
+TEST(Simplex, IllConditionedChainForcesRefactorization) {
+  // A geometric chain x_i <= 1.5 x_{i-1} over 90 variables: the optimal
+  // basis is triangular with entries spanning ~16 orders of magnitude, and
+  // reaching it takes more pivots than the eta-file refactorization
+  // interval — so the sparse kernel must refactorize at least once and
+  // still land on the exact optimum sum_{i} 1.5^i.
+  constexpr int n = 90;
+  Problem p;
+  p.set_maximize(true);
+  std::vector<int> x(n);
+  for (int i = 0; i < n; ++i) x[i] = p.add_variable(0, kInfinity, 1.0);
+  p.add_constraint({{x[0], 1.0}}, Sense::kLe, 1.0);
+  for (int i = 1; i < n; ++i) {
+    p.add_constraint({{x[i], 1.0}, {x[i - 1], -1.5}}, Sense::kLe, 0.0);
+  }
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  double expect = 0.0, v = 1.0;
+  for (int i = 0; i < n; ++i) {
+    expect += v;
+    v *= 1.5;
+  }
+  EXPECT_NEAR(s.objective / expect, 1.0, 1e-9);
+  EXPECT_GT(s.stats.refactorizations, 0);
+}
+
 /// Property sweep: transportation-style LPs with known optima. For a 1-D
 /// assignment relaxation the LP optimum equals the greedy matching cost.
 class SimplexAssignment : public ::testing::TestWithParam<int> {};

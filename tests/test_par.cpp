@@ -237,5 +237,46 @@ TEST(Determinism, BnbThreadsOptionOverridesGlobalPool) {
   }
 }
 
+TEST(Determinism, WarmStartCountersIdenticalAt128Threads) {
+  // The dual-simplex warm starts ride the node's shared basis snapshot, so
+  // a speculated child solve is bit-identical to an inline one — and the
+  // milp.warm_pivots / milp.cold_solves bookkeeping (done at consumption
+  // time) must replay the serial search at every thread count. The model
+  // forces a fractional root and several levels of branching.
+  milp::Model m;
+  m.set_maximize(true);
+  std::vector<int> x;
+  for (int i = 0; i < 8; ++i) x.push_back(m.add_binary(3.0 + i));
+  std::vector<std::pair<int, double>> knap;
+  for (int i = 0; i < 8; ++i) knap.emplace_back(x[i], 2.0 + (i % 3));
+  m.add_constraint(knap, milp::Sense::kLe, 11.0);
+  m.add_constraint({{x[0], 1.0}, {x[7], 1.0}}, milp::Sense::kLe, 1.0);
+
+  auto run = [&] {
+    obs::set_enabled(true);
+    obs::registry().reset();
+    const milp::MipResult r = milp::solve(m, milp::BnbOptions{});
+    auto flat = obs::registry().flatten();
+    obs::set_enabled(false);
+    return std::make_pair(r, flat);
+  };
+  expect_identical_at_1_2_8(run, [](const auto& a, const auto& b) {
+    ASSERT_EQ(a.first.status, b.first.status);
+    EXPECT_EQ(a.first.objective, b.first.objective);
+    EXPECT_EQ(a.first.nodes, b.first.nodes);
+    for (const char* key :
+         {"milp.nodes", "milp.warm_pivots", "milp.cold_solves", "lp.solves",
+          "lp.pivots", "milp.incumbents", "milp.incumbent.last"}) {
+      const auto ia = a.second.find(key), ib = b.second.find(key);
+      ASSERT_EQ(ia != a.second.end(), ib != b.second.end()) << key;
+      if (ia != a.second.end()) EXPECT_EQ(ia->second, ib->second) << key;
+    }
+    // Warm starts must actually fire on a multi-node search.
+    const auto wp = b.second.find("milp.warm_pivots");
+    ASSERT_NE(wp, b.second.end());
+    EXPECT_GT(wp->second, 0.0);
+  });
+}
+
 }  // namespace
 }  // namespace xring

@@ -33,6 +33,22 @@ echo "== bench regression gate =="
 "$build_dir/tools/bench_compare" "$repo/bench/baselines/BENCH_table1.json" \
   "$build_dir/bench/BENCH_table1.json" --only-prefix mapping. \
   --rel-tolerance 0 --quiet
+# Solver quality gate: the MILP's answers (milp.incumbent.last, node and
+# lazy-cut counts) and the realized ring (ring.crossings, ring.length_um)
+# must be byte-identical to the baseline. Pivot-path counters (lp.pivots,
+# lp.iterations, lp.refactorizations, milp.warm_pivots, ...) float — they
+# are classified solver-internal inside bench_compare — so an LP-kernel
+# change passes here exactly when it changes how the answer is reached but
+# never the answer.
+"$build_dir/tools/bench_compare" "$repo/bench/baselines/BENCH_table1.json" \
+  "$build_dir/bench/BENCH_table1.json" --only-prefix milp. \
+  --rel-tolerance 0 --quiet
+"$build_dir/tools/bench_compare" "$repo/bench/baselines/BENCH_table1.json" \
+  "$build_dir/bench/BENCH_table1.json" --only-prefix ring. \
+  --rel-tolerance 0 --quiet
+"$build_dir/tools/bench_compare" "$repo/bench/baselines/BENCH_table1.json" \
+  "$build_dir/bench/BENCH_table1.json" --only-prefix table1. \
+  --rel-tolerance 0 --quiet
 echo "bench gate OK"
 
 # ThreadSanitizer pass over the concurrent substrate (its own build tree —
