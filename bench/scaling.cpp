@@ -5,14 +5,28 @@
 // pool (jobs=N) — so the table doubles as the parallel-substrate scaling
 // check: the T1/TN/speedup columns quantify the win, and the run aborts if
 // any metric differs between the two (the substrate's determinism contract).
+//
+// The per-stage resource profile (one Steps 2-4 + evaluation run per size
+// on a fixed serpentine ring, through n=256 by default) adds the memory
+// dimension: wall time and sampled peak RSS per pipeline stage, plus a
+// log-log least-squares fit of the measured O(n^k) per stage. Sizes <= 64
+// run a second, unprofiled synthesis and the quality metrics must match
+// exactly — the determinism gate extended over the profiling layer itself.
+//
+// Options: --ring N (CI smoke: one MILP solve at N), --max-ring N (cap the
+// MILP table), --max-n N (cap the resource profile).
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/obs.hpp"
+#include "obs/sampler.hpp"
 #include "par/pool.hpp"
 #include "report/table.hpp"
 #include "ring/builder.hpp"
@@ -22,12 +36,79 @@ namespace {
 
 using namespace xring;
 
+struct GridShape {
+  int rows = 1;
+  int cols = 1;
+};
+
+GridShape grid_shape(int n) {
+  return n == 16    ? GridShape{4, 4}
+         : n == 32  ? GridShape{4, 8}
+         : n == 48  ? GridShape{6, 8}
+         : n == 64  ? GridShape{8, 8}
+         : n == 96  ? GridShape{8, 12}
+         : n == 128 ? GridShape{8, 16}
+         : n == 192 ? GridShape{12, 16}
+         : n == 256 ? GridShape{16, 16}
+                    : GridShape{1, n};
+}
+
 netlist::Floorplan ring_floorplan(int n) {
-  return n == 32    ? netlist::Floorplan::grid(4, 8, 2000)
-         : n == 64  ? netlist::Floorplan::grid(8, 8, 2000)
-         : n == 96  ? netlist::Floorplan::grid(8, 12, 2000)
-         : n == 128 ? netlist::Floorplan::grid(8, 16, 2000)
-                    : netlist::Floorplan::grid(1, n, 2000);
+  const GridShape g = grid_shape(n);
+  return netlist::Floorplan::grid(g.rows, g.cols, 2000);
+}
+
+/// A fixed boustrophedon Hamiltonian cycle on the grid: serpentine over
+/// columns 1..cols-1 row by row, return up column 0. Crossing-free for even
+/// row counts (every profiled size). O(n) to build — the resource profile
+/// uses it so Step-1 search cost (the ring table's subject) doesn't bury
+/// the downstream stages at n=256.
+ring::RingBuildResult serpentine_ring(const netlist::Floorplan& fp,
+                                      GridShape g) {
+  std::vector<netlist::NodeId> order;
+  order.reserve(static_cast<std::size_t>(g.rows) * g.cols);
+  if (g.rows >= 2 && g.cols >= 2) {
+    for (int r = 0; r < g.rows; ++r) {
+      if (r % 2 == 0)
+        for (int c = 1; c < g.cols; ++c) order.push_back(r * g.cols + c);
+      else
+        for (int c = g.cols - 1; c >= 1; --c) order.push_back(r * g.cols + c);
+    }
+    for (int r = g.rows - 1; r >= 0; --r) order.push_back(r * g.cols);
+  } else {
+    for (int i = 0; i < g.rows * g.cols; ++i) order.push_back(i);
+  }
+  ring::RingBuildResult out;
+  out.geometry = ring::realize(ring::Tour(std::move(order), &fp), fp);
+  out.mip_status = milp::MipStatus::kNoSolution;  // no solver ran
+  return out;
+}
+
+constexpr double kMiB = 1024.0 * 1024.0;
+
+/// Least-squares slope of log y on log n — the empirical k of O(n^k).
+/// Returns NaN with fewer than two usable (positive) points.
+double fit_exponent(const std::vector<std::pair<double, double>>& pts) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int m = 0;
+  for (const auto& [n, y] : pts) {
+    if (n <= 0.0 || y <= 0.0) continue;
+    const double x = std::log(n), ly = std::log(y);
+    sx += x;
+    sy += ly;
+    sxx += x * x;
+    sxy += x * ly;
+    ++m;
+  }
+  if (m < 2) return std::nan("");
+  const double denom = m * sxx - sx * sx;
+  if (denom == 0.0) return std::nan("");
+  return (m * sxy - sx * sy) / denom;
+}
+
+std::string fmt_exponent(double k) {
+  if (std::isnan(k)) return "-";
+  return "n^" + report::num(k, 2);
 }
 
 /// One Step-1 MILP solve (sparse LU kernel) with the lp/milp counters read
@@ -37,16 +118,21 @@ struct RingRun {
   double pivots = 0.0;
   double refactorizations = 0.0;
   double warm_pivots = 0.0;
+  double peak_rss_bytes = 0.0;
+  double rss_growth_bytes = 0.0;
 };
 
 RingRun run_ring_milp(int n, double time_limit) {
   obs::set_enabled(true);
   obs::registry().reset();
+  obs::PhaseSampler sampler;
+  sampler.start();
   ring::RingBuildOptions opt;
   opt.use_milp = true;
   opt.time_limit_seconds = time_limit;
   RingRun out;
   out.result = ring::build_ring(ring_floorplan(n), opt);
+  sampler.stop();
   const auto flat = obs::registry().flatten();
   auto get = [&](const char* key) {
     const auto it = flat.find(key);
@@ -55,6 +141,12 @@ RingRun run_ring_milp(int n, double time_limit) {
   out.pivots = get("lp.pivots");
   out.refactorizations = get("lp.refactorizations");
   out.warm_pivots = get("milp.warm_pivots");
+  for (const auto& [name, pts] : obs::registry().series()) {
+    if (name != "mem.rss_bytes" || pts.empty()) continue;
+    double first = pts.front().value;
+    for (const auto& p : pts) out.peak_rss_bytes = std::max(out.peak_rss_bytes, p.value);
+    out.rss_growth_bytes = std::max(0.0, out.peak_rss_bytes - first);
+  }
   obs::set_enabled(false);
   return out;
 }
@@ -79,15 +171,17 @@ int ring_smoke(int n) {
 /// document where the search is single-node). The dense-inverse kernel is
 /// O(m^2) memory — at n=128 that basis alone would be ~560 MB — which is
 /// why this table only exists with the sparse LU kernel.
-bool ring_scaling_table(int jobs_n) {
+bool ring_scaling_table(int jobs_n, int max_ring) {
   std::printf("=== Step-1 ring-construction MILP (sparse LU kernel) ===\n\n");
   std::string tn_header = "T";
   tn_header += std::to_string(jobs_n);
   tn_header += " (s)";
   report::Table t({"nodes", "LP rows", "LP cols", "status", "pivots",
-                   "refac", "T1 (s)", tn_header, "speedup"});
+                   "refac", "T1 (s)", tn_header, "speedup", "peakRSS (MiB)"});
   bool identical = true;
+  std::vector<std::pair<double, double>> time_pts, mem_pts;
   for (const int n : {32, 64, 96, 128}) {
+    if (n > max_ring) continue;
     par::set_jobs(1);
     const RingRun serial = run_ring_milp(n, 300.0);
     par::set_jobs(jobs_n);
@@ -115,9 +209,180 @@ bool ring_scaling_table(int jobs_n) {
                report::num(parallel.refactorizations, 0),
                report::num(serial.result.seconds, 2),
                report::num(parallel.result.seconds, 2),
-               report::num(speedup, 2) + "x"});
+               report::num(speedup, 2) + "x",
+               report::num(parallel.peak_rss_bytes / kMiB, 1)});
+    // Sub-10ms solves are timer noise; sub-MiB growth is allocator reuse.
+    if (serial.result.seconds >= 0.01)
+      time_pts.emplace_back(n, serial.result.seconds);
+    if (parallel.rss_growth_bytes >= kMiB)
+      mem_pts.emplace_back(n, parallel.rss_growth_bytes);
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("fitted: milp time ~ O(%s), milp RSS growth ~ O(%s)\n\n",
+              fmt_exponent(fit_exponent(time_pts)).c_str(),
+              fmt_exponent(fit_exponent(mem_pts)).c_str());
+  return identical;
+}
+
+/// One Step 2-4 + evaluation run (fixed serpentine ring, PDN on) at size n.
+/// When `profiled`, the run records into a fresh local registry with a
+/// PhaseSampler attached and reads back per-stage wall time and sampled
+/// RSS; otherwise it runs with tracing off and only the quality metrics are
+/// kept (the reference half of the profiling-invariance gate).
+struct StageCost {
+  double seconds = 0.0;
+  double peak_rss_bytes = 0.0;
+  double rss_growth_bytes = 0.0;
+  bool sampled = false;
+};
+
+struct ProfileRun {
+  int signals = 0;
+  double total_seconds = 0.0;
+  double peak_rss_bytes = 0.0;
+  double base_rss_bytes = 0.0;
+  std::map<std::string, StageCost> stages;
+  // Quality metrics for the invariance gate.
+  double il_star_worst_db = 0.0;
+  double total_power_w = 0.0;
+  int noisy_signals = 0;
+  int wavelengths = 0;
+};
+
+constexpr const char* kProfileStages[] = {"shortcuts", "mapping", "opening",
+                                          "pdn", "evaluate"};
+
+ProfileRun run_profile(int n, bool profiled) {
+  // RSS before anything is built: total growth charges the conflict oracle
+  // and ring geometry too, which no span covers.
+  const double base_rss = static_cast<double>(obs::memprof::rss_bytes());
+  // Named floorplan: Synthesizer keeps a pointer to it, so a temporary here
+  // would dangle for the whole run.
+  const netlist::Floorplan fp = ring_floorplan(n);
+  const ring::RingBuildResult ring = serpentine_ring(fp, grid_shape(n));
+  Synthesizer synth(fp);
+  SynthesisOptions opt;
+  ProfileRun out;
+  if (!profiled) {
+    obs::set_enabled(false);
+    const SynthesisResult r = synth.run_with_ring(opt, ring);
+    out.signals = static_cast<int>(r.design.traffic.size());
+    out.total_seconds = r.seconds;
+    out.il_star_worst_db = r.metrics.il_star_worst_db;
+    out.total_power_w = r.metrics.total_power_w;
+    out.noisy_signals = r.metrics.noisy_signals;
+    out.wavelengths = r.metrics.wavelengths;
+    return out;
+  }
+  obs::Registry reg;
+  obs::Registry* prev = obs::swap_registry(&reg);
+  obs::set_enabled(true);
+  obs::PhaseSampler sampler(&reg, 1000);
+  sampler.start();
+  const SynthesisResult r = synth.run_with_ring(opt, ring);
+  sampler.stop();
+  obs::set_enabled(false);
+  obs::swap_registry(prev);
+
+  out.signals = static_cast<int>(r.design.traffic.size());
+  out.total_seconds = r.seconds;
+  out.il_star_worst_db = r.metrics.il_star_worst_db;
+  out.total_power_w = r.metrics.total_power_w;
+  out.noisy_signals = r.metrics.noisy_signals;
+  out.wavelengths = r.metrics.wavelengths;
+
+  const auto flat = reg.flatten();
+  const auto rss = obs::rss_by_span(reg);
+  for (const char* stage : kProfileStages) {
+    StageCost cost;
+    const auto it = flat.find(std::string("span.") + stage + ".total_s");
+    if (it != flat.end()) cost.seconds = it->second;
+    const auto rit = rss.find(stage);
+    if (rit != rss.end()) {
+      cost.sampled = true;
+      cost.peak_rss_bytes = rit->second.peak_bytes;
+      cost.rss_growth_bytes =
+          std::max(0.0, rit->second.peak_bytes - rit->second.start_bytes);
+    }
+    out.stages[stage] = cost;
+  }
+  for (const auto& [name, pts] : reg.series()) {
+    if (name != "mem.rss_bytes") continue;
+    for (const auto& p : pts)
+      out.peak_rss_bytes = std::max(out.peak_rss_bytes, p.value);
+  }
+  out.base_rss_bytes = base_rss;
+  return out;
+}
+
+/// Per-stage resource profile through n=256 (or --max-n): one synthesis per
+/// size, wall time + sampled peak RSS per pipeline stage, then the log-log
+/// fitted O(n^k) per stage. Sizes <= 64 also run unprofiled and must
+/// reproduce the same design exactly — profiling may not perturb results.
+bool profile_table(int max_n) {
+  std::printf("=== Per-stage resource profile (Steps 2-4 + evaluation on a "
+              "fixed serpentine ring, PDN on) ===\n\n");
+  report::Table t({"nodes", "signals", "sc (s)", "map (s)", "open (s)",
+                   "pdn (s)", "eval (s)", "total (s)", "peakRSS (MiB)"});
+  report::Table m({"nodes", "sc (MiB)", "map (MiB)", "open (MiB)",
+                   "pdn (MiB)", "eval (MiB)"});
+  std::map<std::string, std::vector<std::pair<double, double>>> time_pts,
+      mem_pts;
+  std::vector<std::pair<double, double>> total_time_pts, total_mem_pts;
+  bool identical = true;
+  for (const int n : {16, 32, 64, 96, 128, 192, 256}) {
+    if (n > max_n) continue;
+    const ProfileRun run = run_profile(n, /*profiled=*/true);
+    if (n <= 64) {
+      const ProfileRun ref = run_profile(n, /*profiled=*/false);
+      if (run.il_star_worst_db != ref.il_star_worst_db ||
+          run.total_power_w != ref.total_power_w ||
+          run.noisy_signals != ref.noisy_signals ||
+          run.wavelengths != ref.wavelengths) {
+        std::fprintf(stderr,
+                     "profiling-invariance violation at %d nodes: profiled "
+                     "and unprofiled syntheses disagree on quality metrics\n",
+                     n);
+        identical = false;
+      }
+    }
+    std::vector<std::string> trow = {std::to_string(n),
+                                     std::to_string(run.signals)};
+    std::vector<std::string> mrow = {std::to_string(n)};
+    for (const char* stage : kProfileStages) {
+      const StageCost& c = run.stages.at(stage);
+      trow.push_back(report::num(c.seconds, 3));
+      mrow.push_back(c.sampled ? report::num(c.peak_rss_bytes / kMiB, 1) : "-");
+      // Skip noise-floor points: sub-10ms stages are timer jitter and
+      // sub-MiB RSS growth is allocator reuse, not asymptotic demand.
+      if (c.seconds >= 0.01) time_pts[stage].emplace_back(n, c.seconds);
+      if (c.sampled && c.rss_growth_bytes >= kMiB)
+        mem_pts[stage].emplace_back(n, c.rss_growth_bytes);
+    }
+    trow.push_back(report::num(run.total_seconds, 3));
+    trow.push_back(report::num(run.peak_rss_bytes / kMiB, 1));
+    t.add_row(trow);
+    m.add_row(mrow);
+    if (run.total_seconds >= 0.01)
+      total_time_pts.emplace_back(n, run.total_seconds);
+    const double growth = run.peak_rss_bytes - run.base_rss_bytes;
+    if (growth >= kMiB) total_mem_pts.emplace_back(n, growth);
   }
   std::printf("%s\n", t.to_string().c_str());
+  std::printf("per-stage sampled peak RSS (\"-\" = stage shorter than the "
+              "1ms sample period):\n%s\n", m.to_string().c_str());
+  std::printf("fitted O(n^k), log-log least squares (stages above the "
+              "noise floor only):\n");
+  for (const char* stage : kProfileStages) {
+    std::printf("  %-18s time ~ O(%s)  RSS growth ~ O(%s)\n", stage,
+                fmt_exponent(fit_exponent(time_pts[stage])).c_str(),
+                fmt_exponent(fit_exponent(mem_pts[stage])).c_str());
+  }
+  std::printf("  %-18s time ~ O(%s)  RSS growth ~ O(%s)\n", "total",
+              fmt_exponent(fit_exponent(total_time_pts)).c_str(),
+              fmt_exponent(fit_exponent(total_mem_pts)).c_str());
+  std::printf("(RSS attribution is first-touch: a stage that reuses memory\n"
+              " a predecessor faulted in shows no growth of its own)\n\n");
   return identical;
 }
 
@@ -125,12 +390,18 @@ bool ring_scaling_table(int jobs_n) {
 
 int main(int argc, char** argv) {
   using namespace xring;
-  if (argc == 3 && std::strcmp(argv[1], "--ring") == 0) {
-    return ring_smoke(std::atoi(argv[2]));
+  int max_ring = 128;  // cap for the MILP table (CI trims the 100s solves)
+  int max_n = 256;     // cap for the resource profile
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--ring") == 0) return ring_smoke(std::atoi(argv[i + 1]));
+    if (std::strcmp(argv[i], "--max-ring") == 0) max_ring = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--max-n") == 0) max_n = std::atoi(argv[i + 1]);
   }
   const int jobs_n = par::resolve_jobs(0);
 
-  if (!ring_scaling_table(jobs_n)) return EXIT_FAILURE;
+  bool ok = ring_scaling_table(jobs_n, max_ring);
+  ok = profile_table(max_n) && ok;
+  if (!ok) return EXIT_FAILURE;
   std::printf("=== Scaling: full flow up to 64 nodes (jobs=1 vs jobs=%d) ===\n\n",
               jobs_n);
 

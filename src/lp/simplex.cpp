@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "lp/basis.hpp"
+#include "obs/events.hpp"
 #include "obs/obs.hpp"
 
 namespace xring::lp {
@@ -87,6 +88,7 @@ struct State {
   std::vector<int> basis;          // basis[i] = column basic in slot i
   std::unique_ptr<BasisRep> rep;   // factorized representation of B
   bool need_phase1 = false;        // an artificial ended up basic in the crash
+  bool emit_events = false;        // per-refactorization telemetry (see solve)
 
   double tol = 1e-8;
 
@@ -132,6 +134,18 @@ void recompute_basics(State& s) {
 bool refactorize(State& s) {
   if (!s.rep->factorize(s.cols, s.basis)) return false;
   recompute_basics(s);
+  // Eta-growth telemetry: each mid-solve refactorization reports the
+  // kernel's cumulative factorization count and eta-file fill, so the event
+  // stream shows how fast the product-form representation grows between
+  // rebuilds. Gated the same way the lp.* metrics are (record_metrics), so
+  // speculative MILP pre-solves stay silent.
+  if (s.emit_events && obs::events::enabled()) {
+    obs::events::emit("lp.refactorize",
+                      {{"rows", static_cast<double>(s.m)},
+                       {"factorizations",
+                        static_cast<double>(s.rep->stats.factorizations)},
+                       {"eta_nnz", static_cast<double>(s.rep->stats.eta_nnz)}});
+  }
   return true;
 }
 
@@ -517,6 +531,7 @@ void build_state(const Problem& p, const SolveOptions& options, State& s) {
   }
 
   s.rep = make_rep(options.kernel, s.m);
+  s.emit_events = options.record_metrics;
 }
 
 /// Fixes every artificial at zero (phase-2 semantics).
@@ -750,6 +765,19 @@ void record_solve_metrics(const Solution& out) {
     reg.histogram("lp.ftran_density")
         .observe(static_cast<double>(out.stats.ftran_nnz) /
                  (static_cast<double>(out.stats.ftran_calls) * out.stats.rows));
+  }
+  // Per-solve summary into the event stream. The MILP calls this at
+  // speculation-consumption time, so the events replay the serial search
+  // order at every thread count, like the counters above.
+  if (obs::events::enabled()) {
+    obs::events::emit("lp.solve",
+                      {{"rows", static_cast<double>(out.stats.rows)},
+                       {"pivots", static_cast<double>(out.iterations)},
+                       {"dual_pivots", static_cast<double>(out.stats.dual_pivots)},
+                       {"refactorizations",
+                        static_cast<double>(out.stats.refactorizations)},
+                       {"eta_nnz", static_cast<double>(out.stats.eta_nnz)},
+                       {"warm", out.stats.warm ? 1.0 : 0.0}});
   }
 }
 

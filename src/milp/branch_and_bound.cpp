@@ -4,11 +4,13 @@
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 
+#include "obs/events.hpp"
 #include "obs/obs.hpp"
 #include "par/pool.hpp"
 
@@ -154,6 +156,35 @@ MipResult solve(const Model& model, const BnbOptions& options) {
   MipResult result;
   lp::Problem relaxation = build_lp(model);
 
+  // Progress telemetry into the JSONL event stream (obs/events.hpp):
+  // timestamped incumbent/bound/gap/open-node records, emitted only from
+  // this deterministic integration loop (never from speculative tasks) so
+  // the stream replays the serial search at every thread count. Values are
+  // reported in the caller's objective sense; the gap is sign-invariant.
+  auto emit_event = [&](const char* kind, std::size_t open_count,
+                        double incumbent_min, double bound_min) {
+    if (!obs::events::enabled()) return;
+    constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+    const bool has_inc = incumbent_min < lp::kInfinity;
+    const bool has_bound = bound_min > -lp::kInfinity;
+    double gap = kNaN;
+    if (has_inc && has_bound) {
+      gap = (incumbent_min - bound_min) /
+            std::max(1.0, std::abs(incumbent_min));
+    }
+    obs::events::emit(
+        kind,
+        {{"nodes", static_cast<double>(result.nodes)},
+         {"open", static_cast<double>(open_count)},
+         {"incumbent", has_inc ? sign * incumbent_min : kNaN},
+         {"bound", has_bound ? sign * bound_min : kNaN},
+         {"gap", gap},
+         {"lazy_cuts", static_cast<double>(result.lazy_constraints_added)}});
+  };
+  // Per-node events are throttled to every kEventStride-th node; incumbent,
+  // lazy-cut, and terminal events always fire.
+  constexpr long long kEventStride = 32;
+
   double incumbent_obj = lp::kInfinity;  // minimization sense
   std::vector<double> incumbent;
 
@@ -170,6 +201,7 @@ MipResult solve(const Model& model, const BnbOptions& options) {
       incumbent_obj = sign * objective_of(model, incumbent);
       result.status = MipStatus::kFeasible;
       note_incumbent(incumbent_obj);
+      emit_event("milp.incumbent", 0, incumbent_obj, -lp::kInfinity);
     } else {
       append_rows(relaxation, cuts);
       result.lazy_constraints_added += static_cast<int>(cuts.size());
@@ -351,6 +383,10 @@ MipResult solve(const Model& model, const BnbOptions& options) {
       continue;  // pruned by an incumbent found after the node was queued
     }
     ++result.nodes;
+    if (result.nodes % kEventStride == 1) {
+      // node.bound is the best-first key, i.e. the global lower bound here.
+      emit_event("milp.node", open.size() + 1, incumbent_obj, node.bound);
+    }
 
     NodeSolve solved = solve_node(node);
     lp::Solution& rel = solved.sol;
@@ -396,6 +432,7 @@ MipResult solve(const Model& model, const BnbOptions& options) {
         append_rows(relaxation, cuts);
         result.lazy_constraints_added += static_cast<int>(cuts.size());
         refresh_snapshot();  // cached pre-solves are now stale (row count)
+        emit_event("milp.lazy_cuts", open.size() + 1, incumbent_obj, bound);
         // Re-queue the same node: its LP now sees the new rows. It restarts
         // from the basis this solve just exported — the LP extends it over
         // the appended rows and repairs it with dual pivots.
@@ -410,6 +447,7 @@ MipResult solve(const Model& model, const BnbOptions& options) {
       incumbent_obj = sign * objective_of(model, incumbent);
       shared_incumbent.store(incumbent_obj, std::memory_order_relaxed);
       note_incumbent(incumbent_obj);
+      emit_event("milp.incumbent", open.size(), incumbent_obj, bound);
       continue;
     }
 
@@ -471,6 +509,10 @@ MipResult solve(const Model& model, const BnbOptions& options) {
                   "pruned without a bound certificate",
                   {{"status", to_string(result.status)}});
   }
+  // An exhausted open set proves the incumbent optimal, so the final bound
+  // meets it; a limit stop reports the best remaining open bound instead.
+  emit_event("milp.done", open.size(), incumbent_obj,
+             open.empty() ? incumbent_obj : open.begin()->bound);
   return result;
 }
 

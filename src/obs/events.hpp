@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xring::obs {
+
+namespace events {
+
+/// One key/value of an event record. Names are dotted-identifier literals
+/// (they are embedded in JSON unescaped-checked); values are numeric — NaN
+/// serializes as JSON null, matching the metrics exporters.
+struct Field {
+  const char* name;
+  double value;
+};
+
+}  // namespace events
+
+/// Append-only JSONL stream of solver progress events.
+///
+/// Each record() call serializes one line
+/// `{"t_us":<now>,"kind":"<kind>",<fields...>}` — timestamped off the
+/// global registry's epoch so event times line up with the span trace.
+/// Emission sites reach the log through the swappable global pointer
+/// (events::emit), mirroring the registry override: installing a log turns
+/// the instrumentation on, removing it reduces every site to one relaxed
+/// atomic load.
+///
+/// The same stream can drive a throttled single-line stderr progress
+/// display (enable_progress): B&B events update incumbent/bound/gap/node
+/// counts, LP events a refactorization count, and at most one line per
+/// interval is rewritten in place with '\r'.
+class EventLog {
+ public:
+  EventLog() = default;
+
+  /// Serializes and appends one event (thread-safe), and updates the
+  /// progress display when one is enabled.
+  void record(const char* kind, std::initializer_list<events::Field> fields);
+
+  std::size_t size() const;
+
+  /// All records, one JSON object per line, in emission order.
+  std::string jsonl() const;
+
+  /// Writes jsonl() to `path` (throws std::runtime_error on I/O failure).
+  void write(const std::string& path) const;
+
+  /// Mirrors solver progress to `to` (normally stderr) as a '\r'-rewritten
+  /// line, at most once per `min_interval_s` (terminal events always
+  /// print). Call finish_progress() to terminate the line with '\n'.
+  void enable_progress(std::FILE* to, double min_interval_s = 0.25);
+  void finish_progress();
+
+ private:
+  void update_progress_locked(const char* kind, double t_us);
+
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+
+  // Progress display state (guarded by mu_).
+  std::FILE* progress_to_ = nullptr;
+  double progress_interval_us_ = 250000.0;
+  double progress_last_us_ = -1e300;
+  bool progress_printed_ = false;
+  double p_nodes_ = 0.0;
+  double p_open_ = 0.0;
+  double p_incumbent_ = 0.0;
+  bool p_has_incumbent_ = false;
+  double p_bound_ = 0.0;
+  bool p_has_bound_ = false;
+  double p_gap_ = 0.0;
+  bool p_has_gap_ = false;
+  double p_refactorizations_ = 0.0;
+};
+
+namespace events {
+
+/// True when an event log is installed — the one-load gate emission sites
+/// check before building field lists.
+bool enabled();
+
+/// Installs `log` as the process-wide event sink (nullptr uninstalls).
+/// Returns the previous sink; the caller keeps ownership of both.
+EventLog* swap_log(EventLog* log);
+
+/// The installed sink, or nullptr.
+EventLog* log();
+
+/// Records into the installed sink; no-op (one relaxed load) without one.
+void emit(const char* kind, std::initializer_list<Field> fields);
+
+}  // namespace events
+}  // namespace xring::obs

@@ -85,8 +85,16 @@ std::string trace_json(const Registry& reg) {
     out << "{\"name\":\"" << escape(ev.name) << "\",\"cat\":\"xring\""
         << ",\"ph\":\"X\",\"ts\":" << num(ev.start_us)
         << ",\"dur\":" << num(ev.dur_us) << ",\"pid\":1,\"tid\":"
-        << tid_of(ev.thread_id) << ",\"args\":{\"depth\":" << ev.depth
-        << "}}";
+        << tid_of(ev.thread_id) << ",\"args\":{\"depth\":" << ev.depth;
+    // Allocation attribution travels in args, but only when the tracker
+    // recorded any — default builds emit byte-identical traces.
+    if (ev.alloc_bytes != 0 || ev.freed_bytes != 0 || ev.alloc_count != 0) {
+      out << ",\"alloc_bytes\":" << ev.alloc_bytes
+          << ",\"freed_bytes\":" << ev.freed_bytes
+          << ",\"alloc_count\":" << ev.alloc_count
+          << ",\"peak_delta_bytes\":" << ev.peak_delta_bytes;
+    }
+    out << "}}";
   }
   for (const auto& [name, points] : reg.series()) {
     for (const SeriesPoint& p : points) {
@@ -222,6 +230,84 @@ struct JsonCursor {
 };
 
 }  // namespace
+
+namespace {
+
+/// Recursive-descent value parser over JsonCursor; depth-capped so a
+/// pathological document fails cleanly instead of overflowing the stack.
+JsonValue parse_value(JsonCursor& cur, int depth) {
+  if (depth > 64) cur.fail("nesting too deep");
+  cur.skip_ws();
+  if (cur.pos >= cur.text.size()) cur.fail("expected a value");
+  const char c = cur.text[cur.pos];
+  JsonValue v;
+  if (c == '{') {
+    ++cur.pos;
+    v.kind = JsonValue::Kind::kObject;
+    if (!cur.peek_is('}')) {
+      while (true) {
+        std::string key = cur.parse_string();
+        cur.expect(':');
+        v.object.emplace_back(std::move(key), parse_value(cur, depth + 1));
+        if (cur.peek_is(',')) {
+          ++cur.pos;
+          continue;
+        }
+        break;
+      }
+    }
+    cur.expect('}');
+  } else if (c == '[') {
+    ++cur.pos;
+    v.kind = JsonValue::Kind::kArray;
+    if (!cur.peek_is(']')) {
+      while (true) {
+        v.array.push_back(parse_value(cur, depth + 1));
+        if (cur.peek_is(',')) {
+          ++cur.pos;
+          continue;
+        }
+        break;
+      }
+    }
+    cur.expect(']');
+  } else if (c == '"') {
+    v.kind = JsonValue::Kind::kString;
+    v.string = cur.parse_string();
+  } else if (cur.text.compare(cur.pos, 4, "true") == 0) {
+    cur.pos += 4;
+    v.kind = JsonValue::Kind::kBool;
+    v.boolean = true;
+  } else if (cur.text.compare(cur.pos, 5, "false") == 0) {
+    cur.pos += 5;
+    v.kind = JsonValue::Kind::kBool;
+    v.boolean = false;
+  } else if (cur.text.compare(cur.pos, 4, "null") == 0) {
+    cur.pos += 4;
+    v.kind = JsonValue::Kind::kNull;
+  } else {
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = cur.parse_number_or_null();
+  }
+  return v;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue parse_json(const std::string& text) {
+  JsonCursor cur{text};
+  JsonValue v = parse_value(cur, 0);
+  cur.skip_ws();
+  if (cur.pos != text.size()) cur.fail("trailing content");
+  return v;
+}
 
 std::map<std::string, double> metrics_from_json(const std::string& json) {
   JsonCursor cur{json};

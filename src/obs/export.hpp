@@ -2,6 +2,8 @@
 
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/obs.hpp"
 
@@ -35,6 +37,28 @@ std::map<std::string, double> metrics_from_csv(const std::string& csv);
 /// of them. Throws std::invalid_argument on anything that is not a flat
 /// one-level object of numbers.
 std::map<std::string, double> metrics_from_json(const std::string& json);
+
+/// Minimal JSON document, the reader side of the structured exporters
+/// (trace JSON, run-report JSON, event JSONL lines). Object members keep
+/// emission order; find() does a linear key lookup (documents here are
+/// small). Numbers are doubles, JSON null maps to kNull.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First member named `key`, or nullptr (also when not an object).
+  const JsonValue* find(const std::string& key) const;
+};
+
+/// Parses one complete JSON document (any value type at the root). Throws
+/// std::invalid_argument on malformed input or trailing content — the
+/// round-trip tests lean on that strictness to certify the writers.
+JsonValue parse_json(const std::string& text);
 
 /// JSON array of every recorded diagnostic, in emission order:
 /// [{"severity": "...", "code": "...", "message": "...", "t_us": ...,

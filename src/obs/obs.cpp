@@ -1,6 +1,7 @@
 #include "obs/obs.hpp"
 
 #include <algorithm>
+#include <array>
 #include <thread>
 
 namespace xring::obs {
@@ -25,7 +26,96 @@ std::uint64_t this_thread_id() {
       std::hash<std::thread::id>{}(std::this_thread::get_id()));
 }
 
+// ---------------------------------------------------------------------------
+// Per-thread open-span stacks, published for the phase sampler. The recording
+// side (Span open/close) writes only its own thread's slots with relaxed
+// atomics; the sampler reads every registered stack under the registration
+// mutex. A racing sample can pair a new depth with an old frame (or vice
+// versa) — both are valid paths the thread held an instant apart, which is
+// exactly the resolution a statistical profiler has anyway.
+
+constexpr int kMaxSampledDepth = 64;
+
+struct ThreadStack {
+  std::uint64_t id = 0;
+  std::atomic<const char*> label{nullptr};
+  std::atomic<int> depth{0};
+  std::array<std::atomic<const char*>, kMaxSampledDepth> names{};
+};
+
+std::mutex& stacks_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<ThreadStack*>& stacks_list() {
+  static std::vector<ThreadStack*> list;
+  return list;
+}
+
+/// Registers the stack for the thread's lifetime; the destructor runs at
+/// thread exit and withdraws it before the storage dies.
+struct StackRegistration {
+  ThreadStack stack;
+  StackRegistration() {
+    stack.id = this_thread_id();
+    std::lock_guard<std::mutex> lock(stacks_mutex());
+    stacks_list().push_back(&stack);
+  }
+  ~StackRegistration() {
+    std::lock_guard<std::mutex> lock(stacks_mutex());
+    auto& list = stacks_list();
+    list.erase(std::remove(list.begin(), list.end(), &stack), list.end());
+  }
+};
+
+ThreadStack& thread_stack() {
+  thread_local StackRegistration reg;
+  return reg.stack;
+}
+
+void push_open_span(const char* name) {
+  ThreadStack& st = thread_stack();
+  const int d = st.depth.load(std::memory_order_relaxed);
+  if (d >= 0 && d < kMaxSampledDepth) {
+    st.names[static_cast<std::size_t>(d)].store(name,
+                                                std::memory_order_relaxed);
+  }
+  st.depth.store(d + 1, std::memory_order_release);
+}
+
+void pop_open_span() {
+  ThreadStack& st = thread_stack();
+  const int d = st.depth.load(std::memory_order_relaxed);
+  if (d > 0) st.depth.store(d - 1, std::memory_order_release);
+}
+
 }  // namespace
+
+void set_thread_label(const char* label) {
+  thread_stack().label.store(label, std::memory_order_release);
+}
+
+std::vector<ThreadPath> open_span_paths() {
+  std::vector<ThreadPath> out;
+  std::lock_guard<std::mutex> lock(stacks_mutex());
+  for (const ThreadStack* st : stacks_list()) {
+    ThreadPath path;
+    path.thread_id = st->id;
+    if (const char* label = st->label.load(std::memory_order_acquire)) {
+      path.label = label;
+    }
+    const int depth = std::min(st->depth.load(std::memory_order_acquire),
+                               kMaxSampledDepth);
+    for (int i = 0; i < depth; ++i) {
+      const char* name =
+          st->names[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+      if (name != nullptr) path.names.push_back(name);
+    }
+    out.push_back(std::move(path));
+  }
+  return out;
+}
 
 void Histogram::observe(double v) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -157,16 +247,38 @@ std::map<std::string, double> Registry::flatten() const {
     out[name + ".count"] = static_cast<double>(points.size());
     if (!points.empty()) out[name + ".last"] = points.back().value;
   }
-  // Aggregate spans by name: total wall time and invocation count.
-  std::map<std::string, std::pair<long long, double>> by_name;
+  // Aggregate spans by name: total wall time and invocation count, plus —
+  // when the allocation tracker recorded anything — memory attribution
+  // (total bytes allocated/freed, worst single-invocation peak delta). The
+  // mem.* keys appear only for spans with allocator traffic, so default
+  // (uninstrumented) builds flatten to exactly the same key set as before.
+  struct SpanAgg {
+    long long count = 0;
+    double total_us = 0.0;
+    long long alloc_bytes = 0;
+    long long freed_bytes = 0;
+    long long peak_delta_bytes = 0;
+  };
+  std::map<std::string, SpanAgg> by_name;
   for (const SpanEvent& ev : spans_) {
-    auto& [count, total_us] = by_name[ev.name];
-    ++count;
-    total_us += ev.dur_us;
+    SpanAgg& agg = by_name[ev.name];
+    ++agg.count;
+    agg.total_us += ev.dur_us;
+    agg.alloc_bytes += ev.alloc_bytes;
+    agg.freed_bytes += ev.freed_bytes;
+    agg.peak_delta_bytes = std::max(agg.peak_delta_bytes, ev.peak_delta_bytes);
   }
   for (const auto& [name, agg] : by_name) {
-    out["span." + name + ".count"] = static_cast<double>(agg.first);
-    out["span." + name + ".total_s"] = agg.second * 1e-6;
+    out["span." + name + ".count"] = static_cast<double>(agg.count);
+    out["span." + name + ".total_s"] = agg.total_us * 1e-6;
+    if (agg.alloc_bytes != 0 || agg.freed_bytes != 0) {
+      out["mem.span." + name + ".alloc_bytes"] =
+          static_cast<double>(agg.alloc_bytes);
+      out["mem.span." + name + ".freed_bytes"] =
+          static_cast<double>(agg.freed_bytes);
+      out["mem.span." + name + ".peak_delta_bytes"] =
+          static_cast<double>(agg.peak_delta_bytes);
+    }
   }
   if (!diagnostics_.empty()) {
     for (const Diagnostic& d : diagnostics_) {
@@ -213,7 +325,12 @@ void diagnose(Severity severity, std::string code, std::string message,
 
 Span::Span(const char* name)
     : name_(name), start_(Clock::now()), active_(enabled()) {
-  if (active_) depth_ = t_depth++;
+  if (active_) {
+    reg_ = &registry();
+    depth_ = t_depth++;
+    push_open_span(name_);
+    if (memprof::alloc_tracking()) mark_ = memprof::open_mark();
+  }
 }
 
 double Span::elapsed_seconds() const {
@@ -224,16 +341,23 @@ void Span::close() {
   if (!active_) return;
   active_ = false;
   --t_depth;
-  Registry& reg = registry();
+  pop_open_span();
   const Clock::time_point end = Clock::now();
   SpanEvent ev;
   ev.name = name_;
   // Clamp: a span opened before a registry reset() predates the new epoch.
-  ev.start_us = std::max(0.0, reg.to_epoch_us(start_));
+  ev.start_us = std::max(0.0, reg_->to_epoch_us(start_));
   ev.dur_us = std::chrono::duration<double, std::micro>(end - start_).count();
   ev.depth = depth_;
   ev.thread_id = this_thread_id();
-  reg.record_span(std::move(ev));
+  if (memprof::alloc_tracking()) {
+    const memprof::AllocDelta delta = memprof::close_mark(mark_);
+    ev.alloc_bytes = delta.alloc_bytes;
+    ev.freed_bytes = delta.freed_bytes;
+    ev.alloc_count = delta.alloc_count;
+    ev.peak_delta_bytes = delta.peak_delta_bytes;
+  }
+  reg_->record_span(std::move(ev));
 }
 
 }  // namespace xring::obs

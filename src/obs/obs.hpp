@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/memprof.hpp"
+
 namespace xring::obs {
 
 /// Monotonically increasing event count. Thread-safe; cheap enough to sit in
@@ -60,12 +62,21 @@ class Histogram {
 /// One closed span, timestamped in microseconds relative to the registry
 /// epoch. `depth` is the nesting level on the recording thread (0 = root);
 /// Chrome tracing reconstructs the same hierarchy from ts/dur containment.
+///
+/// The `alloc_*`/`peak_delta_bytes` fields carry the span's allocation
+/// accounting (inclusive of children, from the recording thread's
+/// perspective) and stay 0 unless the build interposes the allocator
+/// (`-DXRING_PROFILE_ALLOC=ON`, see obs/memprof.hpp).
 struct SpanEvent {
   std::string name;
   double start_us = 0.0;
   double dur_us = 0.0;
   int depth = 0;
   std::uint64_t thread_id = 0;
+  long long alloc_bytes = 0;       ///< bytes allocated while the span was open
+  long long freed_bytes = 0;       ///< bytes freed while the span was open
+  long long alloc_count = 0;       ///< allocation calls while open
+  long long peak_delta_bytes = 0;  ///< peak of live bytes above the open level
 };
 
 /// One sample of a timestamped series (e.g. the MILP incumbent timeline).
@@ -177,6 +188,12 @@ void diagnose(Severity severity, std::string code, std::string message,
 /// `elapsed_seconds()` works even with tracing disabled — the synthesizer
 /// derives its reported `seconds` from the root span); an event is recorded
 /// into the registry only when tracing was enabled at construction.
+///
+/// The target registry is captured at construction: a span that straddles a
+/// `swap_registry()` call records into the registry it started in, never
+/// half into one run's registry and half into the next's. An active span
+/// also publishes its name into the thread's open-span stack so the phase
+/// sampler (obs/sampler.hpp) can observe where each thread currently is.
 class Span {
  public:
   explicit Span(const char* name);
@@ -194,8 +211,34 @@ class Span {
  private:
   const char* name_;
   std::chrono::steady_clock::time_point start_;
+  Registry* reg_ = nullptr;  ///< captured at construction (see class comment)
+  memprof::AllocMark mark_;  ///< allocation snapshot at open
   int depth_ = 0;
   bool active_ = false;  ///< tracing was enabled when the span opened
 };
+
+/// Snapshot of one thread's currently-open span stack, outermost first.
+/// `label` is the role name installed via set_thread_label() (e.g.
+/// "par.worker"), or empty for unlabeled threads. The name pointers are the
+/// string literals the spans were built from and stay valid for the process
+/// lifetime.
+struct ThreadPath {
+  std::uint64_t thread_id = 0;
+  std::string label;
+  std::vector<const char*> names;
+};
+
+/// Labels the calling thread for the phase sampler (string literal expected;
+/// the pointer is stored, not copied). The thread-pool workers label
+/// themselves "par.worker" so flamegraphs separate pool work from the
+/// caller's stack.
+void set_thread_label(const char* label);
+
+/// Snapshot of every registered thread's open-span stack. Threads register
+/// on their first span (or set_thread_label) and unregister at thread exit.
+/// Lock-free on the recording side; safe to call concurrently with spans
+/// opening and closing — a racing sample sees either the old or the new
+/// frame, both valid paths.
+std::vector<ThreadPath> open_span_paths();
 
 }  // namespace xring::obs

@@ -128,6 +128,9 @@ bool ThreadPool::try_run_one() {
 void ThreadPool::worker_loop(std::size_t self) {
   t_pool = this;
   t_queue = self + 1;  // queue 0 is the injection queue
+  // Root the phase sampler's stacks for pool threads: samples taken while a
+  // worker runs tasks fold under "par.worker" instead of an anonymous tid.
+  obs::set_thread_label("par.worker");
   std::function<void()> task;
   for (;;) {
     if (next_task(t_queue, task)) {

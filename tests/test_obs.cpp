@@ -10,6 +10,7 @@
 
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
+#include "report/run_report.hpp"
 
 namespace xring::obs {
 namespace {
@@ -328,6 +329,163 @@ TEST_F(ObsExport, JsonEscapesSpecialCharacters) {
   const std::string json = metrics_json(reg_);
   EXPECT_NE(json.find("weird\\\"name\\\\with\\nescapes"), std::string::npos)
       << json;
+}
+
+// --- Registry capture: spans straddling swap_registry() ------------------
+
+TEST(ObsGlobal, SpanStraddlingSwapRecordsIntoOriginRegistry) {
+  Registry first, second;
+  Registry* prev = swap_registry(&first);
+  set_enabled(true);
+  {
+    Span s("straddler");
+    // The registry is swapped while the span is open; the span must still
+    // record into the registry it started in.
+    swap_registry(&second);
+  }
+  set_enabled(false);
+  swap_registry(prev);
+  ASSERT_EQ(first.spans().size(), 1u);
+  EXPECT_EQ(first.spans()[0].name, "straddler");
+  EXPECT_TRUE(second.spans().empty());
+}
+
+// --- Exporter round trips through the JSON parser ------------------------
+
+TEST(ObsJsonParser, ParsesScalarsContainersAndRejectsGarbage) {
+  const JsonValue v =
+      parse_json("{\"a\": [1, -2.5e1, true, null], \"b\": {\"c\": \"x\"}}");
+  ASSERT_EQ(v.kind, JsonValue::Kind::kObject);
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 4u);
+  EXPECT_EQ(a->array[0].number, 1.0);
+  EXPECT_EQ(a->array[1].number, -25.0);
+  EXPECT_TRUE(a->array[2].boolean);
+  EXPECT_EQ(a->array[3].kind, JsonValue::Kind::kNull);
+  ASSERT_NE(v.find("b"), nullptr);
+  ASSERT_NE(v.find("b")->find("c"), nullptr);
+  EXPECT_EQ(v.find("b")->find("c")->string, "x");
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(parse_json("{\"unterminated\": "), std::invalid_argument);
+  EXPECT_THROW(parse_json("[1, 2] trailing"), std::invalid_argument);
+  EXPECT_THROW(parse_json("nope"), std::invalid_argument);
+}
+
+/// One "X" (complete-span) event parsed back from a Chrome trace.
+struct ParsedSpan {
+  std::string name;
+  double ts = 0.0;
+  double dur = 0.0;
+  double tid = 0.0;
+};
+
+std::vector<ParsedSpan> parsed_trace_spans(const std::string& json) {
+  const JsonValue root = parse_json(json);
+  EXPECT_EQ(root.kind, JsonValue::Kind::kObject);
+  const JsonValue* events = root.find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  std::vector<ParsedSpan> out;
+  for (const JsonValue& ev : events->array) {
+    const JsonValue* ph = ev.find("ph");
+    if (ph == nullptr || ph->string != "X") continue;
+    ParsedSpan s;
+    s.name = ev.find("name")->string;
+    s.ts = ev.find("ts")->number;
+    s.dur = ev.find("dur")->number;
+    s.tid = ev.find("tid")->number;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+TEST_F(ObsExport, TraceJsonParsesBackAndContainmentReconstructsHierarchy) {
+  {
+    Span outer("outer");
+    {
+      Span middle("middle");
+      Span inner("inner");
+    }
+    Span sibling("sibling");
+  }
+  std::vector<ParsedSpan> spans = parsed_trace_spans(trace_json(reg_));
+  ASSERT_EQ(spans.size(), 4u);
+  auto by_name = [&](const char* name) -> const ParsedSpan& {
+    for (const ParsedSpan& s : spans) {
+      if (s.name == name) return s;
+    }
+    ADD_FAILURE() << "missing span " << name;
+    return spans.front();
+  };
+  const ParsedSpan& outer = by_name("outer");
+  auto contains = [](const ParsedSpan& parent, const ParsedSpan& child) {
+    return child.ts >= parent.ts - 1.0 &&
+           child.ts + child.dur <= parent.ts + parent.dur + 1.0;
+  };
+  // ts/dur containment alone recovers the span tree: every other span nests
+  // inside `outer`, `inner` inside `middle`, and the siblings are disjoint.
+  EXPECT_TRUE(contains(outer, by_name("middle")));
+  EXPECT_TRUE(contains(outer, by_name("inner")));
+  EXPECT_TRUE(contains(outer, by_name("sibling")));
+  EXPECT_TRUE(contains(by_name("middle"), by_name("inner")));
+  const ParsedSpan& middle = by_name("middle");
+  const ParsedSpan& sibling = by_name("sibling");
+  EXPECT_GE(sibling.ts, middle.ts + middle.dur - 1.0);
+}
+
+TEST_F(ObsExport, TraceJsonRoundTripsUnderEightThreads) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      Span outer("t.outer");
+      Span inner("t.inner");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::vector<ParsedSpan> spans = parsed_trace_spans(trace_json(reg_));
+  ASSERT_EQ(spans.size(), 2u * kThreads);
+  // Per thread id: exactly one outer and one inner, inner contained.
+  std::map<double, std::vector<ParsedSpan>> by_tid;
+  for (ParsedSpan& s : spans) by_tid[s.tid].push_back(s);
+  ASSERT_EQ(by_tid.size(), static_cast<std::size_t>(kThreads));
+  for (auto& [tid, ts] : by_tid) {
+    ASSERT_EQ(ts.size(), 2u) << "tid " << tid;
+    const ParsedSpan& outer = ts[0].name == "t.outer" ? ts[0] : ts[1];
+    const ParsedSpan& inner = ts[0].name == "t.inner" ? ts[0] : ts[1];
+    EXPECT_EQ(outer.name, "t.outer");
+    EXPECT_EQ(inner.name, "t.inner");
+    EXPECT_GE(inner.ts, outer.ts - 1.0);
+    EXPECT_LE(inner.ts + inner.dur, outer.ts + outer.dur + 1.0);
+  }
+}
+
+TEST_F(ObsExport, RunReportJsonParsesBackWithSpansAndMetrics) {
+  reg_.counter("milp.nodes").add(5);
+  {
+    Span outer("synth");
+    Span inner("mapping");
+  }
+  const JsonValue root = parse_json(report::run_report_json(reg_));
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+  const JsonValue* metrics = root.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_NE(metrics->find("milp.nodes"), nullptr);
+  EXPECT_EQ(metrics->find("milp.nodes")->number, 5.0);
+  const JsonValue* spans = root.find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->array.size(), 2u);
+  // Spans close innermost-first; containment must hold after parsing.
+  const JsonValue& inner = spans->array[0];
+  const JsonValue& outer = spans->array[1];
+  EXPECT_EQ(inner.find("name")->string, "mapping");
+  EXPECT_EQ(outer.find("name")->string, "synth");
+  EXPECT_GE(inner.find("start_us")->number,
+            outer.find("start_us")->number - 1.0);
+  // The memory section exists (empty without profiling — still an array).
+  const JsonValue* memory = root.find("memory");
+  ASSERT_NE(memory, nullptr);
+  EXPECT_EQ(memory->kind, JsonValue::Kind::kArray);
 }
 
 }  // namespace

@@ -33,10 +33,15 @@
 //              (`milp.incumbent.last`, `ring.*`, table cells) stay gated
 //              exactly — that pairing is the contract: the answer may not
 //              move even when the path to it does.
+//   resource   sampled resource telemetry (`mem.*`, `events.*`): RSS and
+//              allocator readings depend on machine, allocator state, and
+//              whether profiling was enabled for the run, so they are never
+//              gated — they ride along for the human reading the report.
 //   quality    everything else; compared tight in both directions.
 //
-// Only keys present in BOTH files are compared; one-sided keys are listed
-// as notes (renaming a metric should not silently drop it from the gate).
+// Only keys present in BOTH files are compared; one-sided keys are
+// non-fatal warnings, counted in the summary line even under --quiet
+// (renaming a metric should not silently drop it from the gate).
 //
 // When `span.mapping.total_s` / `span.opening.total_s` appear in both
 // files, the summary line also reports their before → after ratios — the
@@ -85,6 +90,13 @@ bool is_solver_internal(const std::string& name) {
          name == "milp.cold_solves" ||
          name.compare(0, 14, "lp.iterations.") == 0 ||
          name.compare(0, 17, "lp.ftran_density.") == 0;
+}
+
+/// Sampled resource telemetry: present only when the run profiled itself,
+/// and machine-dependent when present. Never gated.
+bool is_resource(const std::string& name) {
+  return name.compare(0, 4, "mem.") == 0 ||
+         name.compare(0, 7, "events.") == 0;
 }
 
 bool is_time_like(const std::string& name) {
@@ -167,16 +179,17 @@ int main(int argc, char** argv) {
            name.compare(0, only_prefix.size(), only_prefix) == 0;
   };
 
-  int compared = 0, regressions = 0, skipped = 0;
+  int compared = 0, regressions = 0, skipped = 0, warnings = 0;
   for (const auto& [name, b] : base) {
     if (!in_scope(name)) continue;
     const auto it = cand.find(name);
     if (it == cand.end()) {
-      if (!quiet) std::printf("note: %s only in baseline\n", name.c_str());
+      ++warnings;
+      if (!quiet) std::printf("warning: %s only in baseline\n", name.c_str());
       continue;
     }
     const double c = it->second;
-    if (is_ignored(name) || is_solver_internal(name)) {
+    if (is_ignored(name) || is_solver_internal(name) || is_resource(name)) {
       ++skipped;
       continue;
     }
@@ -208,8 +221,9 @@ int main(int argc, char** argv) {
     }
   }
   for (const auto& [name, c] : cand) {
-    if (!quiet && in_scope(name) && base.find(name) == base.end()) {
-      std::printf("note: %s only in candidate\n", name.c_str());
+    if (in_scope(name) && base.find(name) == base.end()) {
+      ++warnings;
+      if (!quiet) std::printf("warning: %s only in candidate\n", name.c_str());
     }
   }
 
@@ -228,9 +242,10 @@ int main(int argc, char** argv) {
     hot_spans += buf;
   }
 
-  if (!quiet || regressions > 0) {
-    std::printf("%d metrics compared (%d ignored), %d regression(s)%s\n",
-                compared, skipped, regressions, hot_spans.c_str());
+  if (!quiet || regressions > 0 || warnings > 0) {
+    std::printf("%d metrics compared (%d ignored), %d regression(s), "
+                "%d one-sided key warning(s)%s\n",
+                compared, skipped, regressions, warnings, hot_spans.c_str());
   }
   return regressions > 0 ? 1 : 0;
 }

@@ -31,6 +31,15 @@
 //                      timeline, diagnostics, MILP convergence, per-signal
 //                      loss waterfall, crosstalk aggressor matrix, metrics)
 //   --report-json FILE the same run report as machine-readable JSON
+//   --profile FILE     run the phase sampler and write folded-stack
+//                      (collapsed) output for flamegraph.pl / speedscope;
+//                      also feeds the run report's "Memory by phase" table
+//                      with sampled RSS per stage
+//   --events FILE      write the solver progress telemetry (B&B incumbent/
+//                      bound/gap/open-node records, LP refactorization and
+//                      eta-growth events) as JSON lines
+//   --progress         mirror the solver telemetry as a throttled one-line
+//                      stderr progress display
 //
 // floorplan options:
 //   --nodes N          standard size (8/16/32)
@@ -45,7 +54,9 @@
 
 #include "analysis/latency.hpp"
 #include "netlist/io.hpp"
+#include "obs/events.hpp"
 #include "obs/export.hpp"
+#include "obs/sampler.hpp"
 #include "par/pool.hpp"
 #include "phys/parameters_io.hpp"
 #include "report/design_report.hpp"
@@ -158,16 +169,35 @@ int cmd_synth(Args& args) {
   const std::string metrics_file = args.value("--metrics");
   const std::string report_html = args.value("--report-html");
   const std::string report_json = args.value("--report-json");
+  const std::string profile_file = args.value("--profile");
+  const std::string events_file = args.value("--events");
+  const bool progress = args.flag("--progress");
   if (!args.report_unused()) return 2;
 
   if (!trace_file.empty() || !metrics_file.empty() || !report_html.empty() ||
-      !report_json.empty()) {
+      !report_json.empty() || !profile_file.empty() || !events_file.empty() ||
+      progress) {
     obs::registry().reset();
     obs::set_enabled(true);
   }
 
+  // Profiling/telemetry sinks live for exactly the synthesis call: the
+  // sampler thread stops (and the event log uninstalls) before any artifact
+  // is written, so the files capture a complete, quiescent run.
+  obs::PhaseSampler sampler;
+  if (!profile_file.empty()) sampler.start();
+  obs::EventLog events;
+  if (!events_file.empty() || progress) {
+    if (progress) events.enable_progress(stderr);
+    obs::events::swap_log(&events);
+  }
+
   const Synthesizer synth(fp);
   const SynthesisResult r = synth.run(opt);
+
+  obs::events::swap_log(nullptr);
+  if (progress) events.finish_progress();
+  sampler.stop();
 
   // Artifact paths are collected and printed together once the run report
   // ends, so they are easy to find after the (long) textual output.
@@ -183,6 +213,14 @@ int cmd_synth(Args& args) {
       obs::write_metrics_json(metrics_file);
     }
     artifacts.emplace_back("metrics", metrics_file);
+  }
+  if (!profile_file.empty()) {
+    sampler.write_folded(profile_file);
+    artifacts.emplace_back("profile (folded stacks)", profile_file);
+  }
+  if (!events_file.empty()) {
+    events.write(events_file);
+    artifacts.emplace_back("events (jsonl)", events_file);
   }
   report::RunReportOptions report_opt;
   report_opt.title = "xring synth (" + std::to_string(fp.size()) + " nodes)";
