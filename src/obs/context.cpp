@@ -1,0 +1,45 @@
+#include "obs/context.hpp"
+
+#include "obs/events.hpp"
+#include "obs/obs.hpp"
+
+namespace xring::obs {
+
+namespace {
+
+/// The thread's installed context; nullptr = root. Written only by
+/// ScopedContext on the owning thread, read by the instrumentation
+/// accessors on the same thread — no synchronization needed.
+thread_local Context* t_context = nullptr;
+
+}  // namespace
+
+Context::Context() : owned_reg_(std::make_unique<Registry>()) {
+  reg_ = owned_reg_.get();
+}
+
+Context::Context(Registry* reg) : reg_(reg) {}
+
+Context::~Context() = default;
+
+void Context::set_event_log(EventLog* log) {
+  if (log != nullptr) log->pin_clock(reg_);
+  events_.store(log, std::memory_order_release);
+}
+
+EventLog& Context::make_event_log() {
+  auto log = std::make_unique<EventLog>();
+  set_event_log(log.get());
+  owned_log_ = std::move(log);
+  return *owned_log_;
+}
+
+Context* current_context() { return t_context; }
+
+ScopedContext::ScopedContext(Context& ctx) : prev_(t_context) {
+  t_context = &ctx;
+}
+
+ScopedContext::~ScopedContext() { t_context = prev_; }
+
+}  // namespace xring::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/context.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 
@@ -21,7 +22,8 @@ bool starts_with(const char* s, const char* prefix) {
 
 void EventLog::record(const char* kind,
                       std::initializer_list<events::Field> fields) {
-  const double t_us = registry().now_us();
+  const Registry* clock = clock_.load(std::memory_order_acquire);
+  const double t_us = clock != nullptr ? clock->now_us() : registry().now_us();
   std::string line = "{\"t_us\":" + json_num(t_us) + ",\"kind\":\"" +
                      json_escape(kind) + "\"";
   for (const events::Field& f : fields) {
@@ -126,20 +128,35 @@ void EventLog::update_progress_locked(const char* kind, double t_us) {
   std::fflush(progress_to_);
 }
 
+void EventLog::pin_clock(const Registry* reg) {
+  clock_.store(reg, std::memory_order_release);
+}
+
+const Registry* EventLog::clock() const {
+  return clock_.load(std::memory_order_acquire);
+}
+
 namespace events {
 
 bool enabled() {
+  if (const Context* c = current_context()) return c->event_log() != nullptr;
   return g_event_log.load(std::memory_order_relaxed) != nullptr;
 }
 
 EventLog* swap_log(EventLog* log) {
+  // Pin the new sink's timebase to the registry it is installed over, so a
+  // later swap_registry from any thread cannot shift its timestamps.
+  if (log != nullptr) log->pin_clock(&registry());
   return g_event_log.exchange(log, std::memory_order_acq_rel);
 }
 
-EventLog* log() { return g_event_log.load(std::memory_order_acquire); }
+EventLog* log() {
+  if (const Context* c = current_context()) return c->event_log();
+  return g_event_log.load(std::memory_order_acquire);
+}
 
 void emit(const char* kind, std::initializer_list<Field> fields) {
-  EventLog* sink = g_event_log.load(std::memory_order_acquire);
+  EventLog* sink = log();
   if (sink != nullptr) sink->record(kind, fields);
 }
 

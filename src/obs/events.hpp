@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdio>
 #include <initializer_list>
@@ -8,6 +9,8 @@
 #include <vector>
 
 namespace xring::obs {
+
+class Registry;
 
 namespace events {
 
@@ -25,11 +28,18 @@ struct Field {
 ///
 /// Each record() call serializes one line
 /// `{"t_us":<now>,"kind":"<kind>",<fields...>}` — timestamped off the
-/// global registry's epoch so event times line up with the span trace.
-/// Emission sites reach the log through the swappable global pointer
-/// (events::emit), mirroring the registry override: installing a log turns
-/// the instrumentation on, removing it reduces every site to one relaxed
-/// atomic load.
+/// pinned clock registry's epoch so event times line up with the span
+/// trace of the run the log belongs to. The clock is pinned when the log
+/// is installed (`events::swap_log` pins the then-current registry;
+/// `Context::set_event_log` pins the context's registry), mirroring the
+/// Span registry capture: a mid-run `swap_registry` from another thread
+/// can no longer shift this log's timebase.
+///
+/// Emission sites reach the log through `events::emit`, which resolves the
+/// calling thread's installed obs::Context first (obs/context.hpp) and
+/// falls back to the swappable process-global pointer: installing a log
+/// turns the instrumentation on, removing it reduces every site to one
+/// thread-local read plus one relaxed atomic load.
 ///
 /// The same stream can drive a throttled single-line stderr progress
 /// display (enable_progress): B&B events update incumbent/bound/gap/node
@@ -57,11 +67,21 @@ class EventLog {
   void enable_progress(std::FILE* to, double min_interval_s = 0.25);
   void finish_progress();
 
+  /// Pins the registry whose epoch timestamps every subsequent record()
+  /// (nullptr unpins — records fall back to the thread's current
+  /// `obs::registry()`). Installers call this so the log keeps one timebase
+  /// for its whole life, whatever other threads swap mid-run.
+  void pin_clock(const Registry* reg);
+
+  /// The pinned clock registry, or nullptr when unpinned.
+  const Registry* clock() const;
+
  private:
   void update_progress_locked(const char* kind, double t_us);
 
   mutable std::mutex mu_;
   std::vector<std::string> lines_;
+  std::atomic<const Registry*> clock_{nullptr};
 
   // Progress display state (guarded by mu_).
   std::FILE* progress_to_ = nullptr;
@@ -81,18 +101,24 @@ class EventLog {
 
 namespace events {
 
-/// True when an event log is installed — the one-load gate emission sites
-/// check before building field lists.
+/// True when the calling thread has an event sink — the cheap gate
+/// emission sites check before building field lists. With an obs::Context
+/// installed, this is whether *that context* has a sink; the root global
+/// sink otherwise.
 bool enabled();
 
-/// Installs `log` as the process-wide event sink (nullptr uninstalls).
-/// Returns the previous sink; the caller keeps ownership of both.
+/// Installs `log` as the *root* (process-global) event sink (nullptr
+/// uninstalls) and pins its clock to the then-current registry. Returns
+/// the previous sink; the caller keeps ownership of both. Threads running
+/// under an installed context route to the context's sink instead — a root
+/// swap never bleeds events into (or out of) a scoped run.
 EventLog* swap_log(EventLog* log);
 
-/// The installed sink, or nullptr.
+/// The calling thread's sink: the installed context's event log when a
+/// context is installed (nullptr if it has none), else the root sink.
 EventLog* log();
 
-/// Records into the installed sink; no-op (one relaxed load) without one.
+/// Records into the calling thread's sink; no-op without one.
 void emit(const char* kind, std::initializer_list<Field> fields);
 
 }  // namespace events

@@ -4,6 +4,8 @@
 #include <array>
 #include <thread>
 
+#include "obs/context.hpp"
+
 namespace xring::obs {
 
 namespace {
@@ -43,14 +45,18 @@ struct ThreadStack {
   std::array<std::atomic<const char*>, kMaxSampledDepth> names{};
 };
 
+// Both intentionally leaked (never destroyed): pool worker threads are
+// joined by static destructors that may run *after* these objects' atexit
+// hooks would have fired, and every exiting thread's StackRegistration
+// destructor must find the lock and the list alive whenever it runs.
 std::mutex& stacks_mutex() {
-  static std::mutex mu;
-  return mu;
+  static std::mutex* mu = new std::mutex;
+  return *mu;
 }
 
 std::vector<ThreadStack*>& stacks_list() {
-  static std::vector<ThreadStack*> list;
-  return list;
+  static std::vector<ThreadStack*>* list = new std::vector<ThreadStack*>();
+  return *list;
 }
 
 /// Registers the stack for the thread's lifetime; the destructor runs at
@@ -299,11 +305,15 @@ void Registry::reset() {
   epoch_ = Clock::now();
 }
 
-bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+bool enabled() {
+  if (const Context* c = current_context()) return c->enabled();
+  return g_enabled.load(std::memory_order_relaxed);
+}
 
 void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
 
 Registry& registry() {
+  if (const Context* c = current_context()) return c->registry();
   Registry* r = g_override.load(std::memory_order_acquire);
   return r ? *r : default_registry();
 }

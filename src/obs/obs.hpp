@@ -164,18 +164,30 @@ class Registry {
   std::vector<Diagnostic> diagnostics_;
 };
 
-/// Tracing/metrics master switch. Off by default: every instrumentation
-/// site checks it before touching the registry, so a disabled build path
-/// costs one relaxed atomic load (and, for spans, one clock read).
+/// Tracing/metrics master switch of the calling thread. With an
+/// obs::Context installed (obs/context.hpp) this is the context's own flag;
+/// otherwise the process-global root flag, off by default. Every
+/// instrumentation site checks it before touching the registry, so a
+/// disabled path costs one thread-local read plus one relaxed atomic load.
 bool enabled();
+
+/// Sets the process-global root flag (an installed context's flag is set
+/// via Context::set_enabled instead).
 void set_enabled(bool on);
 
-/// The process-wide registry instrumentation sites write to.
+/// The registry instrumentation sites write to: the calling thread's
+/// installed context's registry (obs/context.hpp), or — when no context is
+/// installed — the process-global root registry. The thread pool installs
+/// the submitting thread's context in its workers for each task's
+/// duration, so an instrumentation site never needs to know which case it
+/// is in.
 Registry& registry();
 
-/// Swaps the global registry (tests install a fresh one; pass nullptr to
+/// Swaps the *root* registry (tests install a fresh one; pass nullptr to
 /// restore the built-in default). Returns the previous override, or nullptr
-/// if the default was active. The caller keeps ownership of both.
+/// if the default was active. The caller keeps ownership of both. Threads
+/// running under an installed context are unaffected — scoped runs do not
+/// see root swaps, and vice versa.
 Registry* swap_registry(Registry* r);
 
 /// Emission helper for instrumentation sites: records the diagnostic into

@@ -16,6 +16,10 @@ PhaseSampler::~PhaseSampler() { stop(); }
 
 void PhaseSampler::start() {
   if (running_.load(std::memory_order_acquire)) return;
+  // Pin the target registry now: the sampler thread must keep recording
+  // into the run it was started for, not whatever the root registry is
+  // swapped to mid-run.
+  pinned_ = reg_ != nullptr ? reg_ : &registry();
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_requested_ = false;
@@ -36,7 +40,7 @@ void PhaseSampler::stop() {
   // One final sample so even sub-interval runs record at least one point,
   // then the process-wide gauges for the exporters.
   sample_once();
-  memprof::publish(reg_ != nullptr ? *reg_ : registry());
+  memprof::publish(pinned_ != nullptr ? *pinned_ : registry());
 }
 
 void PhaseSampler::run() {
@@ -51,7 +55,7 @@ void PhaseSampler::run() {
 }
 
 void PhaseSampler::sample_once() {
-  Registry& reg = reg_ != nullptr ? *reg_ : registry();
+  Registry& reg = pinned_ != nullptr ? *pinned_ : registry();
   reg.append_series("mem.rss_bytes",
                     static_cast<double>(memprof::rss_bytes()));
   const std::vector<ThreadPath> paths = open_span_paths();

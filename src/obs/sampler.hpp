@@ -29,8 +29,11 @@ namespace xring::obs {
 /// tallied — nothing to attribute.
 class PhaseSampler {
  public:
-  /// Samples into `reg` (the global registry() when null) every
-  /// `interval_us` microseconds.
+  /// Samples into `reg` every `interval_us` microseconds. When `reg` is
+  /// null, start() resolves the calling thread's `obs::registry()` (context
+  /// or root) once and pins it for the whole sampling run — mirroring the
+  /// Span registry capture, so a mid-run `swap_registry` (or a context
+  /// installed later on some other thread) never misroutes samples.
   explicit PhaseSampler(Registry* reg = nullptr, long long interval_us = 2000);
   ~PhaseSampler();
 
@@ -48,6 +51,13 @@ class PhaseSampler {
   /// Samples recorded so far.
   long long samples() const { return samples_.load(std::memory_order_acquire); }
 
+  /// The registry samples are recorded into: pinned by start(), or the
+  /// constructor-supplied target before the first start (null when neither
+  /// has resolved yet).
+  const Registry* target() const {
+    return pinned_ != nullptr ? pinned_ : reg_;
+  }
+
   /// Folded-stack tallies, sorted by path for deterministic output.
   std::map<std::string, long long> folded_counts() const;
 
@@ -62,6 +72,7 @@ class PhaseSampler {
   void sample_once();
 
   Registry* reg_;
+  Registry* pinned_ = nullptr;  ///< resolved once per start() (see ctor doc)
   const long long interval_us_;
   std::thread thread_;
   std::atomic<bool> running_{false};

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "obs/context.hpp"
 #include "obs/obs.hpp"
 
 namespace xring::par {
@@ -61,6 +62,18 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // Capture the submitter's observability context (nullptr = root) and
+  // install it around the task body, so whichever thread eventually runs
+  // the task — a pool worker, or an unrelated thread helping while it
+  // waits — records the task's spans/metrics/events into the run that
+  // submitted it. The root path stays wrapper-free: single-run behavior is
+  // byte-identical to the pre-context pool.
+  if (obs::Context* ctx = obs::current_context()) {
+    task = [ctx, inner = std::move(task)] {
+      obs::ScopedContext scope(*ctx);
+      inner();
+    };
+  }
   const std::size_t q =
       (t_pool == this) ? t_queue : 0;  // 0 = shared injection queue
   {

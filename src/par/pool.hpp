@@ -28,6 +28,17 @@ namespace xring::par {
 /// whatever is still queued after they are joined runs on the destructing
 /// thread. Steal counts and queue depth are recorded into the obs registry
 /// (`par.steals`, `par.tasks`, `par.queue_depth`) when tracing is enabled.
+///
+/// Observability contexts propagate across the pool boundary: submit()
+/// captures the submitting thread's installed obs::Context (obs/context.hpp)
+/// and installs it in the executing thread for exactly the task's duration.
+/// parallel_for / parallel_reduce / TaskGroup all funnel through submit(),
+/// so two runs scoped in different contexts can share one pool and still
+/// record into fully disjoint registries — including when one run's blocked
+/// thread helps execute the other run's tasks. The submitter's context must
+/// outlive its tasks; every construct here waits for its tasks, so a
+/// context scoped around the parallel section (or the whole synthesis call)
+/// always satisfies that.
 class ThreadPool {
  public:
   /// `jobs <= 0` resolves to resolve_jobs(0) (XRING_JOBS env, then

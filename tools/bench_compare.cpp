@@ -17,7 +17,10 @@
 //                        the same way
 //   --quiet              print regressions only
 //
-// Classification by metric name:
+// The classification and gate formulas live in obs/runstore.hpp
+// (classify_metric / time_noise_floor / metric_regressed) and are shared
+// with `xring_runs diff`, so the cross-run reporter reproduces this gate
+// exactly. Classification by metric name:
 //   time-like  `span.*`, `*.real_time_ns`, `*.cpu_time_ns`, `*.total_s`,
 //              `*.seconds`, or a last dot-component of `T` (the tables'
 //              wall-clock column). Only growth is flagged; getting faster
@@ -33,10 +36,12 @@
 //              (`milp.incumbent.last`, `ring.*`, table cells) stay gated
 //              exactly — that pairing is the contract: the answer may not
 //              move even when the path to it does.
-//   resource   sampled resource telemetry (`mem.*`, `events.*`): RSS and
-//              allocator readings depend on machine, allocator state, and
-//              whether profiling was enabled for the run, so they are never
-//              gated — they ride along for the human reading the report.
+//   resource   sampled resource and scheduling telemetry (`mem.*`,
+//              `events.*`, `par.*`, `milp.spec_*`): RSS/allocator readings
+//              depend on machine and allocator state, and steal counts,
+//              queue depths, and speculation launches/hits are genuinely
+//              timing-dependent — two identical runs differ. Never gated;
+//              they ride along for the human reading the report.
 //   quality    everything else; compared tight in both directions.
 //
 // Only keys present in BOTH files are compared; one-sided keys are
@@ -59,8 +64,11 @@
 #include <string>
 
 #include "obs/export.hpp"
+#include "obs/runstore.hpp"
 
 namespace {
+
+using xring::obs::MetricClass;
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -69,54 +77,6 @@ std::string read_file(const std::string& path) {
   out << in.rdbuf();
   if (in.bad()) throw std::runtime_error("error reading " + path);
   return out.str();
-}
-
-bool has_suffix(const std::string& s, const char* suffix) {
-  const std::size_t n = std::strlen(suffix);
-  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
-}
-
-bool is_ignored(const std::string& name) {
-  return has_suffix(name, ".iterations") || has_suffix(name, ".t_us");
-}
-
-/// Deterministic but kernel-dependent counters: pivot counts and basis
-/// bookkeeping move whenever the LP kernel's pivot trajectory changes (new
-/// pricing order, new basis representation, warm starts) without any
-/// quality implication.
-bool is_solver_internal(const std::string& name) {
-  return name == "lp.pivots" || name == "lp.refactorizations" ||
-         name == "lp.eta_nnz" || name == "milp.warm_pivots" ||
-         name == "milp.cold_solves" ||
-         name.compare(0, 14, "lp.iterations.") == 0 ||
-         name.compare(0, 17, "lp.ftran_density.") == 0;
-}
-
-/// Sampled resource telemetry: present only when the run profiled itself,
-/// and machine-dependent when present. Never gated.
-bool is_resource(const std::string& name) {
-  return name.compare(0, 4, "mem.") == 0 ||
-         name.compare(0, 7, "events.") == 0;
-}
-
-bool is_time_like(const std::string& name) {
-  if (name.compare(0, 5, "span.") == 0) return true;
-  if (has_suffix(name, ".real_time_ns") || has_suffix(name, ".cpu_time_ns") ||
-      has_suffix(name, ".total_s") || has_suffix(name, ".seconds")) {
-    return true;
-  }
-  const std::size_t dot = name.rfind('.');
-  return dot != std::string::npos && name.substr(dot + 1) == "T";
-}
-
-/// Below this, a time-like baseline is considered noise and not gated:
-/// tripling a 40 µs span is scheduler jitter, not a regression. Metrics in
-/// seconds get a wider floor because table cells are rounded to hundredths
-/// — a sub-10 ms synthesis is recorded as 0 and any finite rerun would
-/// otherwise be an infinite ratio.
-double time_noise_floor(const std::string& name) {
-  if (has_suffix(name, "_ns")) return 1e6;  // 1 ms, metric in ns
-  return 0.1;                               // 100 ms, metric in seconds
 }
 
 }  // namespace
@@ -189,34 +149,26 @@ int main(int argc, char** argv) {
       continue;
     }
     const double c = it->second;
-    if (is_ignored(name) || is_solver_internal(name) || is_resource(name)) {
+    const MetricClass cls = xring::obs::classify_metric(name);
+    if (cls == MetricClass::kIgnored || cls == MetricClass::kSolverInternal ||
+        cls == MetricClass::kResource) {
       ++skipped;
       continue;
     }
     ++compared;
+    const xring::obs::GateOptions gate{time_tolerance, rel_tolerance};
+    if (!xring::obs::metric_regressed(name, b, c, gate)) continue;
+    ++regressions;
     if (std::isnan(b) || std::isnan(c)) {
       // null (NaN) values compare equal only to null.
-      if (std::isnan(b) != std::isnan(c)) {
-        ++regressions;
-        std::printf("REGRESSION %s: %s -> %s\n", name.c_str(),
-                    std::isnan(b) ? "null" : "number",
-                    std::isnan(c) ? "null" : "number");
-      }
-      continue;
-    }
-    if (is_time_like(name)) {
-      const double floor = time_noise_floor(name);
-      if (c > std::max(b, floor) * time_tolerance) {
-        ++regressions;
-        std::printf("REGRESSION %s: %g -> %g (%.2fx > %.2fx tolerance)\n",
-                    name.c_str(), b, c, c / std::max(b, floor),
-                    time_tolerance);
-      }
-      continue;
-    }
-    const double tol = rel_tolerance * std::max(std::fabs(b), std::fabs(c));
-    if (std::fabs(c - b) > tol + 1e-9) {
-      ++regressions;
+      std::printf("REGRESSION %s: %s -> %s\n", name.c_str(),
+                  std::isnan(b) ? "null" : "number",
+                  std::isnan(c) ? "null" : "number");
+    } else if (cls == MetricClass::kTimeLike) {
+      const double floor = xring::obs::time_noise_floor(name);
+      std::printf("REGRESSION %s: %g -> %g (%.2fx > %.2fx tolerance)\n",
+                  name.c_str(), b, c, c / std::max(b, floor), time_tolerance);
+    } else {
       std::printf("REGRESSION %s: %.12g -> %.12g\n", name.c_str(), b, c);
     }
   }

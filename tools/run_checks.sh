@@ -62,5 +62,6 @@ cmake --build "$tsan_dir" -j
   XRING_JOBS=8 ./test_par &&
   XRING_JOBS=8 ./test_milp_bnb &&
   XRING_JOBS=8 ./test_xring_synthesizer &&
-  XRING_JOBS=8 ./test_mapping_index)
+  XRING_JOBS=8 ./test_mapping_index &&
+  XRING_JOBS=8 ./test_obs_context)
 echo "tsan OK"

@@ -40,6 +40,14 @@
 //                      eta-growth events) as JSON lines
 //   --progress         mirror the solver telemetry as a throttled one-line
 //                      stderr progress display
+//   --run-dir DIR      place every artifact of this run under DIR (created
+//                      if missing) with default names — trace.json,
+//                      metrics.json, events.jsonl, profile.folded,
+//                      report.html, report.json — and record DIR/run.json
+//                      (metrics snapshot + environment + span tree) plus an
+//                      append-only index line in DIR/../index.jsonl, the
+//                      store layout `xring_runs list|diff|aggregate` reads.
+//                      Explicit artifact flags win over the defaults.
 //
 // floorplan options:
 //   --nodes N          standard size (8/16/32)
@@ -48,14 +56,17 @@
 #include <cctype>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "analysis/latency.hpp"
 #include "netlist/io.hpp"
 #include "obs/events.hpp"
 #include "obs/export.hpp"
+#include "obs/runstore.hpp"
 #include "obs/sampler.hpp"
 #include "par/pool.hpp"
 #include "phys/parameters_io.hpp"
@@ -161,18 +172,37 @@ int cmd_synth(Args& args) {
   if (args.flag("--comb-pdn")) {
     opt.pdn_style = SynthesisOptions::PdnStyle::kComb;
   }
-  opt.traffic = make_traffic(args.value("--traffic", "all2all"), fp.size());
+  const std::string traffic_kind = args.value("--traffic", "all2all");
+  opt.traffic = make_traffic(traffic_kind, fp.size());
   const std::string svg = args.value("--svg");
   const bool csv = args.flag("--csv");
   const bool full_report = args.flag("--report");
-  const std::string trace_file = args.value("--trace");
-  const std::string metrics_file = args.value("--metrics");
-  const std::string report_html = args.value("--report-html");
-  const std::string report_json = args.value("--report-json");
-  const std::string profile_file = args.value("--profile");
-  const std::string events_file = args.value("--events");
+  std::string trace_file = args.value("--trace");
+  std::string metrics_file = args.value("--metrics");
+  std::string report_html = args.value("--report-html");
+  std::string report_json = args.value("--report-json");
+  std::string profile_file = args.value("--profile");
+  std::string events_file = args.value("--events");
   const bool progress = args.flag("--progress");
+  std::string run_dir = args.value("--run-dir");
   if (!args.report_unused()) return 2;
+
+  // --run-dir DIR gathers the whole artifact set under one per-run
+  // directory with default names; an explicit artifact flag keeps its path.
+  while (run_dir.size() > 1 && run_dir.back() == '/') run_dir.pop_back();
+  if (!run_dir.empty()) {
+    namespace fs = std::filesystem;
+    fs::create_directories(run_dir);
+    const auto under = [&](const char* name) {
+      return (fs::path(run_dir) / name).string();
+    };
+    if (trace_file.empty()) trace_file = under("trace.json");
+    if (metrics_file.empty()) metrics_file = under("metrics.json");
+    if (events_file.empty()) events_file = under("events.jsonl");
+    if (profile_file.empty()) profile_file = under("profile.folded");
+    if (report_html.empty()) report_html = under("report.html");
+    if (report_json.empty()) report_json = under("report.json");
+  }
 
   if (!trace_file.empty() || !metrics_file.empty() || !report_html.empty() ||
       !report_json.empty() || !profile_file.empty() || !events_file.empty() ||
@@ -283,6 +313,36 @@ int cmd_synth(Args& args) {
   if (!svg.empty()) {
     viz::save_svg(r.design, svg);
     artifacts.emplace_back("layout (svg)", svg);
+  }
+  if (!run_dir.empty()) {
+    namespace fs = std::filesystem;
+    // DIR is the run directory; its parent is the store root that holds the
+    // shared index.jsonl, so sibling --run-dir runs land in one store.
+    const fs::path rd(run_dir);
+    obs::RunStore store(rd.has_parent_path() ? rd.parent_path().string()
+                                             : std::string("."));
+    // The resolved configuration, canonically ordered: two runs hash equal
+    // exactly when they synthesize the same problem the same way.
+    std::ostringstream cfg;
+    cfg << "floorplan=" << file << ";nodes=" << fp.size()
+        << ";wl=" << opt.mapping.max_wavelengths << ";traffic=" << traffic_kind
+        << ";params=" << params_file << ";pdn=" << (opt.build_pdn ? 1 : 0)
+        << ";shortcuts=" << (opt.shortcuts.enable ? 1 : 0) << ";pdn_style="
+        << (opt.pdn_style == SynthesisOptions::PdnStyle::kComb ? "comb"
+                                                               : "tree");
+    obs::RunRecordOptions rec;
+    rec.id = rd.filename().string();
+    rec.title = report_opt.title;
+    rec.extra_environment = {
+        {"command", "synth"},
+        {"jobs", std::to_string(par::effective_jobs())},
+        {"hardware_concurrency", std::to_string(par::hardware_jobs())},
+        {"config_hash", obs::config_hash(cfg.str())},
+    };
+    rec.artifacts = artifacts;
+    store.record(obs::registry(), rec);
+    artifacts.emplace_back("run record (json)",
+                           (rd / "run.json").string());
   }
   for (const auto& [kind, path] : artifacts) {
     std::fprintf(stderr, "%s written to %s\n", kind.c_str(), path.c_str());
