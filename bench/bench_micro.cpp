@@ -20,6 +20,7 @@
 #include "mapping/occupancy.hpp"
 #include "mapping/opening.hpp"
 #include "geom/offset.hpp"
+#include "geom/sweep.hpp"
 #include "milp/branch_and_bound.hpp"
 #include "obs/export.hpp"
 #include "par/pool.hpp"
@@ -176,6 +177,61 @@ void BM_Evaluate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Evaluate)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+/// The crosstalk engine alone: deposit-replay noise propagation over a
+/// synthesized design with losses and laser powers held fixed.
+void BM_CrosstalkAnalysis(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto fp = netlist::Floorplan::standard(n);
+  const Synthesizer synth(fp);
+  SynthesisOptions opt;
+  opt.mapping.max_wavelengths = n;
+  const SynthesisResult r = synth.run(opt);
+  const analysis::AnalysisContext ctx(r.design);
+  std::vector<analysis::LossBreakdown> losses(r.design.traffic.size());
+  for (netlist::SignalId id = 0; id < r.design.traffic.size(); ++id) {
+    losses[id] = analysis::signal_loss(ctx, id);
+  }
+  const std::vector<double> laser_mw = r.metrics.laser_mw;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::compute_noise(ctx, losses, laser_mw, nullptr));
+  }
+}
+BENCHMARK(BM_CrosstalkAnalysis)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+/// Crossing detection over the realized ring: SegmentIndex build plus every
+/// hop queried against the full segment set (the RingSubstrate inner loop),
+/// versus the all-pairs brute force at the same n for reference.
+void BM_CrossingDetect(benchmark::State& state) {
+  // Serpentine tour over a square grid — the same hop-route shape the
+  // scaling harness feeds RingSubstrate, available at any n.
+  const int side = static_cast<int>(state.range(0));
+  const auto fp = netlist::Floorplan::grid(side, side, 2000);
+  std::vector<netlist::NodeId> order;
+  for (int r = 0; r < side; ++r) {
+    for (int c = 0; c < side; ++c) {
+      order.push_back(r * side + (r % 2 == 0 ? c : side - 1 - c));
+    }
+  }
+  std::vector<geom::LRoute> hops;
+  const int n = static_cast<int>(order.size());
+  for (int h = 0; h < n; ++h) {
+    hops.emplace_back(fp.position(order[h]), fp.position(order[(h + 1) % n]),
+                      geom::LOrder::kVerticalFirst);
+  }
+  for (auto _ : state) {
+    geom::SegmentIndex index;
+    for (std::size_t h = 0; h < hops.size(); ++h) {
+      index.add(hops[h], static_cast<int>(h));
+    }
+    index.build();
+    int total = 0;
+    for (const geom::LRoute& r : hops) total += index.count_crossings(r);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_CrossingDetect)->Arg(4)->Arg(8)->Arg(16)->Arg(32);  // side → n = side²
 
 void BM_Simulator(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

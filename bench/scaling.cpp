@@ -7,11 +7,15 @@
 // any metric differs between the two (the substrate's determinism contract).
 //
 // The per-stage resource profile (one Steps 2-4 + evaluation run per size
-// on a fixed serpentine ring, through n=256 by default) adds the memory
+// on a fixed serpentine ring, through n=512 by default) adds the memory
 // dimension: wall time and sampled peak RSS per pipeline stage, plus a
-// log-log least-squares fit of the measured O(n^k) per stage. Sizes <= 64
-// run a second, unprofiled synthesis and the quality metrics must match
-// exactly — the determinism gate extended over the profiling layer itself.
+// log-log least-squares fit of the measured O(n^k) per stage. Each run goes
+// through the production sweep path — make_sweep_cache builds the shared
+// shortcut plan / arc table / ring substrate once, and the "cache" column
+// reports that build (inclusive of the "sc" shortcut step nested in it) —
+// so the "eval" column measures exactly what a #wl sweep setting pays. Sizes <= 64 run a second, unprofiled synthesis and
+// the quality metrics must match exactly — the determinism gate extended
+// over the profiling layer itself.
 //
 // Options: --ring N (CI smoke: one MILP solve at N), --max-ring N (cap the
 // MILP table), --max-n N (cap the resource profile).
@@ -50,6 +54,8 @@ GridShape grid_shape(int n) {
          : n == 128 ? GridShape{8, 16}
          : n == 192 ? GridShape{12, 16}
          : n == 256 ? GridShape{16, 16}
+         : n == 384 ? GridShape{16, 24}
+         : n == 512 ? GridShape{16, 32}
                     : GridShape{1, n};
 }
 
@@ -249,12 +255,14 @@ struct ProfileRun {
   int wavelengths = 0;
 };
 
-constexpr const char* kProfileStages[] = {"shortcuts", "mapping", "opening",
-                                          "pdn", "evaluate"};
+constexpr const char* kProfileStages[] = {"shortcuts", "sweep_cache",
+                                          "mapping", "opening", "pdn",
+                                          "evaluate"};
 
 ProfileRun run_profile(int n, bool profiled) {
-  // RSS before anything is built: total growth charges the conflict oracle
-  // and ring geometry too, which no span covers.
+  // RSS before anything is built: total growth charges the ring geometry
+  // too, which no span covers. (The Θ(n⁴)-bit conflict oracle is lazy and
+  // never built on this path — run_with_ring needs no Step-1 search.)
   const double base_rss = static_cast<double>(obs::memprof::rss_bytes());
   // Named floorplan: Synthesizer keeps a pointer to it, so a temporary here
   // would dangle for the whole run.
@@ -265,7 +273,8 @@ ProfileRun run_profile(int n, bool profiled) {
   ProfileRun out;
   if (!profiled) {
     obs::set_enabled(false);
-    const SynthesisResult r = synth.run_with_ring(opt, ring);
+    const SweepCache cache = synth.make_sweep_cache(opt, ring);
+    const SynthesisResult r = synth.run_with_ring(opt, ring, &cache);
     out.signals = static_cast<int>(r.design.traffic.size());
     out.total_seconds = r.seconds;
     out.il_star_worst_db = r.metrics.il_star_worst_db;
@@ -279,7 +288,8 @@ ProfileRun run_profile(int n, bool profiled) {
   obs::set_enabled(true);
   obs::PhaseSampler sampler(&reg, 1000);
   sampler.start();
-  const SynthesisResult r = synth.run_with_ring(opt, ring);
+  const SweepCache cache = synth.make_sweep_cache(opt, ring);
+  const SynthesisResult r = synth.run_with_ring(opt, ring, &cache);
   sampler.stop();
   obs::set_enabled(false);
   obs::swap_registry(prev);
@@ -315,22 +325,23 @@ ProfileRun run_profile(int n, bool profiled) {
   return out;
 }
 
-/// Per-stage resource profile through n=256 (or --max-n): one synthesis per
+/// Per-stage resource profile through n=512 (or --max-n): one synthesis per
 /// size, wall time + sampled peak RSS per pipeline stage, then the log-log
 /// fitted O(n^k) per stage. Sizes <= 64 also run unprofiled and must
 /// reproduce the same design exactly — profiling may not perturb results.
 bool profile_table(int max_n) {
   std::printf("=== Per-stage resource profile (Steps 2-4 + evaluation on a "
               "fixed serpentine ring, PDN on) ===\n\n");
-  report::Table t({"nodes", "signals", "sc (s)", "map (s)", "open (s)",
-                   "pdn (s)", "eval (s)", "total (s)", "peakRSS (MiB)"});
-  report::Table m({"nodes", "sc (MiB)", "map (MiB)", "open (MiB)",
-                   "pdn (MiB)", "eval (MiB)"});
+  report::Table t({"nodes", "signals", "sc (s)", "cache (s)", "map (s)",
+                   "open (s)", "pdn (s)", "eval (s)", "total (s)",
+                   "peakRSS (MiB)"});
+  report::Table m({"nodes", "sc (MiB)", "cache (MiB)", "map (MiB)",
+                   "open (MiB)", "pdn (MiB)", "eval (MiB)"});
   std::map<std::string, std::vector<std::pair<double, double>>> time_pts,
       mem_pts;
   std::vector<std::pair<double, double>> total_time_pts, total_mem_pts;
   bool identical = true;
-  for (const int n : {16, 32, 64, 96, 128, 192, 256}) {
+  for (const int n : {16, 32, 64, 96, 128, 192, 256, 384, 512}) {
     if (n > max_n) continue;
     const ProfileRun run = run_profile(n, /*profiled=*/true);
     if (n <= 64) {
@@ -391,7 +402,7 @@ bool profile_table(int max_n) {
 int main(int argc, char** argv) {
   using namespace xring;
   int max_ring = 128;  // cap for the MILP table (CI trims the 100s solves)
-  int max_n = 256;     // cap for the resource profile
+  int max_n = 512;     // cap for the resource profile
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--ring") == 0) return ring_smoke(std::atoi(argv[i + 1]));
     if (std::strcmp(argv[i], "--max-ring") == 0) max_ring = std::atoi(argv[i + 1]);

@@ -31,7 +31,11 @@ struct NoiseSink {
 
 /// Walks noise injected on ring waveguide `w` at node `at`, travelling the
 /// waveguide's transmission direction, until a wavelength-matched receiver
-/// absorbs it, the opening terminates it, or a full lap decays it.
+/// absorbs it, the opening terminates it, or a full lap decays it. All
+/// per-node device lookups go through the context's DeviceIndex — O(1) per
+/// node instead of a rescan of the waveguide's signal list — with the
+/// attenuation expression kept in the exact operation order of the
+/// brute-force walk (see analysis/reference.cpp).
 void walk_ring_noise(const AnalysisContext& ctx, int w, NodeId at,
                      int wavelength, double power_mw, NoiseSink& sink) {
   if (power_mw < kNegligibleMw) return;
@@ -39,36 +43,39 @@ void walk_ring_noise(const AnalysisContext& ctx, int w, NodeId at,
   const phys::LossParams& lp = d.params.loss;
   const ring::Tour& tour = d.ring.tour;
   const mapping::RingWaveguide& wg = d.mapping.waveguides[w];
+  const DeviceIndex& dev = ctx.devices();
   const double scale = d.ring_scale(w);
   const int n = tour.size();
   const int step = wg.dir == mapping::Direction::kCw ? 1 : -1;
   const double absorb_db = lp.drop_db + lp.photodetector_db;
+  const bool has_pdn = d.has_pdn;
+  const int rx_mrrs = d.params.crosstalk.residue_filter ? 2 : 1;
 
-  int pos = tour.position(at);
+  int pos = ctx.arcs().position(at);
   for (int travelled = 0; travelled < n; ++travelled) {
     // Propagate over the hop to the next node. For cw travel from position
     // p the hop index is p; for ccw travel it is p-1.
     const int hop = wg.dir == mapping::Direction::kCw ? pos : pos - 1;
     const double hop_mm = tour.hop_length(hop) / 1000.0 * scale;
     power_mw *= phys::db_to_linear(-hop_mm * lp.propagation_db_per_mm);
-    pos += step;
-    const NodeId u = tour.at(pos);
+    pos = pos + step;
+    const int p = ((pos % n) + n) % n;
     if (power_mw < kNegligibleMw) return;
 
     // Receiver bank first: a matched drop-MRR absorbs the noise into its
     // photodetector.
-    const auto receivers = d.receivers_on(w, u, wavelength);
-    if (!receivers.empty()) {
-      sink.deposit(receivers.front(), power_mw * phys::db_to_linear(-absorb_db));
+    const SignalId receiver = dev.receiver_on(w, p, wavelength);
+    if (receiver >= 0) {
+      sink.deposit(receiver, power_mw * phys::db_to_linear(-absorb_db));
       return;
     }
     // The opening cut sits between the receiver and sender banks.
-    if (wg.opening == u) return;
+    if (wg.opening == tour.at(p)) return;
     // Attenuation by the node's off-resonance devices and PDN crossings.
-    const int rx_mrrs = d.params.crosstalk.residue_filter ? 2 : 1;
     double node_db =
-        (rx_mrrs * d.receivers_at(w, u) + d.senders_at(w, u)) * lp.through_db;
-    if (d.has_pdn) node_db += d.pdn.crossings_at[w][u] * lp.crossing_db;
+        (rx_mrrs * dev.receivers_at(w, p) + dev.senders_at(w, p)) *
+        lp.through_db;
+    if (has_pdn) node_db += dev.pdn_crossings_at(w, p) * lp.crossing_db;
     power_mw *= phys::db_to_linear(-node_db);
   }
 }
@@ -104,26 +111,20 @@ double chord_to_crossing_mm(const RouterDesign& d, int sc, NodeId from) {
 
 /// Delivers noise travelling on shortcut `sc`'s waveguide toward `end` to a
 /// matched receiver there, attenuated by the remaining chord propagation.
-void deliver_shortcut_noise(const RouterDesign& d, int sc, NodeId end,
+/// The first-matching-route lookup runs on the DeviceIndex's per-chord
+/// table (ascending signal id — the scan order of the all-routes loop it
+/// replaces).
+void deliver_shortcut_noise(const AnalysisContext& ctx, int sc, NodeId end,
                             int wavelength, double power_mw, double travel_mm,
                             NoiseSink& sink) {
   if (power_mw < kNegligibleMw) return;
-  const phys::LossParams& lp = d.params.loss;
+  const phys::LossParams& lp = ctx.design().params.loss;
   power_mw *= phys::db_to_linear(-travel_mm * lp.propagation_db_per_mm);
-  for (std::size_t i = 0; i < d.mapping.routes.size(); ++i) {
-    const mapping::SignalRoute& r = d.mapping.routes[i];
-    if (r.wavelength != wavelength) continue;
-    const auto& sig = d.traffic.signal(static_cast<SignalId>(i));
-    if (sig.dst != end) continue;
-    const bool on_this_chord =
-        (r.kind == mapping::RouteKind::kShortcut && r.shortcut == sc) ||
-        (r.kind == mapping::RouteKind::kCse &&
-         d.shortcuts.cse_routes[r.cse].shortcut_out == sc);
-    if (!on_this_chord) continue;
-    sink.deposit(static_cast<SignalId>(i),
-                 power_mw * phys::db_to_linear(-(lp.drop_db + lp.photodetector_db)));
-    return;  // the matched drop-MRR absorbs the noise
-  }
+  const SignalId victim = ctx.devices().chord_receiver(sc, end, wavelength);
+  if (victim < 0) return;
+  // The matched drop-MRR absorbs the noise.
+  sink.deposit(victim,
+               power_mw * phys::db_to_linear(-(lp.drop_db + lp.photodetector_db)));
 }
 
 /// Rows from one comb-PDN crossing tap: every wavelength the laser emits
@@ -184,7 +185,7 @@ void emit_signal(const AnalysisContext& ctx,
           const double rest_mm =
               partner.length / 1000.0 -
               chord_to_crossing_mm(d, sc.crossing_partner, end);
-          deliver_shortcut_noise(d, sc.crossing_partner, end, r.wavelength,
+          deliver_shortcut_noise(ctx, sc.crossing_partner, end, r.wavelength,
                                  p_at_x * kx, rest_mm, sink);
         }
       }
@@ -204,7 +205,7 @@ void emit_signal(const AnalysisContext& ctx,
       sink.aggressor = id;
       sink.source = XtalkSource::kCseResidue;
       sink.node = far_end;
-      deliver_shortcut_noise(d, cse.shortcut_in, far_end, r.wavelength,
+      deliver_shortcut_noise(ctx, cse.shortcut_in, far_end, r.wavelength,
                              p_at_x * kres, rest_mm, sink);
     }
 
@@ -229,22 +230,42 @@ void emit_signal(const AnalysisContext& ctx,
     // --- 4. Residual ring-geometry crossings ----------------------------
     // Only degraded constructions (Fig. 2(c) ablation) have them: a signal
     // passing such a crossing leaks onto another arc of its own waveguide.
+    // Coupling-pair discovery runs on the arc table: one O(n/64) AND of the
+    // signal's hop mask against the substrate's crossing-hop mask rules the
+    // whole section out (the overwhelmingly common case), and surviving
+    // signals walk only their arc's crossing hops via the sparse rows —
+    // visiting exactly the (h, g) pairs the occupied_hops × tour.size()
+    // reference loop visited, in the same order.
     if ((r.kind == mapping::RouteKind::kRingCw ||
          r.kind == mapping::RouteKind::kRingCcw) &&
         d.ring.crossings > 0) {
       const mapping::Direction dir = d.mapping.waveguides[r.waveguide].dir;
-      sink.aggressor = id;
-      sink.source = XtalkSource::kRingCrossing;
-      for (const int h : mapping::occupied_hops(tour, sig.src, sig.dst, dir)) {
-        for (int g = 0; g < tour.size(); ++g) {
-          const int crossings = ctx.hop_crossings(h, g);
-          if (crossings == 0) continue;
-          const double p =
-              laser_mw[r.wavelength] *
-              phys::db_to_linear(-losses[i].total_db() / 2.0);  // mid-path
-          sink.node = tour.at(g);
-          walk_ring_noise(ctx, r.waveguide, tour.at(g), r.wavelength,
-                          p * kx * crossings, sink);
+      const std::uint64_t* mine = ctx.arcs().mask(id, dir);
+      const std::vector<std::uint64_t>& crossing_hops =
+          ctx.ring().cross_hop_mask();
+      bool overlaps = false;
+      for (std::size_t k = 0; k < crossing_hops.size(); ++k) {
+        if ((mine[k] & crossing_hops[k]) != 0) {
+          overlaps = true;
+          break;
+        }
+      }
+      if (overlaps) {
+        const mapping::ArcTable::Arc arc = ctx.arc(id, dir);
+        const int n = tour.size();
+        sink.aggressor = id;
+        sink.source = XtalkSource::kRingCrossing;
+        for (int t = 0; t < arc.len; ++t) {
+          const int h = (arc.start + t) % n;
+          if ((crossing_hops[h >> 6] >> (h & 63) & 1) == 0) continue;
+          for (const auto& [g, crossings] : ctx.ring().cross_row(h)) {
+            const double p =
+                laser_mw[r.wavelength] *
+                phys::db_to_linear(-losses[i].total_db() / 2.0);  // mid-path
+            sink.node = tour.at(g);
+            walk_ring_noise(ctx, r.waveguide, tour.at(g), r.wavelength,
+                            p * kx * crossings, sink);
+          }
         }
       }
     }
@@ -261,37 +282,42 @@ std::vector<double> compute_noise(const AnalysisContext& ctx,
 
   // Work items: one per PDN crossing tap, then one per aggressor signal —
   // the same order the serial code walked them. Each item only *records*
-  // its deposits; the replay below folds them into the totals strictly in
-  // item order, reproducing the serial accumulation (and its floating-point
-  // rounding) exactly, no matter how many threads emitted the rows.
+  // its deposits; the chunks are combined in ascending chunk order and the
+  // replay below folds the rows into the totals strictly in item order,
+  // reproducing the serial accumulation (and its floating-point rounding)
+  // exactly, no matter how many threads emitted the rows. The chunk
+  // partition depends only on (items, grain), never on the thread count.
   const long taps =
       d.has_pdn ? static_cast<long>(d.pdn.taps.size()) : 0;
   const long items = taps + static_cast<long>(d.mapping.routes.size());
-  std::vector<std::vector<XtalkContribution>> item_rows(
-      static_cast<std::size_t>(items));
 
+  using Rows = std::vector<XtalkContribution>;
   par::ThreadPool& pool = par::global_pool();
   const long grain = std::max(1L, items / (8L * pool.jobs()));
-  par::parallel_for(
-      pool, 0, items,
-      [&](long k) {
-        auto& rows = item_rows[static_cast<std::size_t>(k)];
+  Rows rows = par::parallel_reduce(
+      pool, 0, items, Rows{},
+      [&](long k, Rows& acc) {
         if (k < taps) {
           emit_pdn_tap(ctx, laser_mw, d.pdn.taps[static_cast<std::size_t>(k)],
-                       rows);
+                       acc);
         } else {
           emit_signal(ctx, losses, laser_mw,
-                      static_cast<std::size_t>(k - taps), rows);
+                      static_cast<std::size_t>(k - taps), acc);
         }
+      },
+      [](Rows& out, Rows& chunk) {
+        out.insert(out.end(), std::make_move_iterator(chunk.begin()),
+                   std::make_move_iterator(chunk.end()));
       },
       grain);
 
   std::vector<double> noise(d.traffic.size(), 0.0);
-  for (const auto& rows : item_rows) {
-    for (const XtalkContribution& row : rows) {
-      noise[row.victim] += row.noise_mw;
-      if (attribution != nullptr) attribution->push_back(row);
-    }
+  if (attribution != nullptr) {
+    attribution->reserve(attribution->size() + rows.size());
+  }
+  for (const XtalkContribution& row : rows) {
+    noise[row.victim] += row.noise_mw;
+    if (attribution != nullptr) attribution->push_back(row);
   }
   return noise;
 }

@@ -10,7 +10,12 @@
 namespace xring::analysis {
 
 RouterMetrics evaluate(const RouterDesign& design) {
-  const AnalysisContext ctx(design);
+  return evaluate(design, EvalShared{});
+}
+
+RouterMetrics evaluate(const RouterDesign& design, const EvalShared& shared) {
+  obs::Span span("analysis");
+  const AnalysisContext ctx(design, shared.ring, shared.arcs);
   const int num_signals = design.traffic.size();
 
   RouterMetrics m;
@@ -103,6 +108,13 @@ RouterMetrics evaluate(const RouterDesign& design) {
       total_mw / 1000.0 / design.params.loss.laser_wall_plug_efficiency;
   m.laser_mw = laser_mw;
 
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::registry();
+    reg.counter("analysis.signals").add(num_signals);
+    reg.counter("analysis.xtalk_rows").add(
+        static_cast<long long>(m.xtalk_ledger.size()));
+    if (shared.ring != nullptr) reg.counter("analysis.substrate_shared").add();
+  }
   return m;
 }
 

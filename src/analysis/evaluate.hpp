@@ -6,9 +6,22 @@
 
 namespace xring::analysis {
 
+/// Optional pre-built analysis substrate shared across evaluations of the
+/// same (ring, floorplan, traffic) — the `#wl` sweep evaluates one design
+/// per wavelength setting and the substrate is identical for all of them
+/// (see xring::SweepCache). Null members are built locally.
+struct EvalShared {
+  const RingSubstrate* ring = nullptr;
+  const mapping::ArcTable* arcs = nullptr;
+};
+
 /// Evaluates a complete router design: per-signal losses, per-wavelength
 /// laser powers (P = 10^((il_w + S)/10)), first-order crosstalk, SNRs, and
 /// the aggregate columns of the paper's tables.
 RouterMetrics evaluate(const RouterDesign& design);
+
+/// Same evaluation reusing a shared substrate. Results are identical to the
+/// self-contained overload — sharing only skips rebuilding read-only state.
+RouterMetrics evaluate(const RouterDesign& design, const EvalShared& shared);
 
 }  // namespace xring::analysis

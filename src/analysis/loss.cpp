@@ -12,38 +12,30 @@ bool same_orientation(const geom::Segment& a, const geom::Segment& b) {
 
 }  // namespace
 
-AnalysisContext::AnalysisContext(const RouterDesign& design)
+AnalysisContext::AnalysisContext(const RouterDesign& design,
+                                 const RingSubstrate* shared_ring,
+                                 const mapping::ArcTable* shared_arcs)
     : design_(&design) {
-  const ring::Tour& tour = design.ring.tour;
-  const netlist::Floorplan& fp = *design.floorplan;
-  hops_ = tour.size();
-  hop_routes_.reserve(hops_);
-  for (int h = 0; h < hops_; ++h) {
-    const geom::LOrder order = h < static_cast<int>(design.ring.hop_orders.size())
-                                   ? design.ring.hop_orders[h]
-                                   : geom::LOrder::kVerticalFirst;
-    hop_routes_.emplace_back(fp.position(tour.at(h)), fp.position(tour.at(h + 1)),
-                             order);
+  if (shared_ring != nullptr) {
+    ring_ = shared_ring;
+  } else {
+    local_ring_.emplace(design.ring, *design.floorplan);
+    ring_ = &*local_ring_;
   }
-  hop_cross_.assign(static_cast<std::size_t>(hops_) * hops_, 0);
-  for (int a = 0; a < hops_; ++a) {
-    for (int b = a + 1; b < hops_; ++b) {
-      const int c = geom::crossing_count(hop_routes_[a], hop_routes_[b]);
-      hop_cross_[static_cast<std::size_t>(a) * hops_ + b] = c;
-      hop_cross_[static_cast<std::size_t>(b) * hops_ + a] = c;
-    }
+  if (shared_arcs != nullptr) {
+    arcs_ = shared_arcs;
+  } else {
+    local_arcs_.emplace(design.ring.tour, design.traffic);
+    arcs_ = &*local_arcs_;
   }
+  devices_ = DeviceIndex(design, *arcs_);
 }
 
 int AnalysisContext::ring_geometry_crossings(const std::vector<int>& hops) const {
   // A signal passes a crossing once per covered hop involved in it: if both
   // crossing hops are covered, the physical point is traversed twice.
   int total = 0;
-  for (const int h : hops) {
-    for (int g = 0; g < hops_; ++g) {
-      total += hop_crossings(h, g);
-    }
-  }
+  for (const int h : hops) total += ring_->cross_row_sum(h);
   return total;
 }
 
@@ -51,7 +43,7 @@ int AnalysisContext::bends_on_hops(const std::vector<int>& hops) const {
   int bends = 0;
   const geom::Segment* prev = nullptr;
   for (const int h : hops) {
-    for (const geom::Segment& s : hop_routes_[h].segments()) {
+    for (const geom::Segment& s : ring_->hop_route(h).segments()) {
       if (prev != nullptr && !same_orientation(*prev, s)) ++bends;
       prev = &s;
     }
@@ -64,77 +56,46 @@ namespace {
 LossBreakdown ring_route_loss(const AnalysisContext& ctx, SignalId id) {
   const RouterDesign& d = ctx.design();
   const phys::LossParams& lp = d.params.loss;
-  const ring::Tour& tour = d.ring.tour;
-  const auto& sig = d.traffic.signal(id);
   const mapping::SignalRoute& route = d.mapping.routes[id];
-  const mapping::Direction dir = d.mapping.waveguides[route.waveguide].dir;
+  const int w = route.waveguide;
+  const mapping::Direction dir = d.mapping.waveguides[w].dir;
+  const mapping::ArcTable::Arc arc = ctx.arc(id, dir);
+  const RingSubstrate& ring = ctx.ring();
+  const DeviceIndex& dev = ctx.devices();
 
   LossBreakdown b;
-  const std::vector<int> hops =
-      mapping::occupied_hops(tour, sig.src, sig.dst, dir);
-
-  geom::Coord arc_um = 0;
-  for (const int h : hops) arc_um += tour.hop_length(h);
-  b.path_mm = arc_um / 1000.0 * d.ring_scale(route.waveguide);
+  const geom::Coord arc_um = ring.length_on_arc(arc.start, arc.len);
+  b.path_mm = arc_um / 1000.0 * d.ring_scale(w);
   b.propagation_db = b.path_mm * lp.propagation_db_per_mm;
 
-  b.bends = ctx.bends_on_hops(hops);
+  b.bends = ring.bends_on_arc(arc.start, arc.len);
   b.bend_db = b.bends * lp.bend_db;
 
   // Devices at intermediate nodes: every receiver drop-MRR is doubled by
   // the residue-terminating MRR of Fig. 5(b) when that filter is present;
-  // every modulator of other senders is one more off-resonance pass.
+  // every modulator of other senders is one more off-resonance pass. The
+  // per-interior-node counts are integers, so the prefix-summed form equals
+  // the node-by-node accumulation exactly.
   const int rx_mrrs = d.params.crosstalk.residue_filter ? 2 : 1;
-  for (const NodeId v : mapping::interior_nodes(tour, sig.src, sig.dst, dir)) {
-    b.through_mrrs += rx_mrrs * d.receivers_at(route.waveguide, v) +
-                      d.senders_at(route.waveguide, v);
-    if (d.has_pdn) {
-      b.crossings += d.pdn.crossings_at[route.waveguide][v];
-    }
+  b.through_mrrs = static_cast<int>(
+      rx_mrrs * dev.rx_on_interior(w, arc.start, arc.len) +
+      dev.tx_on_interior(w, arc.start, arc.len));
+  if (d.has_pdn) {
+    b.crossings += static_cast<int>(dev.pdn_on_interior(w, arc.start, arc.len));
   }
   b.through_db = b.through_mrrs * lp.through_db;
 
-  b.crossings += ctx.ring_geometry_crossings(hops);
+  b.crossings += ring.crossings_on_arc(arc.start, arc.len);
   b.crossing_db = b.crossings * lp.crossing_db;
 
   b.modulator_db = lp.modulator_db;
   b.drop_db = lp.drop_db;
   b.photodetector_db = lp.photodetector_db;
   if (d.has_pdn) {
-    b.pdn_db = d.pdn.ring_feed_db[route.waveguide][sig.src];
+    b.pdn_db = d.pdn.ring_feed_db[w][d.traffic.signal(id).src];
     b.coupler_db = lp.coupler_db;
   }
   return b;
-}
-
-/// Mapped CSE routes entering the crossing from shortcut `sc`'s waveguide in
-/// the direction leaving node `from_node` (each owns one MRR at the CSE).
-int cse_mrrs_on(const RouterDesign& d, int sc, NodeId from_node) {
-  int count = 0;
-  for (std::size_t i = 0; i < d.mapping.routes.size(); ++i) {
-    const mapping::SignalRoute& r = d.mapping.routes[i];
-    if (r.kind != mapping::RouteKind::kCse) continue;
-    const shortcut::CseRoute& c = d.shortcuts.cse_routes[r.cse];
-    if (c.shortcut_in == sc && c.src == from_node) ++count;
-  }
-  return count;
-}
-
-/// Receivers listening at `node` on the waveguides of shortcut `sc` flowing
-/// toward `node` (direct + CSE arrivals).
-int shortcut_receivers_at(const RouterDesign& d, int sc, NodeId node) {
-  int count = 0;
-  for (std::size_t i = 0; i < d.mapping.routes.size(); ++i) {
-    const mapping::SignalRoute& r = d.mapping.routes[i];
-    const auto& sig = d.traffic.signal(static_cast<SignalId>(i));
-    if (sig.dst != node) continue;
-    if (r.kind == mapping::RouteKind::kShortcut && r.shortcut == sc) ++count;
-    if (r.kind == mapping::RouteKind::kCse &&
-        d.shortcuts.cse_routes[r.cse].shortcut_out == sc) {
-      ++count;
-    }
-  }
-  return count;
 }
 
 LossBreakdown shortcut_route_loss(const AnalysisContext& ctx, SignalId id) {
@@ -143,6 +104,7 @@ LossBreakdown shortcut_route_loss(const AnalysisContext& ctx, SignalId id) {
   const auto& sig = d.traffic.signal(id);
   const mapping::SignalRoute& route = d.mapping.routes[id];
   const shortcut::Shortcut& sc = d.shortcuts.shortcuts[route.shortcut];
+  const DeviceIndex& dev = ctx.devices();
 
   LossBreakdown b;
   b.path_mm = sc.length / 1000.0;
@@ -157,13 +119,13 @@ LossBreakdown shortcut_route_loss(const AnalysisContext& ctx, SignalId id) {
     // the CSE routes departing from this signal's waveguide.
     b.crossings = 1;
     b.crossing_db = lp.crossing_db;
-    b.through_mrrs += cse_mrrs_on(d, route.shortcut, sig.src);
+    b.through_mrrs += dev.cse_mrrs_on(route.shortcut, sig.src);
   }
   // Other receivers at the destination end of the chord (residue filters
   // included when configured).
   b.through_mrrs +=
       (d.params.crosstalk.residue_filter ? 2 : 1) *
-      std::max(0, shortcut_receivers_at(d, route.shortcut, sig.dst) - 1);
+      std::max(0, dev.shortcut_receivers_at(route.shortcut, sig.dst) - 1);
   b.through_db = b.through_mrrs * lp.through_db;
 
   b.modulator_db = lp.modulator_db;
@@ -182,6 +144,7 @@ LossBreakdown cse_route_loss(const AnalysisContext& ctx, SignalId id) {
   const auto& sig = d.traffic.signal(id);
   const mapping::SignalRoute& route = d.mapping.routes[id];
   const shortcut::CseRoute& cse = d.shortcuts.cse_routes[route.cse];
+  const DeviceIndex& dev = ctx.devices();
 
   LossBreakdown b;
   b.path_mm = cse.length / 1000.0;
@@ -195,13 +158,13 @@ LossBreakdown cse_route_loss(const AnalysisContext& ctx, SignalId id) {
   // Off-resonance MRRs: sibling CSE MRRs on the inbound waveguide, every
   // CSE MRR attached to the outbound waveguide, and foreign receivers at
   // the destination.
-  b.through_mrrs += std::max(0, cse_mrrs_on(d, cse.shortcut_in, cse.src) - 1);
+  b.through_mrrs += std::max(0, dev.cse_mrrs_on(cse.shortcut_in, cse.src) - 1);
   const shortcut::Shortcut& out = d.shortcuts.shortcuts[cse.shortcut_out];
   const NodeId out_from = out.a == cse.dst ? out.b : out.a;
-  b.through_mrrs += cse_mrrs_on(d, cse.shortcut_out, out_from);
+  b.through_mrrs += dev.cse_mrrs_on(cse.shortcut_out, out_from);
   b.through_mrrs +=
       (d.params.crosstalk.residue_filter ? 2 : 1) *
-      std::max(0, shortcut_receivers_at(d, cse.shortcut_out, sig.dst) - 1);
+      std::max(0, dev.shortcut_receivers_at(cse.shortcut_out, sig.dst) - 1);
   b.through_db = b.through_mrrs * lp.through_db;
 
   b.modulator_db = lp.modulator_db;

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <optional>
+
 #include "analysis/design.hpp"
+#include "analysis/substrate.hpp"
 #include "geom/lshape.hpp"
 
 namespace xring::analysis {
@@ -8,32 +11,59 @@ namespace xring::analysis {
 // LossBreakdown lives in design.hpp (RouterMetrics keeps one per signal in
 // its loss_ledger); loss.hpp re-exports it transitively.
 
-/// Shared precomputation for analyzing one design: per-hop realized routes
-/// and the hop-vs-hop crossing matrix of the ring geometry (non-zero only
-/// for deliberately degraded constructions, e.g. the Fig. 2(c) ablation).
+/// Shared precomputation for analyzing one design: the ring's geometry
+/// substrate (per-hop realized routes, sparse hop-crossing structure and
+/// arc prefix sums), the per-signal arc table, and the design's device
+/// lookup tables.
+///
+/// The ring substrate and arc table depend only on (ring, floorplan,
+/// traffic); callers evaluating many designs over one ring (the `#wl`
+/// sweep) pass shared instances so they are built once instead of once per
+/// design — see xring::SweepCache. The device tables are mapping-dependent
+/// and always built here (O(signals + waveguides·n)).
 class AnalysisContext {
  public:
-  explicit AnalysisContext(const RouterDesign& design);
+  explicit AnalysisContext(const RouterDesign& design,
+                           const RingSubstrate* shared_ring = nullptr,
+                           const mapping::ArcTable* shared_arcs = nullptr);
+
+  AnalysisContext(const AnalysisContext&) = delete;
+  AnalysisContext& operator=(const AnalysisContext&) = delete;
 
   const RouterDesign& design() const { return *design_; }
-  const geom::LRoute& hop_route(int hop) const { return hop_routes_[hop]; }
+  const RingSubstrate& ring() const { return *ring_; }
+  const mapping::ArcTable& arcs() const { return *arcs_; }
+  const DeviceIndex& devices() const { return devices_; }
 
-  /// Crossings between the realized routes of two distinct hops.
-  int hop_crossings(int a, int b) const {
-    return hop_cross_[static_cast<std::size_t>(a) * hops_ + b];
+  /// The hop arc signal `id` occupies when travelling `dir` — the same
+  /// cyclic interval mapping::occupied_hops enumerates.
+  mapping::ArcTable::Arc arc(SignalId id, mapping::Direction dir) const {
+    return arcs_->arc(id, dir);
   }
 
+  const geom::LRoute& hop_route(int hop) const {
+    return ring_->hop_route(hop);
+  }
+
+  /// Crossings between the realized routes of two distinct hops.
+  int hop_crossings(int a, int b) const { return ring_->hop_crossings(a, b); }
+
   /// Number of ring-geometry crossings a signal covering `hops` passes.
+  /// Generic-hop-list form kept for tests and reports; the engines use the
+  /// O(1) arc form RingSubstrate::crossings_on_arc.
   int ring_geometry_crossings(const std::vector<int>& hops) const;
 
   /// Direction changes (bends) along the concatenated hop routes.
+  /// Generic-hop-list walk; the engines use RingSubstrate::bends_on_arc.
   int bends_on_hops(const std::vector<int>& hops) const;
 
  private:
   const RouterDesign* design_;
-  int hops_ = 0;
-  std::vector<geom::LRoute> hop_routes_;
-  std::vector<int> hop_cross_;
+  std::optional<RingSubstrate> local_ring_;
+  std::optional<mapping::ArcTable> local_arcs_;
+  const RingSubstrate* ring_;
+  const mapping::ArcTable* arcs_;
+  DeviceIndex devices_;
 };
 
 /// Computes the full loss breakdown of one signal. Unrouted signals yield a

@@ -1,0 +1,15 @@
+#pragma once
+
+#include "analysis/design.hpp"
+
+namespace xring::analysis::reference {
+
+/// Brute-force reference evaluation: the pre-index analysis engine kept
+/// verbatim — dense O(hops²) crossing matrix, per-signal occupied_hops
+/// walks, O(|routes|) device rescans — run strictly serially. It exists
+/// only as the differential oracle for the indexed engine: the fast path
+/// must reproduce its RouterMetrics byte for byte (see
+/// tests/test_analysis_fastpath.cpp). Never call it from synthesis.
+RouterMetrics evaluate_reference(const RouterDesign& design);
+
+}  // namespace xring::analysis::reference

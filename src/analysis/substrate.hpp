@@ -1,0 +1,198 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "analysis/design.hpp"
+#include "geom/lshape.hpp"
+#include "mapping/occupancy.hpp"
+#include "ring/tour.hpp"
+
+namespace xring::analysis {
+
+/// Geometry-only analysis substrate of one realized ring: per-hop L-routes,
+/// the hop-vs-hop crossing structure (kept sparse — legal constructions
+/// have none at all), and cyclic prefix sums over hop lengths, bends and
+/// crossing row-sums so any contiguous arc query is O(1) instead of
+/// O(arc × n).
+///
+/// The substrate depends only on (ring geometry, floorplan) — not on the
+/// mapping, the PDN or `#wl` — so a `#wl` sweep builds one instance and
+/// shares it read-only across every setting (see xring::SweepCache). It is
+/// immutable after construction.
+class RingSubstrate {
+ public:
+  RingSubstrate() = default;
+  RingSubstrate(const ring::RingGeometry& ring, const netlist::Floorplan& fp);
+
+  bool empty() const { return hops_ == 0; }
+  int hops() const { return hops_; }
+  const geom::LRoute& hop_route(int h) const { return hop_routes_[h]; }
+
+  /// Crossings between the realized routes of hops a and b (sparse lookup;
+  /// zero for the vast majority of pairs).
+  int hop_crossings(int a, int b) const;
+
+  /// Sorted (other hop, crossing count) row of hop h — exactly the nonzero
+  /// entries the dense matrix row would hold, ascending by hop index.
+  const std::vector<std::pair<int, int>>& cross_row(int h) const {
+    return cross_rows_[h];
+  }
+
+  /// Σ_g hop_crossings(h, g): the dense row sum.
+  int cross_row_sum(int h) const { return row_sums_[h]; }
+
+  /// Σ of cross_row_sum over the cyclic hop interval [start, start+len) —
+  /// the ring-geometry crossings a signal covering that arc passes.
+  int crossings_on_arc(int start, int len) const {
+    return static_cast<int>(interval_sum(cross_prefix_, start, len));
+  }
+
+  /// Direction changes along the concatenated routes of the cyclic hop
+  /// interval [start, start+len): within-route bends plus the junction
+  /// bends between consecutive covered hops. Identical to walking the hop
+  /// sequence segment by segment.
+  int bends_on_arc(int start, int len) const;
+
+  /// Σ of hop Manhattan lengths (µm) over the cyclic interval.
+  geom::Coord length_on_arc(int start, int len) const {
+    return static_cast<geom::Coord>(interval_sum(len_prefix_, start, len));
+  }
+
+  /// Hop bitset (one bit per hop, 64-bit words, same layout as
+  /// mapping::ArcTable masks): bit h set iff hop h participates in at least
+  /// one crossing. ANDing a signal's arc mask against this answers "does
+  /// this signal pass any residual crossing" in O(n/64).
+  const std::vector<std::uint64_t>& cross_hop_mask() const {
+    return cross_mask_;
+  }
+
+ private:
+  /// Σ prefix[i] for i in the cyclic interval [start, start+len), where
+  /// prefix has size hops_+1 and start is in [0, hops_).
+  long long interval_sum(const std::vector<long long>& prefix, int start,
+                         int len) const {
+    if (len <= 0) return 0;
+    const int end = start + len;
+    if (end <= hops_) return prefix[end] - prefix[start];
+    return (prefix[hops_] - prefix[start]) + prefix[end - hops_];
+  }
+
+  int hops_ = 0;
+  std::vector<geom::LRoute> hop_routes_;
+  std::vector<std::vector<std::pair<int, int>>> cross_rows_;
+  std::vector<int> row_sums_;
+  std::vector<long long> cross_prefix_;     ///< row sums, size hops_+1
+  std::vector<long long> len_prefix_;       ///< hop lengths, size hops_+1
+  std::vector<long long> internal_prefix_;  ///< within-route bends
+  std::vector<long long> junction_prefix_;  ///< bend between hop h and h+1
+  std::vector<std::uint64_t> cross_mask_;
+  /// A hop whose route has no segments (coincident endpoints) breaks the
+  /// junction decomposition; bends_on_arc then falls back to the walk.
+  bool degenerate_hop_ = false;
+};
+
+/// Mapping-dependent device lookup tables for one RouterDesign: per
+/// (waveguide, tour position) receiver/sender counts with cyclic prefix
+/// sums, first-match receiver lists, and per-shortcut route tables. Built
+/// once per evaluation in O(signals + waveguides·n); every query the loss
+/// and crosstalk engines issue afterwards is O(1) or O(devices at the
+/// queried node), replacing the O(|waveguide signals|) and O(|routes|)
+/// rescans of the brute-force accessors (RouterDesign::receivers_at et al.,
+/// which remain as the differential reference).
+class DeviceIndex {
+ public:
+  DeviceIndex() = default;
+  DeviceIndex(const RouterDesign& design, const mapping::ArcTable& arcs);
+
+  /// receivers_at / senders_at by tour position (== the brute-force count).
+  int receivers_at(int w, int pos) const { return rx_[w][pos]; }
+  int senders_at(int w, int pos) const { return tx_[w][pos]; }
+  /// PDN crossings at the node occupying tour position `pos` (0 w/o PDN).
+  int pdn_crossings_at(int w, int pos) const { return pdn_[w][pos]; }
+
+  /// Σ receivers_at / senders_at / pdn crossings over the arc's interior
+  /// positions (start+1 .. start+len-1) — the interior_nodes device scan of
+  /// ring_route_loss as one O(1) prefix-sum query each.
+  long long rx_on_interior(int w, int start, int len) const {
+    return interior_sum(rx_prefix_[w], start, len);
+  }
+  long long tx_on_interior(int w, int start, int len) const {
+    return interior_sum(tx_prefix_[w], start, len);
+  }
+  long long pdn_on_interior(int w, int start, int len) const {
+    return pdn_prefix_.empty() ? 0
+                               : interior_sum(pdn_prefix_[w], start, len);
+  }
+
+  /// First signal (in the waveguide's signal order — the order
+  /// RouterDesign::receivers_on yields) terminating at tour position `pos`
+  /// on waveguide `w` with wavelength `wl`; -1 when none.
+  SignalId receiver_on(int w, int pos, int wl) const {
+    for (const WlSig& e : rx_lists_[static_cast<std::size_t>(w) * nodes_ + pos]) {
+      if (e.wl == wl) return e.id;
+    }
+    return -1;
+  }
+
+  /// Mapped CSE routes entering shortcut `sc`'s crossing from node `from`
+  /// (loss.cpp's cse_mrrs_on without the all-routes rescan).
+  int cse_mrrs_on(int sc, NodeId from) const {
+    return count_in(cse_in_counts_[sc], from);
+  }
+
+  /// Receivers listening at `node` on the waveguides of shortcut `sc`
+  /// (direct + CSE arrivals) — loss.cpp's shortcut_receivers_at.
+  int shortcut_receivers_at(int sc, NodeId node) const {
+    return count_in(chord_rx_counts_[sc], node);
+  }
+
+  /// First route (ascending signal id — the order deliver_shortcut_noise
+  /// scans) terminating at `end` with wavelength `wl` whose path leaves
+  /// chord `sc` toward `end` (direct shortcut ride or CSE exit); -1 none.
+  SignalId chord_receiver(int sc, NodeId end, int wl) const {
+    for (const ChordSig& e : chord_rx_[sc]) {
+      if (e.wl == wl && e.dst == end) return e.id;
+    }
+    return -1;
+  }
+
+ private:
+  struct WlSig {
+    int wl;
+    SignalId id;
+  };
+  struct ChordSig {
+    NodeId dst;
+    int wl;
+    SignalId id;
+  };
+
+  long long interior_sum(const std::vector<long long>& prefix, int start,
+                         int len) const {
+    if (len <= 1) return 0;
+    const int s = (start + 1) % nodes_;
+    const int end = s + (len - 1);
+    if (end <= nodes_) return prefix[end] - prefix[s];
+    return (prefix[nodes_] - prefix[s]) + prefix[end - nodes_];
+  }
+
+  static int count_in(const std::vector<std::pair<NodeId, int>>& counts,
+                      NodeId node) {
+    for (const auto& [v, c] : counts) {
+      if (v == node) return c;
+    }
+    return 0;
+  }
+
+  int nodes_ = 0;
+  std::vector<std::vector<int>> rx_, tx_, pdn_;             ///< [w][pos]
+  std::vector<std::vector<long long>> rx_prefix_, tx_prefix_, pdn_prefix_;
+  std::vector<std::vector<WlSig>> rx_lists_;                ///< [w·n + pos]
+  std::vector<std::vector<ChordSig>> chord_rx_;             ///< [shortcut]
+  std::vector<std::vector<std::pair<NodeId, int>>> cse_in_counts_;
+  std::vector<std::vector<std::pair<NodeId, int>>> chord_rx_counts_;
+};
+
+}  // namespace xring::analysis

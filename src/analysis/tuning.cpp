@@ -1,6 +1,7 @@
 #include "analysis/tuning.hpp"
 
-#include <set>
+#include <algorithm>
+#include <vector>
 
 namespace xring::analysis {
 
@@ -26,19 +27,24 @@ MrrInventory count_mrrs(const crossbar::Topology& topology) {
   // per-path stages overcounts shared elements, so estimate the fabric as
   // the maximum simultaneous structure: stages summed over one row of
   // sources (each stage element carries two rings).
-  std::set<std::pair<int, int>> elements;
+  // A path through `stages` stages at rail offset min(s,d) occupies one
+  // element per stage; identify elements by (stage, rail diagonal). Each
+  // path contributes the contiguous stage range [0, stages), so the set of
+  // distinct elements on diagonal k is exactly [0, max stages over the
+  // diagonal's pairs) — one running max per diagonal instead of an
+  // O(n³ log n) element set.
+  std::vector<int> max_stages(n, 0);
   for (crossbar::NodeId s = 0; s < n; ++s) {
     for (crossbar::NodeId d = 0; d < n; ++d) {
       if (s == d) continue;
       const auto p = topology.path(s, d);
-      // A path through `stages` stages at rail offset min(s,d) occupies one
-      // element per stage; identify elements by (stage, rail diagonal).
-      for (int st = 0; st < p.stages; ++st) {
-        elements.insert({st, (s + d) % n});
-      }
+      int& m = max_stages[(s + d) % n];
+      m = std::max(m, p.stages);
     }
   }
-  inv.switching = 2 * static_cast<int>(elements.size());
+  long long elements = 0;
+  for (const int m : max_stages) elements += m;
+  inv.switching = 2 * static_cast<int>(elements);
   return inv;
 }
 

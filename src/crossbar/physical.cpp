@@ -5,6 +5,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "geom/sweep.hpp"
+
 namespace xring::crossbar {
 
 namespace {
@@ -72,6 +74,26 @@ PhysicalSynthesis::PhysicalSynthesis(const Topology& topology,
     out_access_.emplace_back(out_port(out_rank_[v]), floorplan.position(v),
                              geom::LOrder::kHorizontalFirst);
   }
+
+  // Per-route crossing totals against the full access-route set, via one
+  // sorted segment index (a route never crosses itself: its legs meet at
+  // the bend, an endpoint touch). path() reconstructs the reference loop's
+  // sum as total[u] minus the excluded self in/out pair.
+  geom::SegmentIndex access_index;
+  for (NodeId v = 0; v < n; ++v) {
+    access_index.add(in_access_[v]);
+    access_index.add(out_access_[v]);
+  }
+  access_index.build();
+  total_in_cross_.resize(n);
+  total_out_cross_.resize(n);
+  self_in_out_cross_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    total_in_cross_[v] = access_index.count_crossings(in_access_[v]);
+    total_out_cross_[v] = access_index.count_crossings(out_access_[v]);
+    self_in_out_cross_[v] =
+        geom::crossing_count(in_access_[v], out_access_[v]);
+  }
 }
 
 geom::Point PhysicalSynthesis::in_port(int rank) const {
@@ -98,32 +120,30 @@ CrossbarPath PhysicalSynthesis::path(NodeId src, NodeId dst) const {
   double length_um = static_cast<double>(in_access_[src].length() +
                                          out_access_[dst].length());
 
-  // Layout crossings among access routes (counted geometrically).
-  for (NodeId v = 0; v < n; ++v) {
-    if (v != src) {
-      p.crossings += geom::crossing_count(in_access_[src], in_access_[v]);
-      p.crossings += geom::crossing_count(in_access_[src], out_access_[v]);
-    }
-    if (v != dst) {
-      p.crossings += geom::crossing_count(out_access_[dst], in_access_[v]);
-      p.crossings += geom::crossing_count(out_access_[dst], out_access_[v]);
-    }
-  }
+  // Layout crossings among access routes: the reference loop sums this
+  // path's in-route against every other access route and likewise for the
+  // out-route; the precomputed totals already hold those sums (self-vs-self
+  // is zero), so only the excluded in/out self pairs need subtracting.
+  // Integer sums — the result is identical to the loop's.
+  p.crossings += total_in_cross_[src] - self_in_out_cross_[src];
+  p.crossings += total_out_cross_[dst] - self_in_out_cross_[dst];
 
   const int gap = std::abs(in_rank_[src] - out_rank_[dst]);
   switch (style_) {
     case SynthesisStyle::kNaive: {
       // Direct internal ribbons: shortest wires, one crossing per inverted
-      // signal pair sharing the box.
+      // signal pair sharing the box. With i0 = in_rank_[src] and
+      // j0 = out_rank_[dst], the inverted pairs (k, l) split into
+      // in_rank_[k] < i0 with out_rank_[l] > j0 and vice versa; since both
+      // rank arrays hold the SAME permutation (out_rank_ = in_rank_ in the
+      // constructor), the counts below are exact and the k == l exclusion
+      // removes the ranks strictly between i0 and j0. The (src, dst) pair
+      // itself has di == 0 and never counts.
       length_um += logical.stages * kElementPitchUm + gap * kPortPitchUm;
-      for (NodeId k = 0; k < n; ++k) {
-        for (NodeId l = 0; l < n; ++l) {
-          if (k == l || (k == src && l == dst)) continue;
-          const int di = in_rank_[src] - in_rank_[k];
-          const int dj = out_rank_[dst] - out_rank_[l];
-          if (di * dj < 0) ++p.crossings;
-        }
-      }
+      const int i0 = in_rank_[src];
+      const int j0 = out_rank_[dst];
+      p.crossings += i0 * (n - 1 - j0) + (n - 1 - i0) * j0 -
+                     std::max(0, std::abs(i0 - j0) - 1);
       break;
     }
     case SynthesisStyle::kPlanarized:
@@ -140,6 +160,64 @@ CrossbarPath PhysicalSynthesis::path(NodeId src, NodeId dst) const {
     case SynthesisStyle::kCompact:
       // Crossing-aware but compact: internal wiring stays short and only
       // the topology's own crossings remain inside the box.
+      length_um += logical.stages * kElementPitchUm + gap * kPortPitchUm;
+      break;
+  }
+
+  p.length_mm = length_um / 1000.0;
+  p.il_db = lp.modulator_db + lp.photodetector_db +
+            p.drops * lp.drop_db + p.throughs * lp.through_db +
+            p.crossings * lp.crossing_db +
+            p.length_mm * lp.propagation_db_per_mm + 2 * lp.bend_db;
+  return p;
+}
+
+CrossbarPath PhysicalSynthesis::path_reference(NodeId src, NodeId dst) const {
+  const phys::LossParams& lp = params_.loss;
+  const LogicalPath logical = topology_->path(src, dst);
+  const int n = floorplan_->size();
+
+  CrossbarPath p;
+  p.drops = logical.drops;
+  p.throughs = logical.throughs;
+  p.crossings = logical.crossings;
+
+  double length_um = static_cast<double>(in_access_[src].length() +
+                                         out_access_[dst].length());
+
+  // Layout crossings among access routes (counted geometrically).
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != src) {
+      p.crossings += geom::crossing_count(in_access_[src], in_access_[v]);
+      p.crossings += geom::crossing_count(in_access_[src], out_access_[v]);
+    }
+    if (v != dst) {
+      p.crossings += geom::crossing_count(out_access_[dst], in_access_[v]);
+      p.crossings += geom::crossing_count(out_access_[dst], out_access_[v]);
+    }
+  }
+
+  const int gap = std::abs(in_rank_[src] - out_rank_[dst]);
+  switch (style_) {
+    case SynthesisStyle::kNaive: {
+      length_um += logical.stages * kElementPitchUm + gap * kPortPitchUm;
+      for (NodeId k = 0; k < n; ++k) {
+        for (NodeId l = 0; l < n; ++l) {
+          if (k == l || (k == src && l == dst)) continue;
+          const int di = in_rank_[src] - in_rank_[k];
+          const int dj = out_rank_[dst] - out_rank_[l];
+          if (di * dj < 0) ++p.crossings;
+        }
+      }
+      break;
+    }
+    case SynthesisStyle::kPlanarized:
+      length_um += logical.stages * kElementPitchUm +
+                   kPlanarDetourMm * 1000.0 * logical.stages *
+                       std::max(1, gap) / 2.0;
+      p.crossings = logical.crossings + std::max(0, n - 2);
+      break;
+    case SynthesisStyle::kCompact:
       length_um += logical.stages * kElementPitchUm + gap * kPortPitchUm;
       break;
   }

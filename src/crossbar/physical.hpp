@@ -55,6 +55,12 @@ class PhysicalSynthesis {
   CrossbarPath path(NodeId src, NodeId dst) const;
   CrossbarMetrics evaluate() const;
 
+  /// Brute-force path evaluation: all-pairs geometric crossing counts and
+  /// the O(n²) inverted-pair scan, exactly as specified. `path` returns the
+  /// same values via precomputed totals; the differential tests hold the
+  /// two together. Only for verification — O(n·segments) per call.
+  CrossbarPath path_reference(NodeId src, NodeId dst) const;
+
  private:
   const Topology* topology_;
   const netlist::Floorplan* floorplan_;
@@ -67,6 +73,12 @@ class PhysicalSynthesis {
   std::vector<int> out_rank_;  ///< node -> output-port rank
   std::vector<geom::LRoute> in_access_;   ///< node -> route to input port
   std::vector<geom::LRoute> out_access_;  ///< node -> route from output port
+  /// Σ_v crossings of in_access_[u] (resp. out_access_[u]) with every access
+  /// route, and the in/out self pair — precomputed once so path() charges
+  /// access crossings in O(1) instead of rescanning all 2n routes.
+  std::vector<int> total_in_cross_;
+  std::vector<int> total_out_cross_;
+  std::vector<int> self_in_out_cross_;
 
   geom::Point in_port(int rank) const;
   geom::Point out_port(int rank) const;

@@ -1,0 +1,66 @@
+#include "geom/sweep.hpp"
+
+#include <cassert>
+
+namespace xring::geom {
+
+SegmentIndex::SegmentIndex(const Polyline& polyline) {
+  reserve(polyline.segments().size());
+  int owner = 0;
+  for (const Segment& s : polyline.segments()) add(s, owner++);
+  build();
+}
+
+void SegmentIndex::reserve(std::size_t n) {
+  horizontals_.reserve(n);
+  verticals_.reserve(n);
+}
+
+void SegmentIndex::add(const Segment& s, int owner) {
+  assert(!built_ && "add() after build()");
+  if (s.horizontal()) {
+    horizontals_.push_back(Entry{s.a.y, s, owner});
+  } else if (s.vertical()) {
+    verticals_.push_back(Entry{s.a.x, s, owner});
+  } else {
+    ++inert_;  // degenerate: participates in no transversal crossing
+  }
+}
+
+void SegmentIndex::add(const LRoute& r, int owner) {
+  for (const Segment& s : r.segments()) add(s, owner);
+}
+
+void SegmentIndex::add(const Polyline& p, int owner) {
+  for (const Segment& s : p.segments()) add(s, owner);
+}
+
+void SegmentIndex::build() {
+  const auto by_key = [](const Entry& a, const Entry& b) {
+    return a.key < b.key;
+  };
+  std::stable_sort(horizontals_.begin(), horizontals_.end(), by_key);
+  std::stable_sort(verticals_.begin(), verticals_.end(), by_key);
+  built_ = true;
+}
+
+int SegmentIndex::count_crossings(const Segment& s) const {
+  assert(built_ && "query before build()");
+  int n = 0;
+  for_each_crossing(s, [&](int) { ++n; });
+  return n;
+}
+
+int SegmentIndex::count_crossings(const LRoute& r) const {
+  int n = 0;
+  for (const Segment& s : r.segments()) n += count_crossings(s);
+  return n;
+}
+
+int SegmentIndex::count_crossings(const Polyline& p) const {
+  int n = 0;
+  for (const Segment& s : p.segments()) n += count_crossings(s);
+  return n;
+}
+
+}  // namespace xring::geom

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "geom/lshape.hpp"
+#include "geom/polyline.hpp"
+#include "geom/segment.hpp"
+
+namespace xring::geom {
+
+/// Sweep-style crossing index over a set of axis-aligned segments.
+///
+/// Only a horizontal/vertical pair can produce Touch::kCross (parallel or
+/// degenerate segments classify as endpoint/overlap/none), so the index
+/// keeps the two orientations in separate coordinate-sorted arrays:
+/// verticals sorted by their x, horizontals by their y. A crossing query
+/// for a horizontal at y=c over x in (x0, x1) binary-searches the vertical
+/// array for the open x-range and confirms each candidate with the exact
+/// `geom::crosses` predicate (and symmetrically for vertical queries).
+/// Queries therefore return byte-identical answers to the all-pairs brute
+/// force — the index only skips pairs whose sweep coordinate already rules
+/// the crossing out — in O(log N + candidates) instead of O(N).
+///
+/// Degenerate (point) segments are accepted and ignored: they can never be
+/// part of a transversal crossing.
+class SegmentIndex {
+ public:
+  SegmentIndex() = default;
+  /// Convenience: index every segment of a polyline (owner = segment index).
+  explicit SegmentIndex(const Polyline& polyline);
+
+  void reserve(std::size_t n);
+
+  /// Adds one segment. `owner` is an arbitrary caller tag returned by
+  /// for_each_crossing (e.g. a hop or route index).
+  void add(const Segment& s, int owner = -1);
+  /// Adds all segments of an L-route under one owner tag.
+  void add(const LRoute& r, int owner = -1);
+  /// Adds all segments of a polyline under one owner tag.
+  void add(const Polyline& p, int owner = -1);
+
+  /// Sorts the orientation arrays. Must be called after the last add() and
+  /// before the first query (queries assert on an unbuilt index).
+  void build();
+  bool built() const { return built_; }
+
+  /// Stored segments (including inert degenerate ones).
+  std::size_t size() const {
+    return horizontals_.size() + verticals_.size() + inert_;
+  }
+
+  /// Number of stored segments transversally crossing `s`
+  /// (geom::crosses semantics; endpoint touches and overlaps excluded).
+  int count_crossings(const Segment& s) const;
+  /// Total crossings of the route's segments with the stored set. A route's
+  /// own two legs meet at the bend (an endpoint touch), so indexing a route
+  /// and querying it against itself contributes nothing.
+  int count_crossings(const LRoute& r) const;
+  /// Total crossings of the polyline's segments with the stored set.
+  int count_crossings(const Polyline& p) const;
+
+  /// Invokes fn(owner) once per stored segment crossing `s`, in ascending
+  /// sweep-coordinate order of the stored segment (NOT owner order).
+  template <typename Fn>
+  void for_each_crossing(const Segment& s, Fn&& fn) const {
+    if (s.horizontal()) {
+      scan(verticals_, s.a.x < s.b.x ? s.a.x : s.b.x,
+           s.a.x < s.b.x ? s.b.x : s.a.x, s, fn);
+    } else if (s.vertical()) {
+      scan(horizontals_, s.a.y < s.b.y ? s.a.y : s.b.y,
+           s.a.y < s.b.y ? s.b.y : s.a.y, s, fn);
+    }
+    // Degenerate query segments cross nothing.
+  }
+
+ private:
+  struct Entry {
+    Coord key;  ///< the segment's fixed sweep coordinate (x for verticals)
+    Segment seg;
+    int owner;
+  };
+
+  template <typename Fn>
+  void scan(const std::vector<Entry>& entries, Coord lo, Coord hi,
+            const Segment& query, Fn&& fn) const {
+    // A crossing needs the perpendicular segment's fixed coordinate
+    // strictly inside (lo, hi); the exact predicate re-checks everything.
+    const auto cmp = [](const Entry& e, Coord c) { return e.key < c; };
+    auto it = std::lower_bound(entries.begin(), entries.end(), lo + 1, cmp);
+    for (; it != entries.end() && it->key < hi; ++it) {
+      if (crosses(query, it->seg)) fn(it->owner);
+    }
+  }
+
+  std::vector<Entry> horizontals_;  ///< sorted by y after build()
+  std::vector<Entry> verticals_;    ///< sorted by x after build()
+  std::size_t inert_ = 0;           ///< degenerate segments (cross nothing)
+  bool built_ = false;
+};
+
+}  // namespace xring::geom

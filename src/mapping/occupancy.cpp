@@ -111,10 +111,23 @@ bool OccupancyIndex::fits(int waveguide, int wavelength, SignalId id) const {
   const SignalRoute& r = m.routes[id];
   const bool resident = is_ring_route(r) && r.waveguide == waveguide &&
                         r.wavelength == wavelength;
-  for (int k = 0; k < arcs_->words(); ++k) {
-    if ((slot[k] & mine[k]) != (resident ? mine[k] : 0)) return false;
+  // `mine` is zero outside the arc's word range, so only the words the arc
+  // touches can fail the test; a wrapping arc touches two word runs. Most
+  // signals cover a short arc, making this O(arc/64) instead of O(n/64).
+  const ArcTable::Arc a = arcs_->arc(id, dir);
+  if (a.len <= 0) return true;
+  const int last = a.start + a.len - 1;  // inclusive, may exceed n-1
+  const auto scan = [&](int word_lo, int word_hi) {  // inclusive word range
+    for (int k = word_lo; k <= word_hi; ++k) {
+      if ((slot[k] & mine[k]) != (resident ? mine[k] : 0)) return false;
+    }
+    return true;
+  };
+  if (last < arcs_->nodes()) {
+    return scan(a.start >> 6, last >> 6);
   }
-  return true;
+  return scan(a.start >> 6, arcs_->words() - 1) &&
+         scan(0, (last - arcs_->nodes()) >> 6);
 }
 
 std::vector<SignalId> OccupancyIndex::signals_passing(int waveguide,

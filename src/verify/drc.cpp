@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
-#include "mapping/opening.hpp"
+#include "geom/sweep.hpp"
+#include "mapping/occupancy.hpp"
 #include "obs/obs.hpp"
 
 namespace xring::verify {
@@ -31,6 +32,11 @@ void check_ring(const RouterDesign& d, std::vector<Violation>& out) {
 
 void check_shortcuts(const RouterDesign& d, const DrcOptions& opt,
                      std::vector<Violation>& out) {
+  // One sorted index over the ring polyline answers every chord-vs-ring
+  // query in O(log ring + candidates); each candidate is confirmed with the
+  // exact geom::crosses predicate, so the count matches
+  // Polyline::crossings_with segment for segment.
+  const geom::SegmentIndex ring_index(d.ring.polyline);
   std::vector<int> uses(d.floorplan->size(), 0);
   for (std::size_t i = 0; i < d.shortcuts.shortcuts.size(); ++i) {
     const shortcut::Shortcut& s = d.shortcuts.shortcuts[i];
@@ -38,7 +44,7 @@ void check_shortcuts(const RouterDesign& d, const DrcOptions& opt,
     uses[s.b]++;
     const geom::LRoute chord(d.floorplan->position(s.a),
                              d.floorplan->position(s.b), s.order);
-    if (d.ring.polyline.crossings_with(chord) > 0) {
+    if (ring_index.count_crossings(chord) > 0) {
       add(out, Violation::Rule::kChordCrossesRing,
           "shortcut " + std::to_string(s.a) + "-" + std::to_string(s.b) +
               " crosses a ring waveguide");
@@ -80,8 +86,8 @@ void check_routes(const RouterDesign& d, const DrcOptions& opt,
   }
 }
 
-void check_arcs(const RouterDesign& d, std::vector<Violation>& out) {
-  const ring::Tour& tour = d.ring.tour;
+void check_arcs(const RouterDesign& d, const mapping::ArcTable* arcs,
+                std::vector<Violation>& out) {
   for (std::size_t w = 0; w < d.mapping.waveguides.size(); ++w) {
     const mapping::RingWaveguide& wg = d.mapping.waveguides[w];
     for (std::size_t i = 0; i < wg.signals.size(); ++i) {
@@ -90,31 +96,32 @@ void check_arcs(const RouterDesign& d, std::vector<Violation>& out) {
         if (d.mapping.routes[a].wavelength != d.mapping.routes[b].wavelength) {
           continue;
         }
-        const auto& sa = d.traffic.signal(a);
-        const auto& sb = d.traffic.signal(b);
-        std::vector<bool> hops(tour.size(), false);
-        for (const int h :
-             mapping::occupied_hops(tour, sa.src, sa.dst, wg.dir)) {
-          hops[h] = true;
-        }
-        for (const int h :
-             mapping::occupied_hops(tour, sb.src, sb.dst, wg.dir)) {
-          if (hops[h]) {
-            add(out, Violation::Rule::kArcOverlap,
-                "signals " + std::to_string(a) + " and " + std::to_string(b) +
-                    " overlap on waveguide " + std::to_string(w) +
-                    " wavelength " +
-                    std::to_string(d.mapping.routes[a].wavelength));
+        // Hop-interval intersection as an O(n/64) AND of the precomputed
+        // arc bitsets — the same set test the occupied_hops bool-vector
+        // scan performed, so the (w, i<j) emission order is unchanged.
+        const std::uint64_t* ma = arcs->mask(a, wg.dir);
+        const std::uint64_t* mb = arcs->mask(b, wg.dir);
+        bool overlap = false;
+        for (int k = 0; k < arcs->words(); ++k) {
+          if ((ma[k] & mb[k]) != 0) {
+            overlap = true;
             break;
           }
+        }
+        if (overlap) {
+          add(out, Violation::Rule::kArcOverlap,
+              "signals " + std::to_string(a) + " and " + std::to_string(b) +
+                  " overlap on waveguide " + std::to_string(w) +
+                  " wavelength " +
+                  std::to_string(d.mapping.routes[a].wavelength));
         }
       }
     }
   }
 }
 
-void check_openings(const RouterDesign& d, const DrcOptions& opt,
-                    std::vector<Violation>& out) {
+void check_openings(const RouterDesign& d, const mapping::ArcTable* arcs,
+                    const DrcOptions& opt, std::vector<Violation>& out) {
   if (!d.has_pdn || !opt.require_openings) return;
   for (std::size_t w = 0; w < d.mapping.waveguides.size(); ++w) {
     const mapping::RingWaveguide& wg = d.mapping.waveguides[w];
@@ -123,8 +130,16 @@ void check_openings(const RouterDesign& d, const DrcOptions& opt,
           "waveguide " + std::to_string(w) + " has no opening");
       continue;
     }
-    const int passing = mapping::passing_signals(
-        d.ring.tour, d.traffic, d.mapping, static_cast<int>(w), wg.opening);
+    // mapping::passing_signals counts the waveguide's signals whose
+    // interior_nodes contain the opening; interior_contains evaluates the
+    // same strict-interior predicate per signal in O(1).
+    int passing = 0;
+    if (!wg.signals.empty()) {
+      const int pos = arcs->position(wg.opening);
+      for (const SignalId id : wg.signals) {
+        if (arcs->interior_contains(id, wg.dir, pos)) ++passing;
+      }
+    }
     if (passing > 0) {
       add(out, Violation::Rule::kOpeningBlocked,
           std::to_string(passing) + " signal(s) pass the opening of waveguide " +
@@ -158,15 +173,21 @@ void check_pdn(const RouterDesign& d, std::vector<Violation>& out) {
 void check_cse_wavelengths(const RouterDesign& d, std::vector<Violation>& out) {
   // Crossed shortcut pairs must not share a wavelength between their direct
   // signals (Sec. III-C), or the crossing leak lands on a matched receiver.
+  // Grouping the direct routes per shortcut up front (ascending signal id —
+  // the inner all-routes scan order) turns the O(routes²) pairing into
+  // O(routes + clashes).
+  std::vector<std::vector<std::size_t>> direct(d.shortcuts.shortcuts.size());
+  for (std::size_t i = 0; i < d.mapping.routes.size(); ++i) {
+    const mapping::SignalRoute& r = d.mapping.routes[i];
+    if (r.kind == RouteKind::kShortcut) direct[r.shortcut].push_back(i);
+  }
   for (std::size_t i = 0; i < d.mapping.routes.size(); ++i) {
     const mapping::SignalRoute& ri = d.mapping.routes[i];
     if (ri.kind != RouteKind::kShortcut) continue;
     const shortcut::Shortcut& si = d.shortcuts.shortcuts[ri.shortcut];
     if (si.crossing_partner < 0) continue;
-    for (std::size_t j = 0; j < d.mapping.routes.size(); ++j) {
+    for (const std::size_t j : direct[si.crossing_partner]) {
       const mapping::SignalRoute& rj = d.mapping.routes[j];
-      if (rj.kind != RouteKind::kShortcut) continue;
-      if (rj.shortcut != si.crossing_partner) continue;
       if (ri.wavelength == rj.wavelength) {
         add(out, Violation::Rule::kCseWavelengthClash,
             "crossed shortcuts " + std::to_string(ri.shortcut) + " and " +
@@ -200,11 +221,17 @@ std::vector<Violation> check(const analysis::RouterDesign& design,
                              const DrcOptions& options) {
   obs::Span span("verify.drc");
   std::vector<Violation> out;
+  // The arc and opening checks share one per-signal hop-interval table
+  // (O(signals · n/64) to build, amortized over every pair probe).
+  const bool have_tour = design.ring.tour.size() > 0;
+  const mapping::ArcTable arcs =
+      have_tour ? mapping::ArcTable(design.ring.tour, design.traffic)
+                : mapping::ArcTable();
   check_ring(design, out);
   check_shortcuts(design, options, out);
   check_routes(design, options, out);
-  check_arcs(design, out);
-  check_openings(design, options, out);
+  check_arcs(design, &arcs, out);
+  check_openings(design, &arcs, options, out);
   check_pdn(design, out);
   check_cse_wavelengths(design, out);
   // Every violation doubles as a structured diagnostic (code drc.<rule>),

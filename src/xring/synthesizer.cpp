@@ -5,12 +5,12 @@
 namespace xring {
 
 Synthesizer::Synthesizer(const netlist::Floorplan& floorplan)
-    : floorplan_(&floorplan), oracle_(floorplan) {}
+    : floorplan_(&floorplan) {}
 
 SynthesisResult Synthesizer::run(const SynthesisOptions& options) const {
   obs::Span root("synth");
   const ring::RingBuildResult ring =
-      ring::build_ring(*floorplan_, oracle_, options.ring);
+      ring::build_ring(*floorplan_, oracle(), options.ring);
   SynthesisResult out = synthesize_from_ring(options, ring, nullptr);
   // The root span covers ring construction, so its elapsed time alone is the
   // full wall-clock figure.
@@ -45,6 +45,7 @@ SweepCache Synthesizer::make_sweep_cache(
       options.traffic ? *options.traffic
                       : netlist::Traffic::all_to_all(floorplan_->size());
   cache.arcs = mapping::ArcTable(ring.geometry.tour, traffic);
+  cache.substrate = analysis::RingSubstrate(ring.geometry, *floorplan_);
   cache.seconds = span.elapsed_seconds();
   return cache;
 }
@@ -106,7 +107,13 @@ SynthesisResult Synthesizer::synthesize_from_ring(
 
   {
     obs::Span span("evaluate");
-    out.metrics = analysis::evaluate(d);
+    // A sweep cache carries the evaluation substrate for this exact ring and
+    // traffic; sharing it skips the per-setting rebuild without changing a
+    // single evaluated bit (see analysis::EvalShared).
+    out.metrics =
+        cache ? analysis::evaluate(
+                    d, analysis::EvalShared{&cache->substrate, &cache->arcs})
+              : analysis::evaluate(d);
   }
   return out;
 }

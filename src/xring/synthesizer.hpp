@@ -1,5 +1,6 @@
 #pragma once
 
+#include <mutex>
 #include <optional>
 
 #include "analysis/evaluate.hpp"
@@ -49,12 +50,15 @@ struct SynthesisResult {
 /// it to every setting instead of re-deriving it per probe:
 ///   - the Step-2 shortcut plan (previously rebuilt once per setting),
 ///   - the Step-3 arc table (per-signal hop intervals + bitsets backing the
-///     incremental occupancy index; see mapping/occupancy.hpp).
+///     incremental occupancy index; see mapping/occupancy.hpp),
+///   - the evaluation ring substrate (realized hop routes, crossing
+///     structure and arc prefix sums; see analysis/substrate.hpp).
 /// Immutable after construction and shared read-only across the parallel
 /// sweep's threads.
 struct SweepCache {
   shortcut::ShortcutPlan shortcuts;
   mapping::ArcTable arcs;
+  analysis::RingSubstrate substrate;
   /// Wall time spent building the cache; folded into each setting's
   /// reported `seconds` the same way the prebuilt ring's build time is.
   double seconds = 0.0;
@@ -88,7 +92,17 @@ class Synthesizer {
                               const ring::RingBuildResult& ring) const;
 
   const netlist::Floorplan& floorplan() const { return *floorplan_; }
-  const ring::ConflictOracle& oracle() const { return oracle_; }
+
+  /// Step-1 conflict oracle, built on first use. The oracle's all-pairs
+  /// conflict table is Θ(n⁴) predicate evaluations and Θ(n⁴) bits — at
+  /// n = 512 that is minutes of work and gigabytes of memory — but only
+  /// ring *construction* reads it. Callers entering through
+  /// `run_with_ring` (prebuilt or fixed rings: sweeps, the scaling
+  /// profile, ablations) never pay for it.
+  const ring::ConflictOracle& oracle() const {
+    std::call_once(oracle_once_, [&] { oracle_.emplace(*floorplan_); });
+    return *oracle_;
+  }
 
  private:
   /// Steps 2-4 + evaluation from an already-built ring (no root span; both
@@ -98,7 +112,8 @@ class Synthesizer {
                                        const SweepCache* cache) const;
 
   const netlist::Floorplan* floorplan_;
-  ring::ConflictOracle oracle_;
+  mutable std::optional<ring::ConflictOracle> oracle_;
+  mutable std::once_flag oracle_once_;
 };
 
 }  // namespace xring

@@ -1,0 +1,140 @@
+// Differential testing of the sweep-style SegmentIndex against the
+// all-pairs brute force built on the same exact predicate (geom::crosses):
+// random dense axis-aligned sets, the degenerate families (collinear
+// overlaps, shared endpoints, T-junctions, point segments), and parity with
+// Polyline::crossings_with. The index must agree crossing for crossing —
+// it only skips pairs the sweep coordinate already rules out.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "geom/sweep.hpp"
+
+namespace xring::geom {
+namespace {
+
+Segment h(Coord x1, Coord x2, Coord y) { return {{x1, y}, {x2, y}}; }
+Segment v(Coord x, Coord y1, Coord y2) { return {{x, y1}, {x, y2}}; }
+
+int brute_count(const std::vector<Segment>& set, const Segment& q) {
+  int n = 0;
+  for (const Segment& s : set) {
+    if (crosses(q, s)) ++n;
+  }
+  return n;
+}
+
+std::vector<int> brute_owners(const std::vector<Segment>& set,
+                              const Segment& q) {
+  std::vector<int> owners;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (crosses(q, set[i])) owners.push_back(static_cast<int>(i));
+  }
+  return owners;
+}
+
+SegmentIndex build_index(const std::vector<Segment>& set) {
+  SegmentIndex index;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    index.add(set[i], static_cast<int>(i));
+  }
+  index.build();
+  return index;
+}
+
+void expect_matches_brute(const std::vector<Segment>& set,
+                          const std::vector<Segment>& queries) {
+  const SegmentIndex index = build_index(set);
+  for (const Segment& q : queries) {
+    EXPECT_EQ(index.count_crossings(q), brute_count(set, q));
+    std::vector<int> owners;
+    index.for_each_crossing(q, [&](int o) { owners.push_back(o); });
+    std::sort(owners.begin(), owners.end());
+    EXPECT_EQ(owners, brute_owners(set, q));
+  }
+}
+
+TEST(SegmentIndex, RandomDenseSetsMatchBruteForce) {
+  // A tight coordinate range forces plenty of crossings, endpoint touches
+  // and exact coordinate ties.
+  std::mt19937 rng(20240817);
+  std::uniform_int_distribution<int> coord(0, 24);
+  std::uniform_int_distribution<int> len(0, 12);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Segment> set;
+    for (int i = 0; i < 60; ++i) {
+      const Coord a = coord(rng), b = coord(rng), l = len(rng);
+      set.push_back(i % 2 == 0 ? h(a, a + l, b) : v(a, b, b + l));
+    }
+    // Query both member segments (self pairs must contribute nothing) and
+    // fresh random segments.
+    std::vector<Segment> queries = set;
+    for (int i = 0; i < 20; ++i) {
+      const Coord a = coord(rng), b = coord(rng), l = len(rng);
+      queries.push_back(i % 2 == 0 ? h(a, a + l, b) : v(a, b, b + l));
+    }
+    expect_matches_brute(set, queries);
+  }
+}
+
+TEST(SegmentIndex, DegenerateFamilies) {
+  const std::vector<Segment> set = {
+      h(0, 10, 5),     // baseline horizontal
+      h(2, 8, 5),      // collinear overlap with it
+      h(10, 20, 5),    // shares endpoint (10,5) with the baseline
+      v(5, 5, 12),     // T-junction: endpoint on the baseline's interior
+      v(5, -4, 5),     // T-junction from below, endpoint touch
+      v(0, 0, 10),     // endpoint touch at the baseline's left end
+      {{7, 5}, {7, 5}},  // point segment ON the baseline
+      {{3, 3}, {3, 3}},  // point segment off every segment
+      v(7, 0, 10),     // true crossing of the baseline
+  };
+  std::vector<Segment> queries = set;
+  queries.push_back(h(-5, 25, 5));   // collinear sweep across everything
+  queries.push_back(v(10, 0, 10));   // through the shared endpoint column
+  queries.push_back(h(0, 10, 0));    // touches verticals' endpoints
+  queries.push_back({{5, 5}, {5, 5}});  // degenerate query
+  expect_matches_brute(set, queries);
+
+  // Sanity anchors, independent of the brute force: the only transversal
+  // crossing of the baseline is the full-height vertical at x=7.
+  const SegmentIndex index = build_index(set);
+  EXPECT_EQ(index.count_crossings(h(0, 10, 5)), 1);
+  EXPECT_EQ(index.count_crossings(Segment{{5, 5}, {5, 5}}), 0);
+}
+
+TEST(SegmentIndex, LRouteSelfQueryContributesNothing) {
+  const LRoute route({0, 0}, {10, 10}, LOrder::kVerticalFirst);
+  SegmentIndex index;
+  index.add(route, 7);
+  index.build();
+  // The route's two legs meet at the bend — an endpoint touch, never a
+  // crossing — so querying a route against an index containing itself adds
+  // exactly zero.
+  EXPECT_EQ(index.count_crossings(route), 0);
+}
+
+TEST(SegmentIndex, PolylineParity) {
+  std::mt19937 rng(77);
+  std::uniform_int_distribution<int> coord(0, 40);
+  std::vector<Segment> segs;
+  for (int i = 0; i < 50; ++i) {
+    const Coord a = coord(rng), b = coord(rng), l = coord(rng) % 15;
+    segs.push_back(i % 2 == 0 ? h(a, a + l, b) : v(a, b, b + l));
+  }
+  const Polyline poly(segs);
+  const SegmentIndex index(poly);
+  for (int i = 0; i < 30; ++i) {
+    const LRoute chord({coord(rng), coord(rng)}, {coord(rng), coord(rng)},
+                       i % 2 == 0 ? LOrder::kVerticalFirst
+                                  : LOrder::kHorizontalFirst);
+    EXPECT_EQ(index.count_crossings(chord), poly.crossings_with(chord));
+  }
+  EXPECT_EQ(index.count_crossings(poly), poly.crossings_with(poly));
+}
+
+}  // namespace
+}  // namespace xring::geom

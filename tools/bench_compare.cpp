@@ -48,9 +48,10 @@
 // non-fatal warnings, counted in the summary line even under --quiet
 // (renaming a metric should not silently drop it from the gate).
 //
-// When `span.mapping.total_s` / `span.opening.total_s` appear in both
+// When `span.mapping.total_s` / `span.opening.total_s` /
+// `span.analysis.total_s` / `span.verify.drc.total_s` appear in both
 // files, the summary line also reports their before → after ratios — the
-// Step-3 hot spans this tool most often gates.
+// Step-3/evaluation hot spans this tool most often gates.
 //
 // Exit status: 0 all comparisons within tolerance, 1 at least one
 // regression, 2 usage or I/O error.
@@ -179,10 +180,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  // The Step-3 hot spans, called out whenever both reports carry them: the
-  // quickest read on whether a mapping/opening change moved the needle.
+  // The pipeline hot spans, called out whenever both reports carry them:
+  // the quickest read on whether a mapping/opening/analysis change moved
+  // the needle.
   std::string hot_spans;
-  for (const char* key : {"span.mapping.total_s", "span.opening.total_s"}) {
+  for (const char* key : {"span.mapping.total_s", "span.opening.total_s",
+                          "span.analysis.total_s", "span.verify.drc.total_s"}) {
     const auto b = base.find(key);
     const auto c = cand.find(key);
     if (b == base.end() || c == cand.end() || !in_scope(key)) continue;

@@ -49,6 +49,12 @@ echo "== bench regression gate =="
 "$build_dir/tools/bench_compare" "$repo/bench/baselines/BENCH_table1.json" \
   "$build_dir/bench/BENCH_table1.json" --only-prefix table1. \
   --rel-tolerance 0 --quiet
+# Evaluation determinism gate: the indexed analysis engine's counters
+# (analysis.signals, analysis.xtalk_rows) are its bit-identical contract
+# with the pre-index reference — exact match, like mapping.* above.
+"$build_dir/tools/bench_compare" "$repo/bench/baselines/BENCH_table1.json" \
+  "$build_dir/bench/BENCH_table1.json" --only-prefix analysis. \
+  --rel-tolerance 0 --quiet
 echo "bench gate OK"
 
 # ThreadSanitizer pass over the concurrent substrate (its own build tree —
@@ -63,5 +69,6 @@ cmake --build "$tsan_dir" -j
   XRING_JOBS=8 ./test_milp_bnb &&
   XRING_JOBS=8 ./test_xring_synthesizer &&
   XRING_JOBS=8 ./test_mapping_index &&
+  XRING_JOBS=8 ./test_analysis_fastpath &&
   XRING_JOBS=8 ./test_obs_context)
 echo "tsan OK"
