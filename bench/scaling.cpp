@@ -7,7 +7,7 @@
 // any metric differs between the two (the substrate's determinism contract).
 //
 // The per-stage resource profile (one Steps 2-4 + evaluation run per size
-// on a fixed serpentine ring, through n=512 by default) adds the memory
+// on a fixed serpentine ring, through n=1024 by default) adds the memory
 // dimension: wall time and sampled peak RSS per pipeline stage, plus a
 // log-log least-squares fit of the measured O(n^k) per stage. Each run goes
 // through the production sweep path — make_sweep_cache builds the shared
@@ -56,6 +56,8 @@ GridShape grid_shape(int n) {
          : n == 256 ? GridShape{16, 16}
          : n == 384 ? GridShape{16, 24}
          : n == 512 ? GridShape{16, 32}
+         : n == 768 ? GridShape{24, 32}
+         : n == 1024 ? GridShape{32, 32}
                     : GridShape{1, n};
 }
 
@@ -325,7 +327,7 @@ ProfileRun run_profile(int n, bool profiled) {
   return out;
 }
 
-/// Per-stage resource profile through n=512 (or --max-n): one synthesis per
+/// Per-stage resource profile through n=1024 (or --max-n): one synthesis per
 /// size, wall time + sampled peak RSS per pipeline stage, then the log-log
 /// fitted O(n^k) per stage. Sizes <= 64 also run unprofiled and must
 /// reproduce the same design exactly — profiling may not perturb results.
@@ -341,7 +343,7 @@ bool profile_table(int max_n) {
       mem_pts;
   std::vector<std::pair<double, double>> total_time_pts, total_mem_pts;
   bool identical = true;
-  for (const int n : {16, 32, 64, 96, 128, 192, 256, 384, 512}) {
+  for (const int n : {16, 32, 64, 96, 128, 192, 256, 384, 512, 768, 1024}) {
     if (n > max_n) continue;
     const ProfileRun run = run_profile(n, /*profiled=*/true);
     if (n <= 64) {
@@ -397,20 +399,97 @@ bool profile_table(int max_n) {
   return identical;
 }
 
+/// Exact-equality determinism gate over the Step-3 speculative candidate
+/// evaluation: the full mapping + opening phase at 1, 2, and 8 pool jobs
+/// must produce byte-identical routes, waveguide signal lists, openings,
+/// and opening statistics (the speculation only reorders *evaluation*, the
+/// consume order is serial). Sizes straddle the speculation size gate.
+bool mapping_determinism_gate() {
+  bool identical = true;
+  for (const int n : {48, 96}) {
+    const netlist::Floorplan fp = ring_floorplan(n);
+    const ring::RingBuildResult ring = serpentine_ring(fp, grid_shape(n));
+    const netlist::Traffic traffic =
+        netlist::Traffic::all_to_all(fp.nodes().size());
+    const mapping::ArcTable arcs(ring.geometry.tour, traffic);
+    mapping::MappingOptions mo;
+    mo.max_wavelengths = n / 4;  // tight cap: relocation batches engage
+    mo.use_shortcuts = false;
+    const shortcut::ShortcutPlan plan;
+
+    struct Outcome {
+      mapping::Mapping m;
+      mapping::OpeningStats stats;
+    };
+    const auto run = [&](int jobs) {
+      par::set_jobs(jobs);
+      Outcome out;
+      out.m = mapping::assign_wavelengths(ring.geometry.tour, traffic, plan,
+                                          mo, &arcs);
+      out.stats = mapping::create_openings(ring.geometry.tour, traffic,
+                                           out.m, mo, {}, &arcs);
+      par::set_jobs(0);
+      return out;
+    };
+    const Outcome ref = run(1);
+    for (const int jobs : {2, 8}) {
+      const Outcome got = run(jobs);
+      bool same = got.stats.relocated_signals == ref.stats.relocated_signals &&
+                  got.stats.extra_waveguides == ref.stats.extra_waveguides &&
+                  got.m.wavelengths_used == ref.m.wavelengths_used &&
+                  got.m.waveguides.size() == ref.m.waveguides.size();
+      for (std::size_t i = 0; same && i < ref.m.routes.size(); ++i) {
+        same = got.m.routes[i].waveguide == ref.m.routes[i].waveguide &&
+               got.m.routes[i].wavelength == ref.m.routes[i].wavelength;
+      }
+      for (std::size_t w = 0; same && w < ref.m.waveguides.size(); ++w) {
+        same = got.m.waveguides[w].opening == ref.m.waveguides[w].opening &&
+               got.m.waveguides[w].signals == ref.m.waveguides[w].signals;
+      }
+      if (!same) {
+        std::fprintf(stderr,
+                     "mapping determinism violation at %d nodes: jobs=1 and "
+                     "jobs=%d disagree on the speculative opening search\n",
+                     n, jobs);
+        identical = false;
+      }
+    }
+  }
+  std::printf("mapping/opening determinism gate (jobs 1/2/8): %s\n\n",
+              identical ? "identical" : "VIOLATION");
+  return identical;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace xring;
   int max_ring = 128;  // cap for the MILP table (CI trims the 100s solves)
-  int max_n = 512;     // cap for the resource profile
+  int max_n = 1024;    // cap for the resource profile
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--ring") == 0) return ring_smoke(std::atoi(argv[i + 1]));
     if (std::strcmp(argv[i], "--max-ring") == 0) max_ring = std::atoi(argv[i + 1]);
-    if (std::strcmp(argv[i], "--max-n") == 0) max_n = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--max-n") == 0) {
+      max_n = std::atoi(argv[i + 1]);
+      // --max-ring 0 legitimately skips the MILP table, but a non-positive
+      // profile cap would silently run zero sizes and fit nothing.
+      if (max_n <= 0) {
+        std::fprintf(stderr,
+                     "scaling: --max-n must be positive (got %s)\n"
+                     "usage: scaling [--ring N] [--max-ring N] [--max-n N]\n"
+                     "  --ring N      CI smoke: one MILP ring solve at N\n"
+                     "  --max-ring N  cap the MILP ring table (0 skips it)\n"
+                     "  --max-n N     cap the resource profile "
+                     "(default 1024)\n",
+                     argv[i + 1]);
+        return EXIT_FAILURE;
+      }
+    }
   }
   const int jobs_n = par::resolve_jobs(0);
 
   bool ok = ring_scaling_table(jobs_n, max_ring);
+  ok = mapping_determinism_gate() && ok;
   ok = profile_table(max_n) && ok;
   if (!ok) return EXIT_FAILURE;
   std::printf("=== Scaling: full flow up to 64 nodes (jobs=1 vs jobs=%d) ===\n\n",

@@ -1,5 +1,6 @@
 #include "mapping/occupancy.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -21,6 +22,25 @@ bool is_ring_route(const SignalRoute& r) {
   return r.kind == RouteKind::kRingCw || r.kind == RouteKind::kRingCcw;
 }
 
+int lowest_set_bit(std::uint64_t x) { return __builtin_ctzll(x); }
+
+/// Any live bit in the linear position range [lo, hi)? (hi <= n)
+bool any_bit_in(const std::vector<std::uint64_t>& bits, int lo, int hi) {
+  if (lo >= hi) return false;
+  const int wlo = lo >> 6;
+  const int whi = (hi - 1) >> 6;
+  const std::uint64_t first = ~std::uint64_t{0} << (lo & 63);
+  const std::uint64_t last = (hi & 63) != 0
+                                 ? (std::uint64_t{1} << (hi & 63)) - 1
+                                 : ~std::uint64_t{0};
+  if (wlo == whi) return (bits[wlo] & first & last) != 0;
+  if ((bits[wlo] & first) != 0) return true;
+  for (int k = wlo + 1; k < whi; ++k) {
+    if (bits[k] != 0) return true;
+  }
+  return (bits[whi] & last) != 0;
+}
+
 }  // namespace
 
 ArcTable::ArcTable(const ring::Tour& tour, const netlist::Traffic& traffic)
@@ -29,6 +49,7 @@ ArcTable::ArcTable(const ring::Tour& tour, const netlist::Traffic& traffic)
       signal_count_(traffic.size()) {
   arcs_.resize(static_cast<std::size_t>(2) * signal_count_);
   masks_.assign(static_cast<std::size_t>(2) * signal_count_ * words_, 0);
+  spans_.resize(static_cast<std::size_t>(2) * signal_count_);
   NodeId max_id = 0;
   for (const auto& sig : traffic.signals()) {
     max_id = std::max({max_id, sig.src, sig.dst});
@@ -36,6 +57,15 @@ ArcTable::ArcTable(const ring::Tour& tour, const netlist::Traffic& traffic)
   for (int p = 0; p < nodes_; ++p) max_id = std::max(max_id, tour.at(p));
   positions_.assign(max_id + 1, -1);
   for (int p = 0; p < nodes_; ++p) positions_[tour.at(p)] = p;
+
+  // Valid hop bits per word: the last word of a non-multiple-of-64 ring has
+  // hops only in its low n%64 bits; occupancy never sets bits above them,
+  // so an arc covering every valid bit of a word overlaps any live bit
+  // there ("fully covered" in the summary sense).
+  std::vector<std::uint64_t> valid(words_, ~std::uint64_t{0});
+  if (nodes_ % 64 != 0 && words_ > 0) {
+    valid[words_ - 1] = (std::uint64_t{1} << (nodes_ % 64)) - 1;
+  }
 
   for (const auto& sig : traffic.signals()) {
     for (const Direction dir : {Direction::kCw, Direction::kCcw}) {
@@ -46,6 +76,18 @@ ArcTable::ArcTable(const ring::Tour& tour, const netlist::Traffic& traffic)
       for (int h = 0; h < a.len; ++h) {
         const int hop = (a.start + h) % nodes_;
         m[hop >> 6] |= std::uint64_t{1} << (hop & 63);
+      }
+      if (words_ <= 64) {
+        WordSpan& span = spans_[idx];
+        for (int k = 0; k < words_; ++k) {
+          if (m[k] == 0) continue;
+          const std::uint64_t bit = std::uint64_t{1} << k;
+          if (m[k] == valid[k]) {
+            span.full |= bit;
+          } else {
+            span.partial |= bit;
+          }
+        }
       }
     }
   }
@@ -64,6 +106,194 @@ OccupancyIndex::OccupancyIndex(const ArcTable& arcs, Mapping& mapping)
   }
 }
 
+OccupancyIndex::OccupancyIndex(const OccupancyIndex& other, Mapping& mapping)
+    : arcs_(other.arcs_),
+      mapping_(&mapping),
+      slots_(other.slots_),
+      track_passing_(false),
+      stats_(other.stats_),
+      cursors_(other.cursors_),
+      epoch_(other.epoch_),
+      removal_log_(other.removal_log_),
+      stride_(other.stride_),
+      gap_(other.gap_),
+      gap_built_(other.gap_built_) {
+  assert(!other.in_transaction_ &&
+         "snapshot must be taken between transactions");
+}
+
+void OccupancyIndex::GapTree::reset(int count, int stride) {
+  stride_ = stride;
+  size_ = count;
+  wcount_ = (count + stride - 1) / stride;
+  cap_ = 1;
+  while (cap_ < wcount_) cap_ *= 2;
+  leaf_.assign(count, Node{-1, ~std::uint64_t{0}});
+  node_.assign(static_cast<std::size_t>(2) * cap_,
+               Node{-1, ~std::uint64_t{0}});
+}
+
+void OccupancyIndex::GapTree::refresh_waveguide(int w) {
+  const int lo = w * stride_;
+  const int hi = std::min(lo + stride_, size_);
+  Node agg{-1, ~std::uint64_t{0}};
+  for (int k = lo; k < hi; ++k) {
+    agg.gap = std::max(agg.gap, leaf_[k].gap);
+    agg.occ &= leaf_[k].occ;
+  }
+  int i = cap_ + w;
+  node_[i] = agg;
+  for (i >>= 1; i >= 1; i >>= 1) {
+    const int mg = std::max(node_[2 * i].gap, node_[2 * i + 1].gap);
+    const std::uint64_t mo = node_[2 * i].occ & node_[2 * i + 1].occ;
+    if (node_[i].gap == mg && node_[i].occ == mo) break;  // ancestors agree
+    node_[i] = {mg, mo};
+  }
+}
+
+void OccupancyIndex::GapTree::set(int k, int gap, std::uint64_t occ) {
+  leaf_[k] = {gap, occ};
+  refresh_waveguide(k / stride_);
+}
+
+void OccupancyIndex::GapTree::append(int gap, std::uint64_t occ) {
+  leaf_.push_back({gap, occ});
+  const int k = size_++;
+  const int w = k / stride_;
+  if (w >= wcount_) {
+    wcount_ = w + 1;
+    if (wcount_ > cap_) {
+      cap_ = cap_ == 0 ? 1 : cap_ * 2;
+      node_.assign(static_cast<std::size_t>(2) * cap_,
+                   Node{-1, ~std::uint64_t{0}});
+      // Rebuild every aggregate under the doubled capacity. The climbs
+      // overlap near the root, but growth is rare (amortized O(1)/append).
+      for (int i = 0; i < wcount_ - 1; ++i) refresh_waveguide(i);
+    }
+  }
+  refresh_waveguide(w);
+}
+
+int OccupancyIndex::GapTree::next_waveguide(int from, int need,
+                                            std::uint64_t full) const {
+  if (from >= wcount_) return -1;
+  // Pruned DFS over the subtrees right of `from` in leaf order. qualify()
+  // is a *necessary* condition for a subtree to contain an accepting slot
+  // (both filters are sound rejects), so skipping a non-qualifying subtree
+  // never skips the first fit; it is not sufficient, so a qualifying node
+  // whose children both fail just advances right (backtracking).
+  const auto qualify = [&](int i) {
+    const Node& nd = node_[i];
+    return nd.gap >= need && (nd.occ & full) == 0;
+  };
+  int i = cap_ + from;
+  while (true) {
+    if (qualify(i)) {
+      if (i >= cap_) return i - cap_;  // unused leaves never qualify
+      if (qualify(2 * i)) {
+        i = 2 * i;
+        continue;
+      }
+      if (qualify(2 * i + 1)) {
+        i = 2 * i + 1;
+        continue;
+      }
+      // Neither child qualifies: no accepting slot below — advance right.
+    }
+    while (i & 1) {
+      i >>= 1;
+      if (i <= 1) return -1;  // climbed off the right edge: nothing right
+    }
+    ++i;  // right sibling of the exhausted left subtree
+  }
+}
+
+int OccupancyIndex::GapTree::next_fit(int from, int need,
+                                      std::uint64_t full) const {
+  if (from < 0) from = 0;
+  if (from >= size_) return -1;
+  const auto qualify = [&](int k) {
+    const Node& nd = leaf_[k];
+    return nd.gap >= need && (nd.occ & full) == 0;
+  };
+  // Finish the waveguide the search is inside, then hop waveguide-to-
+  // waveguide through the heap, scanning each survivor's contiguous slots.
+  int w = from / stride_;
+  const int end = std::min((w + 1) * stride_, size_);
+  for (int k = from; k < end; ++k) {
+    if (qualify(k)) return k;
+  }
+  ++w;
+  while (true) {
+    w = next_waveguide(w, need, full);
+    if (w < 0) return -1;
+    const int lo = w * stride_;
+    const int hi = std::min(lo + stride_, size_);
+    for (int k = lo; k < hi; ++k) {
+        if (qualify(k)) return k;
+    }
+    // Aggregate qualified but no slot did (max/AND coarsening): keep going.
+    ++w;
+  }
+}
+
+int OccupancyIndex::max_free_run(const SlotBits& slot) const {
+  const int n = arcs_->nodes();
+  if (slot.bits.empty() || slot.live == 0) return n;
+  const int words = arcs_->words();
+  // Walk the occupied-bit clusters in position order (each resident arc is
+  // one contiguous run, so clusters ~ resident signals, not set bits),
+  // tracking the zero runs between them; the run that wraps past n-1 joins
+  // the leading run before the first cluster.
+  int run = 0;        // current zero run
+  int best = 0;
+  int first_gap = -1; // zero run preceding the first set bit
+  for (int k = 0; k < words; ++k) {
+    const int nbits = k == words - 1 && n % 64 != 0 ? n % 64 : 64;
+    const std::uint64_t w = slot.bits[k];
+    int p = 0;
+    while (p < nbits) {
+      const std::uint64_t rest = w >> p;
+      if (rest == 0) {
+        run += nbits - p;
+        break;
+      }
+      const int z = lowest_set_bit(rest);
+      run += std::min(z, nbits - p);
+      p += z;
+      if (p >= nbits) break;
+      if (first_gap < 0) first_gap = run;
+      best = std::max(best, run);
+      run = 0;
+      const std::uint64_t inv = ~(w >> p);
+      const int ones = inv == 0 ? 64 - p : lowest_set_bit(inv);
+      p += std::min(ones, nbits - p);
+    }
+  }
+  if (first_gap < 0) return n;  // no set bit inside the valid window
+  return std::max(best, run + first_gap);
+}
+
+void OccupancyIndex::build_gap_trees() {
+  const int L = stride_;
+  const int W = static_cast<int>(mapping_->waveguides.size());
+  gap_[0].reset(W * L, L);
+  gap_[1].reset(W * L, L);
+  for (int w = 0; w < W; ++w) {
+    const int d = mapping_->waveguides[w].dir == Direction::kCw ? 0 : 1;
+    const auto& wg_slots = slots_[w];
+    for (int wl = 0; wl < L; ++wl) {
+      if (wl < static_cast<int>(wg_slots.size())) {
+        const SlotBits& slot = wg_slots[wl];
+        gap_[d].set(w * L + wl, max_free_run(slot), slot.buckets);
+      } else {
+        gap_[d].set(w * L + wl, arcs_->nodes(), 0);
+      }
+    }
+  }
+  gap_built_ = true;
+}
+
 void OccupancyIndex::add_to_slots(int waveguide, int wavelength, SignalId id,
                                   int sign) {
   const Direction dir = mapping_->waveguides[waveguide].dir;
@@ -71,23 +301,94 @@ void OccupancyIndex::add_to_slots(int waveguide, int wavelength, SignalId id,
   if (static_cast<int>(wg_slots.size()) <= wavelength) {
     wg_slots.resize(wavelength + 1);
   }
-  auto& bits = wg_slots[wavelength];
-  if (bits.empty()) bits.assign(arcs_->words(), 0);
+  SlotBits& slot = wg_slots[wavelength];
+  if (slot.bits.empty()) slot.bits.assign(arcs_->words(), 0);
+  const ArcTable::Arc a = arcs_->arc(id, dir);
+  if (sign < 0) {
+    // Bit removals are the one mutation that can turn a failed first-fit
+    // probe fitting; log them so resuming cursors re-probe exactly the
+    // dirtied slots.
+    removal_log_.push_back({++epoch_, waveguide, wavelength});
+  }
   const std::uint64_t* m = arcs_->mask(id, dir);
   for (int k = 0; k < arcs_->words(); ++k) {
+    if (m[k] == 0) continue;
     // Placements within a slot are disjoint (every placement passed fits),
     // so XOR both sets and clears exactly the signal's own bits.
-    bits[k] ^= m[k];
+    slot.bits[k] ^= m[k];
+    if (arcs_->summarizable()) {
+      const std::uint64_t bit = std::uint64_t{1} << k;
+      if (slot.bits[k] != 0) {
+        slot.summary |= bit;
+      } else {
+        slot.summary &= ~bit;
+      }
+    }
   }
-  const ArcTable::Arc a = arcs_->arc(id, dir);
-  const int n = arcs_->nodes();
-  std::vector<int>& pass = passing_[waveguide];
-  for (int h = 1; h < a.len; ++h) {
-    pass[(a.start + h) % n] += sign;
+  slot.live += sign * a.len;
+  if (a.len > 0) {
+    // Refresh the 64-bucket occupancy mask for exactly the buckets the arc
+    // overlaps (bucket width ceil(n/64) hops); all other buckets kept their
+    // bit pattern, so their mask bits are still correct.
+    const int n = arcs_->nodes();
+    const int B = (n + 63) / 64;
+    const auto update_buckets = [&](int x, int y) {  // linear piece [x, y)
+      for (int j = x / B; j * B < y && j < 64; ++j) {
+        const int lo = j * B;
+        const int hi = std::min((j + 1) * B, n);
+        if (any_bit_in(slot.bits, lo, hi)) {
+          slot.buckets |= std::uint64_t{1} << j;
+        } else {
+          slot.buckets &= ~(std::uint64_t{1} << j);
+        }
+      }
+    };
+    const int end = a.start + a.len;
+    if (end <= n) {
+      update_buckets(a.start, end);
+    } else {
+      update_buckets(a.start, n);
+      update_buckets(0, end - n);
+    }
+  }
+  if (gap_built_ && wavelength < stride_) {
+    gap_[dir == Direction::kCw ? 0 : 1].set(
+        waveguide * stride_ + wavelength, max_free_run(slot), slot.buckets);
+  }
+  if (track_passing_) {
+    const int n = arcs_->nodes();
+    std::vector<int>& pass = passing_[waveguide];
+    for (int h = 1; h < a.len; ++h) {
+      pass[(a.start + h) % n] += sign;
+    }
   }
 }
 
-bool OccupancyIndex::fits(int waveguide, int wavelength, SignalId id) const {
+bool OccupancyIndex::fits_words(const SlotBits& slot, SignalId id,
+                                Direction dir, bool resident) const {
+  const std::uint64_t* bits = slot.bits.data();
+  const std::uint64_t* mine = arcs_->mask(id, dir);
+  // `mine` is zero outside the arc's word range, so only the words the arc
+  // touches can fail the test; a wrapping arc touches two word runs. Most
+  // signals cover a short arc, making this O(arc/64) instead of O(n/64).
+  const ArcTable::Arc a = arcs_->arc(id, dir);
+  if (a.len <= 0) return true;
+  const int last = a.start + a.len - 1;  // inclusive, may exceed n-1
+  const auto scan = [&](int word_lo, int word_hi) {  // inclusive word range
+    for (int k = word_lo; k <= word_hi; ++k) {
+      if ((bits[k] & mine[k]) != (resident ? mine[k] : 0)) return false;
+    }
+    return true;
+  };
+  if (last < arcs_->nodes()) {
+    return scan(a.start >> 6, last >> 6);
+  }
+  return scan(a.start >> 6, arcs_->words() - 1) &&
+         scan(0, (last - arcs_->nodes()) >> 6);
+}
+
+bool OccupancyIndex::fits_scan(int waveguide, int wavelength,
+                               SignalId id) const {
   const Mapping& m = *mapping_;
   const RingWaveguide& wg = m.waveguides[waveguide];
   const Direction dir = wg.dir;
@@ -100,34 +401,218 @@ bool OccupancyIndex::fits(int waveguide, int wavelength, SignalId id) const {
 
   const auto& wg_slots = slots_[waveguide];
   if (wavelength >= static_cast<int>(wg_slots.size()) ||
-      wg_slots[wavelength].empty()) {
+      wg_slots[wavelength].bits.empty()) {
     return true;  // nothing occupies this (waveguide, λ) slot yet
   }
-  const std::uint64_t* slot = wg_slots[wavelength].data();
-  const std::uint64_t* mine = arcs_->mask(id, dir);
   // If the signal itself already resides in this slot, its own bits are in
-  // `slot`; the brute-force reference skips `other == signal`, which here
+  // the slot; the brute-force reference skips `other == signal`, which here
   // means the intersection must be exactly the signal's own mask.
   const SignalRoute& r = m.routes[id];
   const bool resident = is_ring_route(r) && r.waveguide == waveguide &&
                         r.wavelength == wavelength;
-  // `mine` is zero outside the arc's word range, so only the words the arc
-  // touches can fail the test; a wrapping arc touches two word runs. Most
-  // signals cover a short arc, making this O(arc/64) instead of O(n/64).
-  const ArcTable::Arc a = arcs_->arc(id, dir);
-  if (a.len <= 0) return true;
-  const int last = a.start + a.len - 1;  // inclusive, may exceed n-1
-  const auto scan = [&](int word_lo, int word_hi) {  // inclusive word range
-    for (int k = word_lo; k <= word_hi; ++k) {
-      if ((slot[k] & mine[k]) != (resident ? mine[k] : 0)) return false;
-    }
-    return true;
-  };
-  if (last < arcs_->nodes()) {
-    return scan(a.start >> 6, last >> 6);
+  return fits_words(wg_slots[wavelength], id, dir, resident);
+}
+
+bool OccupancyIndex::fits(int waveguide, int wavelength, SignalId id) const {
+  ++stats_.fits_probes;
+  const Mapping& m = *mapping_;
+  const RingWaveguide& wg = m.waveguides[waveguide];
+  const Direction dir = wg.dir;
+
+  if (wg.opening != -1 &&
+      arcs_->interior_contains(id, dir, arcs_->position(wg.opening))) {
+    ++stats_.fits_summary_hits;
+    return false;
   }
-  return scan(a.start >> 6, arcs_->words() - 1) &&
-         scan(0, (last - arcs_->nodes()) >> 6);
+
+  const auto& wg_slots = slots_[waveguide];
+  if (wavelength >= static_cast<int>(wg_slots.size()) ||
+      wg_slots[wavelength].bits.empty()) {
+    ++stats_.fits_summary_hits;
+    return true;
+  }
+  const SlotBits& slot = wg_slots[wavelength];
+  const SignalRoute& r = m.routes[id];
+  const bool resident = is_ring_route(r) && r.waveguide == waveguide &&
+                        r.wavelength == wavelength;
+  const ArcTable::Arc a = arcs_->arc(id, dir);
+  if (a.len <= 0) {
+    ++stats_.fits_summary_hits;
+    return true;
+  }
+  if (!resident) {
+    if (slot.live == 0) {
+      ++stats_.fits_summary_hits;
+      return true;  // definite accept: the slot holds no bits at all
+    }
+    if (slot.live + a.len > arcs_->nodes()) {
+      // Definite reject by pigeonhole: the slot's free hops number fewer
+      // than the arc needs, so SOME occupied hop lies inside the arc.
+      ++stats_.fits_summary_hits;
+      return false;
+    }
+    if (arcs_->summarizable()) {
+      const ArcTable::WordSpan& span = arcs_->word_span(id, dir);
+      if (slot.summary & span.full) {
+        // Definite reject: a word the arc covers completely has live bits.
+        ++stats_.fits_summary_hits;
+        return false;
+      }
+      std::uint64_t p = slot.summary & span.partial;
+      if (p == 0) {
+        // Definite accept: every word with live bits is disjoint from the
+        // arc's words.
+        ++stats_.fits_summary_hits;
+        return true;
+      }
+      // Inconclusive only on the partially-covered boundary words (at most
+      // four, for a wrapping arc): check those exactly.
+      const std::uint64_t* bits = slot.bits.data();
+      const std::uint64_t* mine = arcs_->mask(id, dir);
+      while (p != 0) {
+        const int k = lowest_set_bit(p);
+        if ((bits[k] & mine[k]) != 0) return false;
+        p &= p - 1;
+      }
+      return true;
+    }
+  }
+  return fits_words(slot, id, dir, resident);
+}
+
+OccupancyIndex::Slot OccupancyIndex::find_first_fit(Direction dir, SignalId id,
+                                                    int from_waveguide,
+                                                    int max_wavelengths) {
+  if (from_waveguide >= 0) ++stats_.reloc_attempts;
+  const int L = max_wavelengths;
+  if (stride_ == 0) stride_ = L;
+  assert(stride_ == L && "one OccupancyIndex instance serves one #wl cap");
+  if (!gap_built_) build_gap_trees();
+  const int W = static_cast<int>(mapping_->waveguides.size());
+  const long long nslots = static_cast<long long>(W) * L;
+  if (cursors_.empty()) {
+    cursors_.assign(static_cast<std::size_t>(2) * arcs_->signals(), Cursor{});
+  }
+  Cursor& cur =
+      cursors_[(dir == Direction::kCw ? 0 : arcs_->signals()) + id];
+  // The gap-tree skip below is sound only for non-resident probes (a
+  // resident fit needs containment, not a free run). Callers always pass
+  // the searched signal's residence as `from_waveguide` (or search an
+  // unplaced signal), so the probed slots never hold the signal itself.
+  assert((!is_ring_route(mapping_->routes[id]) ||
+          mapping_->routes[id].waveguide == from_waveguide) &&
+         "find_first_fit must exclude the signal's resident waveguide");
+
+  const ArcTable::Arc a = arcs_->arc(id, dir);
+  const int need = a.len > 0 ? a.len : 0;  // len<=0 fits any slot
+  // Hop buckets the arc covers completely: a slot (or whole subtree) whose
+  // occupancy mask intersects them provably rejects. Bucket width is
+  // ceil(n/64) hops — position-exact for n <= 64, and always 4x finer than
+  // the 64-bit summary words for larger rings.
+  const int n = arcs_->nodes();
+  const int B = (n + 63) / 64;
+  const auto bucket_range = [&](int x, int y) -> std::uint64_t {  // [x, y)
+    const int j_lo = (x + B - 1) / B;
+    const int j_hi = y == n ? (n - 1) / B : y / B - 1;
+    if (j_lo > j_hi) return 0;  // j_hi <= 63 always; j_lo may exceed it
+    const std::uint64_t hi_mask = j_hi >= 63
+                                      ? ~std::uint64_t{0}
+                                      : (std::uint64_t{1} << (j_hi + 1)) - 1;
+    return hi_mask & ~((std::uint64_t{1} << j_lo) - 1);
+  };
+  std::uint64_t full = 0;
+  if (a.len > 0) {
+    const int end = a.start + a.len;
+    full = end <= n ? bucket_range(a.start, end)
+                    : (bucket_range(a.start, n) | bucket_range(0, end - n));
+  }
+  const GapTree& tree = gap_[dir == Direction::kCw ? 0 : 1];
+  assert(tree.size_ == nslots && "gap tree out of sync with slot space");
+
+  const auto record = [&](long long pos) {
+    cur.pos = pos;
+    cur.epoch = epoch_;
+    cur.from = from_waveguide;
+  };
+  const auto probe_from = [&](long long start) -> Slot {
+    for (long long k = start; k < nslots;) {
+      // Jump to the next slot that could possibly host the arc: longest
+      // free run >= len, and none of the arc's fully-covered buckets live.
+      // Everything skipped provably fails `fits`, so the first accepted
+      // slot is exactly the linear scan's. Other-direction waveguides
+      // carry -1/~0 leaves and are never returned.
+      const int nk = tree.next_fit(static_cast<int>(k), need, full);
+      if (nk < 0) break;
+      k = nk;
+      const int w = static_cast<int>(k / L);
+      const RingWaveguide& wg = mapping_->waveguides[w];
+      assert(wg.dir == dir);
+      if (w == from_waveguide) {
+        k = static_cast<long long>(w + 1) * L;
+        continue;
+      }
+      if (wg.opening != -1 &&
+          arcs_->interior_contains(id, dir, arcs_->position(wg.opening))) {
+        // Every slot of this waveguide fails on the opening check alone;
+        // skipping them keeps the cursor invariant (they are known-failed,
+        // and openings are never cleared).
+        k = static_cast<long long>(w + 1) * L;
+        continue;
+      }
+      const int wl = static_cast<int>(k % L);
+      if (fits(w, wl, id)) {
+        record(k);
+        return {w, wl};
+      }
+      ++k;
+    }
+    record(nslots);
+    return {};
+  };
+
+  // A cursor is reusable only for the same probe skeleton (same skipped
+  // `from` waveguide — the signal's residence determines it, and relocating
+  // the signal changes `from` for its next search).
+  if (cur.pos <= 0 || cur.from != from_waveguide) return probe_from(0);
+
+  // Re-probe the slots dirtied by bit removals since the cursor's epoch;
+  // all other slots below it still fail (additions and opening insertions
+  // are monotone). The log is epoch-ascending: binary search the suffix.
+  dirty_scratch_.clear();
+  std::size_t lo = 0, hi = removal_log_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (removal_log_[mid].epoch > cur.epoch) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  for (std::size_t i = lo; i < removal_log_.size(); ++i) {
+    const Removal& rm = removal_log_[i];
+    if (rm.wavelength >= L || rm.waveguide == from_waveguide) continue;
+    if (mapping_->waveguides[rm.waveguide].dir != dir) continue;
+    const long long k = static_cast<long long>(rm.waveguide) * L +
+                        rm.wavelength;
+    if (k < cur.pos) dirty_scratch_.push_back(k);
+  }
+  if (dirty_scratch_.size() >
+      static_cast<std::size_t>(cur.pos < 64 ? 0 : cur.pos)) {
+    return probe_from(0);  // dirtier than the prefix is long: just rescan
+  }
+  std::sort(dirty_scratch_.begin(), dirty_scratch_.end());
+  dirty_scratch_.erase(
+      std::unique(dirty_scratch_.begin(), dirty_scratch_.end()),
+      dirty_scratch_.end());
+  for (const long long k : dirty_scratch_) {
+    const int w = static_cast<int>(k / L);
+    const int wl = static_cast<int>(k % L);
+    if (fits(w, wl, id)) {
+      record(k);
+      return {w, wl};
+    }
+  }
+  return probe_from(cur.pos);
 }
 
 std::vector<SignalId> OccupancyIndex::signals_passing(int waveguide,
@@ -184,9 +669,17 @@ void OccupancyIndex::relocate(SignalId id, int to_waveguide,
 
 int OccupancyIndex::add_waveguide(Direction dir) {
   assert(!in_transaction_ && "add_waveguide inside a transaction");
+  assert(track_passing_ && "snapshots must not add waveguides");
   const int w = mapping_->add_waveguide(dir);
   slots_.emplace_back();
   passing_.emplace_back(arcs_->nodes(), 0);
+  if (gap_built_) {
+    const int d = dir == Direction::kCw ? 0 : 1;
+    for (int wl = 0; wl < stride_; ++wl) {
+      gap_[d].append(arcs_->nodes(), 0);
+      gap_[1 - d].append(-1, ~std::uint64_t{0});
+    }
+  }
   return w;
 }
 
@@ -219,6 +712,12 @@ void OccupancyIndex::rollback() {
   }
   in_transaction_ = false;
   journal_.clear();
+}
+
+void OccupancyIndex::book_stats(const SearchStats& delta) {
+  stats_.fits_probes += delta.fits_probes;
+  stats_.fits_summary_hits += delta.fits_summary_hits;
+  stats_.reloc_attempts += delta.reloc_attempts;
 }
 
 }  // namespace xring::mapping

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -19,7 +20,9 @@ namespace xring::mapping {
 ///
 /// The table depends only on (tour, traffic) — not on #wl — so one instance
 /// is shared read-only across every setting of a `#wl` sweep (it is
-/// immutable after construction and safe to read concurrently).
+/// immutable after construction and safe to read concurrently). The sweep
+/// cache (`SweepCache`) carries it, including the word spans below that
+/// back the summary-level `fits` fast path.
 class ArcTable {
  public:
   ArcTable() = default;
@@ -44,6 +47,24 @@ class ArcTable {
     return masks_.data() + static_cast<std::size_t>(index(id, dir)) * words_;
   }
 
+  /// Summary-level view of one arc, for the O(1) `fits` fast path: bit k of
+  /// `full` is set when the arc covers every valid hop bit of occupancy
+  /// word k (so any live bit in that word is an overlap), bit k of
+  /// `partial` when it covers some but not all (the word must be checked
+  /// exactly). Only populated when summarizable().
+  struct WordSpan {
+    std::uint64_t full = 0;
+    std::uint64_t partial = 0;
+  };
+
+  const WordSpan& word_span(SignalId id, Direction dir) const {
+    return spans_[index(id, dir)];
+  }
+
+  /// The two-level summary covers rings of up to 64 occupancy words
+  /// (n <= 4096); wider rings fall back to the word scan everywhere.
+  bool summarizable() const { return words_ <= 64; }
+
   /// True when tour position `pos` is strictly inside the arc — i.e. the
   /// node at `pos` is one of the signal's `interior_nodes`.
   bool interior_contains(SignalId id, Direction dir, int pos) const {
@@ -66,14 +87,39 @@ class ArcTable {
   int signal_count_ = 0;
   std::vector<Arc> arcs_;             ///< [direction][signal]
   std::vector<std::uint64_t> masks_;  ///< [direction][signal][word]
+  std::vector<WordSpan> spans_;       ///< [direction][signal]
   std::vector<int> positions_;        ///< node id -> tour position
 };
 
 /// Incremental mirror of a Mapping's ring-waveguide occupancy.
 ///
 /// Maintains, in lockstep with the Mapping it wraps:
-///   - per (waveguide, wavelength) hop bitsets, making `fits` an O(n/64)
-///     AND-intersection instead of a rescan of every co-resident signal;
+///   - per (waveguide, wavelength) hop bitsets plus a two-level summary
+///     (one 64-bit summary word over the n/64 occupancy words and a live
+///     set-bit count), making `fits` O(1) for definite accepts (disjoint
+///     summaries, empty slots) and definite rejects (a fully-covered word
+///     with live bits, or the pigeonhole `live + len > n`), with the PR-4
+///     word scan kept verbatim as the fallback and reference (`fits_scan`);
+///   - per-signal first-fit cursors per direction: `find_first_fit` resumes
+///     where the same signal's previous search failed instead of from slot
+///     0. A cursor stays sound because failed probes are monotone under bit
+///     additions and opening insertions; only bit *removals* can turn a
+///     failed slot fitting, so every removal is logged with an epoch and a
+///     resuming search re-probes exactly the slots dirtied since its
+///     cursor's epoch;
+///   - a per-direction segment tree over the probe-order slot sequence,
+///     keyed by each slot's longest free *circular* hop run and its
+///     64-bucket occupancy mask: a slot whose longest free run is shorter
+///     than the arc cannot host it at any position, and one with a live bit
+///     in a hop bucket the arc fully covers cannot either, so
+///     `find_first_fit` jumps straight to the next slot passing both
+///     filters in O(log slots) instead of probing every nearly-full slot
+///     on the way (the probe-order *decision* is unchanged
+///     — skipped slots all provably fail, candidates still run the exact
+///     `fits` predicate). Sound only because a searched signal never probes
+///     its own resident slot (`from_waveguide` is always its residence), a
+///     property the search asserts: a *resident* fit needs containment, not
+///     free space;
 ///   - per-waveguide per-tour-position passing-signal counts, making the
 ///     opening phase's candidate scoring an array read instead of an
 ///     O(signals × path) recount per node;
@@ -85,14 +131,46 @@ class ArcTable {
 /// while an index is live. Predicates are *bit-identical* to the brute-force
 /// reference implementations (`mapping::fits`, `mapping::passing_signals`):
 /// the index only evaluates the same predicates faster, which
-/// tests/test_mapping_index.cpp enforces differentially.
+/// tests/test_mapping_index.cpp and tests/test_mapping_fastpath.cpp enforce
+/// differentially.
 class OccupancyIndex {
  public:
   /// Builds the index over the mapping's current ring placements.
   OccupancyIndex(const ArcTable& arcs, Mapping& mapping);
 
+  /// Speculation snapshot: a deep copy of `other` rebound to `mapping`,
+  /// which must be a copy of other's mapping (the opening phase snapshots
+  /// both together to evaluate candidates in parallel). Snapshots skip the
+  /// passing-count mirror — they only probe and relocate, never score
+  /// candidates — and must not add waveguides.
+  OccupancyIndex(const OccupancyIndex& other, Mapping& mapping);
+
   /// Indexed equivalent of mapping::fits(tour, traffic, m, w, wl, id).
+  /// Summary fast path first, word scan only when the summary is
+  /// inconclusive; always returns exactly what `fits_scan` would.
   bool fits(int waveguide, int wavelength, SignalId id) const;
+
+  /// The PR-4 word-scan `fits`, kept verbatim as the differential reference
+  /// for the summary fast path (and as the fallback when the ring exceeds
+  /// the summary's 64-word reach).
+  bool fits_scan(int waveguide, int wavelength, SignalId id) const;
+
+  /// A found (waveguide, wavelength) slot; waveguide < 0 means none fits.
+  struct Slot {
+    int waveguide = -1;
+    int wavelength = -1;
+  };
+
+  /// First (waveguide, wavelength) in probe order — waveguide index
+  /// ascending over waveguides of `dir` (skipping `from_waveguide`),
+  /// wavelength 0..max_wavelengths-1 within each — whose slot fits the
+  /// signal; exactly the slot the brute-force first-fit loops of
+  /// `place_on_ring` / the opening relocation find. Resumes from the
+  /// signal's cursor when it is still sound (see class comment). Every
+  /// `find_first_fit` call on one index instance must use the same
+  /// `max_wavelengths` (one index serves one #wl setting).
+  Slot find_first_fit(Direction dir, SignalId id, int from_waveguide,
+                      int max_wavelengths);
 
   /// Indexed equivalent of mapping::passing_signals(..., w, tour.at(pos)).
   int passing_count(int waveguide, int pos) const {
@@ -127,10 +205,58 @@ class OccupancyIndex {
   void commit();
   void rollback();
 
+  /// Search-path instrumentation, accumulated locally (the hot loops never
+  /// touch the obs registry) and flushed by the phase drivers into the
+  /// solver-internal `mapping.fits_probes` / `mapping.fits_summary_hits` /
+  /// `mapping.reloc_attempts` counters. Probe counts are NOT part of the
+  /// bit-identical contract: cursors and speculation change how often the
+  /// same predicates are evaluated, never their answers.
+  struct SearchStats {
+    long long fits_probes = 0;       ///< fits() evaluations
+    long long fits_summary_hits = 0; ///< probes answered without a word read
+    long long reloc_attempts = 0;    ///< find_first_fit calls with a `from`
+  };
+
+  const SearchStats& search_stats() const { return stats_; }
+
+  /// Books a consumed speculative attempt's probe counts (the opening
+  /// phase's serial consume loop charges exactly the attempts a serial run
+  /// would have evaluated).
+  void book_stats(const SearchStats& delta);
+
   const ArcTable& arcs() const { return *arcs_; }
 
  private:
-  void add_to_slots(int waveguide, int wavelength, SignalId id, int sign);
+  /// One (waveguide, wavelength) slot: hop bitset plus its two-level
+  /// summary — bit k of `summary` set iff bits[k] != 0, `live` the total
+  /// set-bit count (placements within a slot are disjoint, so it is the sum
+  /// of resident arc lengths).
+  struct SlotBits {
+    std::vector<std::uint64_t> bits;  ///< empty = all-zero (grown lazily)
+    std::uint64_t summary = 0;
+    /// Bit j set iff hop bucket j holds a live bit, where the ring's n
+    /// positions split into 64 uniform buckets of ceil(n/64) hops — a
+    /// position-finer (and n-independent) analogue of `summary` that feeds
+    /// the gap tree's occupancy filter.
+    std::uint64_t buckets = 0;
+    int live = 0;
+  };
+
+  /// Per-(signal, direction) first-fit cursor: every probe-order slot
+  /// strictly below `pos` (same stride, same `from`) failed as of `epoch`.
+  /// pos < 0 = no cursor recorded yet.
+  struct Cursor {
+    long long pos = -1;
+    std::uint32_t epoch = 0;
+    int from = -1;
+  };
+
+  /// One logged bit removal; epochs ascend with log order.
+  struct Removal {
+    std::uint32_t epoch = 0;
+    int waveguide = 0;
+    int wavelength = 0;
+  };
 
   struct Relocation {
     SignalId id;
@@ -140,15 +266,81 @@ class OccupancyIndex {
     int to_waveguide;
   };
 
+  /// Pruned search tree over the linear slot order k = waveguide * stride +
+  /// wavelength, one per direction. Each node carries two sound reject
+  /// filters over its subtree:
+  ///   - `gap`: max over slots of the longest free circular hop run (n for
+  ///     empty/absent slots) — a subtree with gap < len has no slot that can
+  ///     host the arc at any position;
+  ///   - `occ`: AND over slots of the 64-bucket occupancy masks
+  ///     (`SlotBits::buckets`) — a bit set for one of the hop buckets the
+  ///     arc fully covers means every slot in the subtree has a live bit
+  ///     inside the arc, so all of them fail.
+  /// Slots whose waveguide has the other direction (and unused capacity)
+  /// carry gap -1 / occ ~0 and can never qualify (`need` is always >= 0).
+  /// The search is two-level: a heap over per-waveguide aggregates prunes
+  /// whole waveguides, then the survivor's per-slot filters are scanned
+  /// flat. Both levels are necessary conditions, so the slots returned —
+  /// and hence every probe and decision — are exactly the single-level
+  /// scan's.
+  struct GapTree {
+    /// Both filters share a 16-byte slot so a scan step touches one cache
+    /// line, not two.
+    struct Node {
+      int gap;            ///< longest free run (max over group; -1: never)
+      std::uint64_t occ;  ///< 64-bucket occupancy mask (AND over group)
+    };
+    int stride_ = 1;           ///< slots per waveguide (the #wl cap)
+    int size_ = 0;             ///< slots in use (waveguides * stride)
+    int wcount_ = 0;           ///< waveguides covered by the heap
+    int cap_ = 0;              ///< power-of-two waveguide capacity
+    /// Per-slot filters, flat in probe order k — a candidate waveguide's
+    /// stride_ slots sit in 4 consecutive cache lines.
+    std::vector<Node> leaf_;
+    /// 2*cap_ heap-ordered nodes over *waveguides* (leaf i = aggregate of
+    /// slots [i*stride_, (i+1)*stride_)). 16x fewer leaves than slots keeps
+    /// the whole heap cache-resident even at n=1024.
+    std::vector<Node> node_;
+
+    void reset(int count, int stride);
+    void set(int k, int gap, std::uint64_t occ);
+    void append(int gap, std::uint64_t occ);
+    /// First slot index >= from with gap >= need and (occ & full) == 0 —
+    /// the slots a first-fit probe could possibly accept; -1 when none.
+    int next_fit(int from, int need, std::uint64_t full) const;
+
+   private:
+    void refresh_waveguide(int w);
+    /// First waveguide >= from whose aggregate passes both filters.
+    int next_waveguide(int from, int need, std::uint64_t full) const;
+  };
+
+  void add_to_slots(int waveguide, int wavelength, SignalId id, int sign);
+  bool fits_words(const SlotBits& slot, SignalId id, Direction dir,
+                  bool resident) const;
+  /// Longest circular run of free hop positions in the slot (n when empty).
+  int max_free_run(const SlotBits& slot) const;
+  void build_gap_trees();
+
   const ArcTable* arcs_;
   Mapping* mapping_;
-  /// slots_[w][wl]: occupancy bitset of wavelength wl on waveguide w (grown
-  /// lazily; an absent slot is all-zero).
-  std::vector<std::vector<std::vector<std::uint64_t>>> slots_;
+  /// slots_[w][wl] (grown lazily; an absent slot is all-zero).
+  std::vector<std::vector<SlotBits>> slots_;
   /// passing_[w][pos]: # signals on w whose arc interior covers position pos.
+  /// Empty (not maintained) on speculation snapshots.
   std::vector<std::vector<int>> passing_;
+  bool track_passing_ = true;
   bool in_transaction_ = false;
   std::vector<Relocation> journal_;
+
+  mutable SearchStats stats_;
+  std::vector<Cursor> cursors_;  ///< [direction][signal], sized on first use
+  std::uint32_t epoch_ = 0;      ///< bumps once per logged removal
+  std::vector<Removal> removal_log_;
+  int stride_ = 0;  ///< the one max_wavelengths this instance serves
+  std::vector<long long> dirty_scratch_;
+  std::array<GapTree, 2> gap_;  ///< [kCw, kCcw], built on the first search
+  bool gap_built_ = false;
 };
 
 }  // namespace xring::mapping

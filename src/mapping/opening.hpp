@@ -1,13 +1,27 @@
 #pragma once
 
+#include <utility>
+#include <vector>
+
 #include "mapping/wavelength.hpp"
 
 namespace xring::mapping {
+
+class OccupancyIndex;
 
 struct OpeningOptions {
   /// When false, waveguides stay unbroken (models routers whose PDN must
   /// cross the rings instead — the baseline configuration).
   bool enable = true;
+
+  /// Evaluate a waveguide's opening candidates speculatively in parallel on
+  /// index snapshots (PR-3 deterministic-speculation pattern), consuming
+  /// outcomes in serial candidate order so the committed opening, the
+  /// relocation targets, and all diagnostics are byte-identical at any
+  /// thread count. Only engages when the pool has more than one job and the
+  /// instance is large enough to amortize the snapshot copies; the serial
+  /// path is always the reference.
+  bool speculate = true;
 };
 
 /// Statistics of the opening phase (exposed for tests and benches).
@@ -35,6 +49,14 @@ OpeningStats create_openings(const ring::Tour& tour,
                              const MappingOptions& mapping_options,
                              const OpeningOptions& options = {},
                              const ArcTable* shared_arcs = nullptr);
+
+/// Opening-candidate order for waveguide `w`: (passing count, node) pairs
+/// over all tour positions, counts ascending, ties broken by tour position —
+/// built by a stable counting sort over the index's maintained counts
+/// (exactly the order `stable_sort` by count used to produce; the
+/// differential test asserts the equivalence).
+std::vector<std::pair<int, NodeId>> opening_candidate_order(
+    const OccupancyIndex& index, const ring::Tour& tour, int w);
 
 /// Number of signals on waveguide `w` whose arc passes *through* `node`.
 /// Brute-force REFERENCE implementation (see OccupancyIndex::passing_count

@@ -72,7 +72,8 @@ namespace {
 
 /// First-fit probe over the waveguides of the direction, on the incremental
 /// index: same probe order (waveguide index ascending, then wavelength) and
-/// same predicate as the brute-force reference, just O(n/64) per probe.
+/// same predicate as the brute-force reference, answered through the
+/// summary fast path and the signal's resumable cursor (find_first_fit).
 /// When every (waveguide, λ) slot under the #wl cap is blocked, a new
 /// waveguide is appended; a conflict diagnostic is emitted when an existing
 /// waveguide of the direction could not host the signal (i.e. the overflow
@@ -81,14 +82,10 @@ std::pair<int, int> place_on_ring(const netlist::Traffic& traffic,
                                   const Mapping& m, OccupancyIndex& index,
                                   Direction dir, SignalId id,
                                   int max_wavelengths) {
-  int candidates = 0;
-  for (int w = 0; w < static_cast<int>(m.waveguides.size()); ++w) {
-    if (m.waveguides[w].dir != dir) continue;
-    ++candidates;
-    for (int wl = 0; wl < max_wavelengths; ++wl) {
-      if (index.fits(w, wl, id)) return {w, wl};
-    }
-  }
+  const OccupancyIndex::Slot slot =
+      index.find_first_fit(dir, id, /*from_waveguide=*/-1, max_wavelengths);
+  if (slot.waveguide >= 0) return {slot.waveguide, slot.wavelength};
+  const int candidates = m.ring_waveguides(dir);
   if (candidates > 0) {
     const auto& sig = traffic.signal(id);
     obs::diagnose(
@@ -232,6 +229,10 @@ Mapping assign_wavelengths(const ring::Tour& tour,
     }
     reg.gauge("mapping.shortcut_routes")
         .set(static_cast<double>(shortcut_routes));
+    const OccupancyIndex::SearchStats& ss = index.search_stats();
+    reg.counter("mapping.fits_probes").add(ss.fits_probes);
+    reg.counter("mapping.fits_summary_hits").add(ss.fits_summary_hits);
+    reg.counter("mapping.reloc_attempts").add(ss.reloc_attempts);
   }
   return m;
 }

@@ -55,7 +55,13 @@ MetricClass classify_metric(const std::string& name) {
       name == "lp.eta_nnz" || name == "milp.warm_pivots" ||
       name == "milp.cold_solves" ||
       name.compare(0, 14, "lp.iterations.") == 0 ||
-      name.compare(0, 17, "lp.ftran_density.") == 0) {
+      name.compare(0, 17, "lp.ftran_density.") == 0 ||
+      // Step-3 search-path instrumentation: cursors and speculation change
+      // how often fits() is evaluated (never its answers), so probe counts
+      // float while every other mapping.* key stays exactly gated.
+      name == "mapping.fits_probes" || name == "mapping.fits_summary_hits" ||
+      name == "mapping.reloc_attempts" ||
+      name == "mapping.candidates_memoized") {
     return MetricClass::kSolverInternal;
   }
   if (name.compare(0, 4, "mem.") == 0 || name.compare(0, 7, "events.") == 0 ||

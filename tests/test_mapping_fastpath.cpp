@@ -1,0 +1,371 @@
+// Differential test of the Step-3 incremental-search fast paths
+// (mapping/occupancy.hpp): the summary-level `fits`, the cursor-resuming
+// `find_first_fit`, the counting-sort opening-candidate order, the
+// memoized-candidate skip, and the speculative parallel candidate
+// evaluation.
+//
+// Three levels are compared: the production fast path, the PR-4 word scan
+// kept verbatim (`fits_scan`), and the brute-force reference predicates
+// (`mapping::fits`). The contract is BIT-IDENTICAL decisions — the fast
+// paths may only skip work with a proof, never change an answer — so every
+// test asserts exact equality of predicates, probe outcomes, complete
+// mappings, and opening statistics, at 1, 2, and 8 pool jobs.
+
+#include "mapping/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <random>
+#include <set>
+
+#include "mapping/opening.hpp"
+#include "obs/context.hpp"
+#include "obs/obs.hpp"
+#include "par/pool.hpp"
+#include "ring/builder.hpp"
+#include "shortcut/shortcut.hpp"
+
+namespace xring::mapping {
+namespace {
+
+using netlist::NodeId;
+using netlist::Traffic;
+
+Traffic random_traffic(int nodes, int signal_count, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> pick(0, nodes - 1);
+  std::set<std::pair<int, int>> used;
+  std::vector<netlist::Signal> signals;
+  while (static_cast<int>(signals.size()) < signal_count) {
+    const int src = pick(rng);
+    const int dst = pick(rng);
+    if (src == dst || !used.insert({src, dst}).second) continue;
+    netlist::Signal s;
+    s.id = static_cast<int>(signals.size());
+    s.src = src;
+    s.dst = dst;
+    signals.push_back(s);
+  }
+  return Traffic(std::move(signals));
+}
+
+struct Instance {
+  ring::RingGeometry ring;
+  Traffic traffic;
+  shortcut::ShortcutPlan plan;
+};
+
+netlist::Floorplan grid_floorplan(int nodes) {
+  // Squarish rows x cols factorization (standard() stops at 32 nodes).
+  int rows = 1;
+  for (int r = 2; r * r <= nodes; ++r) {
+    if (nodes % r == 0) rows = r;
+  }
+  return netlist::Floorplan::grid(rows, nodes / rows, 2000);
+}
+
+Instance make_instance(int nodes, const Traffic& traffic,
+                       bool with_shortcuts) {
+  // Identity-order tour, realized directly: Step-3 behavior does not
+  // depend on tour optimality, and skipping the Step-1 MILP keeps the
+  // suite fast at n >= 64 (bench/scaling does the same for its profile).
+  static std::map<int, netlist::Floorplan> fps;
+  auto [it, inserted] = fps.try_emplace(nodes, grid_floorplan(nodes));
+  const netlist::Floorplan& fp = it->second;
+  std::vector<NodeId> order(nodes);
+  std::iota(order.begin(), order.end(), 0);
+  Instance inst;
+  inst.ring = ring::realize(ring::Tour(std::move(order), &fp), fp);
+  inst.traffic = traffic;
+  if (with_shortcuts) inst.plan = shortcut::build_shortcuts(inst.ring, fp);
+  return inst;
+}
+
+void expect_mappings_identical(const Mapping& a, const Mapping& b) {
+  ASSERT_EQ(a.routes.size(), b.routes.size());
+  for (std::size_t i = 0; i < a.routes.size(); ++i) {
+    EXPECT_EQ(a.routes[i].kind, b.routes[i].kind) << "signal " << i;
+    EXPECT_EQ(a.routes[i].waveguide, b.routes[i].waveguide) << "signal " << i;
+    EXPECT_EQ(a.routes[i].wavelength, b.routes[i].wavelength)
+        << "signal " << i;
+  }
+  ASSERT_EQ(a.waveguides.size(), b.waveguides.size());
+  for (std::size_t w = 0; w < a.waveguides.size(); ++w) {
+    EXPECT_EQ(a.waveguides[w].dir, b.waveguides[w].dir) << "waveguide " << w;
+    EXPECT_EQ(a.waveguides[w].opening, b.waveguides[w].opening)
+        << "waveguide " << w;
+    EXPECT_EQ(a.waveguides[w].signals, b.waveguides[w].signals)
+        << "waveguide " << w;
+  }
+  EXPECT_EQ(a.wavelengths_used, b.wavelengths_used);
+}
+
+/// Three-level fits agreement over every (waveguide, wavelength, signal) of
+/// the mapping's current state: summary fast path == verbatim PR-4 word
+/// scan exhaustively; the O(signals × hops)-per-call brute-force reference
+/// on every `brute_stride`-th signal (1 = all — the scan itself is checked
+/// against brute force exhaustively at the smaller sizes, so sampling the
+/// third level at large n loses no coverage of the new fast path).
+void expect_fits_three_level(const ring::Tour& tour, const Traffic& traffic,
+                             Mapping& mapping, int max_wavelengths,
+                             int brute_stride = 1) {
+  const ArcTable arcs(tour, traffic);
+  const OccupancyIndex index(arcs, mapping);
+  for (int w = 0; w < static_cast<int>(mapping.waveguides.size()); ++w) {
+    for (const auto& sig : traffic.signals()) {
+      for (int wl = 0; wl < max_wavelengths; ++wl) {
+        const bool fast = index.fits(w, wl, sig.id);
+        const bool scan = index.fits_scan(w, wl, sig.id);
+        ASSERT_EQ(fast, scan)
+            << "summary vs scan: w=" << w << " wl=" << wl << " sig=" << sig.id;
+        if (sig.id % brute_stride == 0) {
+          ASSERT_EQ(scan, fits(tour, traffic, mapping, w, wl, sig.id))
+              << "scan vs brute: w=" << w << " wl=" << wl << " sig=" << sig.id;
+        }
+      }
+    }
+  }
+}
+
+class FastpathAllToAll : public ::testing::TestWithParam<int> {};
+
+// Summary-index vs PR-4 index vs brute-force on the mapped and the opened
+// state. n=64 spans exactly one occupancy word (full-word summary coverage);
+// the smaller sizes exercise the partial-word masks.
+TEST_P(FastpathAllToAll, FitsThreeLevelAgreement) {
+  const int n = GetParam();
+  const Instance inst = make_instance(n, Traffic::all_to_all(n), false);
+  MappingOptions mo;
+  mo.max_wavelengths = std::max(4, n / 2);
+  const int brute_stride = n >= 64 ? 9 : 1;
+  Mapping mapping =
+      assign_wavelengths(inst.ring.tour, inst.traffic, inst.plan, mo);
+  expect_fits_three_level(inst.ring.tour, inst.traffic, mapping,
+                          mo.max_wavelengths, brute_stride);
+  create_openings(inst.ring.tour, inst.traffic, mapping, mo);
+  expect_fits_three_level(inst.ring.tour, inst.traffic, mapping,
+                          mo.max_wavelengths, brute_stride);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FastpathAllToAll,
+                         ::testing::Values(8, 16, 32, 64));
+
+// Seeded random traffic, including a ring size that is not a multiple of 64
+// (the last occupancy word has invalid high bits — the summary's "fully
+// covered" test must use the valid-bit mask, not all-ones).
+TEST(FastpathRandom, FitsThreeLevelAgreementSeeded) {
+  for (const int n : {16, 24, 70}) {
+    for (const unsigned seed : {3u, 99u}) {
+      const Traffic traffic = random_traffic(n, std::min(120, n * (n - 1)),
+                                             seed);
+      const Instance inst = make_instance(n, traffic, true);
+      MappingOptions mo;
+      mo.max_wavelengths = 6;
+      Mapping mapping =
+          assign_wavelengths(inst.ring.tour, inst.traffic, inst.plan, mo);
+      create_openings(inst.ring.tour, inst.traffic, mapping, mo);
+      expect_fits_three_level(inst.ring.tour, inst.traffic, mapping,
+                              mo.max_wavelengths, n >= 64 ? 7 : 3);
+    }
+  }
+}
+
+// Warm-vs-cold search agreement: after arbitrary interleavings of
+// transactions, rollbacks, and commits, a cursor-resuming find_first_fit
+// must return exactly the slot a cold full scan (over the verbatim word
+// scan) returns. This drives the removal-log dirty-reprobe path hard: every
+// rollback logs bit removals that can turn previously failed slots fitting.
+TEST(FastpathCursor, WarmSearchMatchesColdScanAcrossRollbacks) {
+  const int n = 32;
+  const Instance inst = make_instance(n, Traffic::all_to_all(n), false);
+  const ring::Tour& tour = inst.ring.tour;
+  MappingOptions mo;
+  mo.max_wavelengths = n / 2;
+  Mapping mapping =
+      assign_wavelengths(tour, inst.traffic, inst.plan, mo);
+  const ArcTable arcs(tour, inst.traffic);
+  OccupancyIndex index(arcs, mapping);
+
+  const auto cold_first_fit = [&](Direction dir, SignalId id, int from) {
+    OccupancyIndex::Slot slot;
+    for (int w = 0; w < static_cast<int>(mapping.waveguides.size()); ++w) {
+      if (mapping.waveguides[w].dir != dir || w == from) continue;
+      for (int wl = 0; wl < mo.max_wavelengths; ++wl) {
+        if (index.fits_scan(w, wl, id)) return OccupancyIndex::Slot{w, wl};
+      }
+    }
+    return slot;
+  };
+
+  std::mt19937 rng(2024);
+  int warm_hits = 0;
+  for (int round = 0; round < 40; ++round) {
+    const int w = static_cast<int>(rng() % mapping.waveguides.size());
+    auto signals = mapping.waveguides[w].signals;
+    if (signals.empty()) continue;
+    const bool keep = (rng() % 2) == 0;
+    index.begin_transaction();
+    for (const SignalId id : signals) {
+      const Direction dir = mapping.waveguides[w].dir;
+      const OccupancyIndex::Slot cold = cold_first_fit(dir, id, w);
+      const OccupancyIndex::Slot warm =
+          index.find_first_fit(dir, id, w, mo.max_wavelengths);
+      ASSERT_EQ(warm.waveguide, cold.waveguide)
+          << "round " << round << " signal " << id;
+      ASSERT_EQ(warm.wavelength, cold.wavelength)
+          << "round " << round << " signal " << id;
+      if (warm.waveguide < 0) continue;
+      index.relocate(id, warm.waveguide, warm.wavelength);
+      ++warm_hits;
+    }
+    if (keep) {
+      index.commit();
+    } else {
+      index.rollback();
+    }
+  }
+  ASSERT_GT(warm_hits, 0);
+}
+
+// Counting-sort candidate order == the stable_sort it replaced, on every
+// waveguide of mapped and opened states.
+TEST(FastpathCandidateOrder, CountingSortMatchesStableSort) {
+  for (const int n : {16, 32}) {
+    const Instance inst = make_instance(n, Traffic::all_to_all(n), false);
+    const ring::Tour& tour = inst.ring.tour;
+    MappingOptions mo;
+    mo.max_wavelengths = n / 2;
+    Mapping mapping = assign_wavelengths(tour, inst.traffic, inst.plan, mo);
+    const ArcTable arcs(tour, inst.traffic);
+    OccupancyIndex index(arcs, mapping);
+    for (int w = 0; w < static_cast<int>(mapping.waveguides.size()); ++w) {
+      std::vector<std::pair<int, NodeId>> expected;
+      for (int pos = 0; pos < tour.size(); ++pos) {
+        expected.emplace_back(index.passing_count(w, pos), tour.at(pos));
+      }
+      std::stable_sort(
+          expected.begin(), expected.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      EXPECT_EQ(opening_candidate_order(index, tour, w), expected)
+          << "waveguide " << w;
+    }
+  }
+}
+
+// Speculative candidate evaluation must be byte-identical at every thread
+// count and to the non-speculating serial path. n=64 crosses the
+// speculation size gate; the tight #wl cap forces real relocation work.
+TEST(FastpathSpeculation, OpeningsDeterministicAcrossJobs) {
+  const int n = 64;
+  const Instance inst = make_instance(n, Traffic::all_to_all(n), false);
+  MappingOptions mo;
+  mo.max_wavelengths = n / 4;  // tight: candidates fail, memo + batches engage
+
+  const auto run = [&](int jobs, bool speculate) {
+    par::set_jobs(jobs);
+    Mapping mapping =
+        assign_wavelengths(inst.ring.tour, inst.traffic, inst.plan, mo);
+    OpeningOptions oo;
+    oo.speculate = speculate;
+    const OpeningStats stats =
+        create_openings(inst.ring.tour, inst.traffic, mapping, mo, oo);
+    par::set_jobs(0);
+    return std::make_pair(std::move(mapping), stats);
+  };
+
+  const auto [serial_map, serial_stats] = run(1, /*speculate=*/false);
+  for (const int jobs : {1, 2, 8}) {
+    const auto [spec_map, spec_stats] = run(jobs, /*speculate=*/true);
+    EXPECT_EQ(spec_stats.relocated_signals, serial_stats.relocated_signals)
+        << "jobs=" << jobs;
+    EXPECT_EQ(spec_stats.extra_waveguides, serial_stats.extra_waveguides)
+        << "jobs=" << jobs;
+    expect_mappings_identical(spec_map, serial_map);
+  }
+}
+
+// The memoized-skip counter: (a) it fires on workloads with repeated
+// failing moving sets, (b) it is jobs-invariant (memo decisions replay in
+// the serial consume order regardless of speculation), and (c) skipping
+// does not change any outcome (covered by the determinism test above; here
+// the serial-vs-speculative mapping equality is re-checked under obs).
+TEST(FastpathMemo, MemoizedSkipsAreJobsInvariant) {
+  const int n = 64;
+  const Instance inst = make_instance(n, Traffic::all_to_all(n), false);
+  MappingOptions mo;
+  mo.max_wavelengths = n / 4;
+
+  const auto run = [&](int jobs, bool speculate) {
+    par::set_jobs(jobs);
+    obs::Context ctx;
+    long long memoized = 0;
+    Mapping mapping;
+    {
+      obs::ScopedContext scope(ctx);
+      mapping =
+          assign_wavelengths(inst.ring.tour, inst.traffic, inst.plan, mo);
+      OpeningOptions oo;
+      oo.speculate = speculate;
+      create_openings(inst.ring.tour, inst.traffic, mapping, mo, oo);
+      memoized =
+          ctx.registry().counter("mapping.candidates_memoized").value();
+    }
+    par::set_jobs(0);
+    return std::make_pair(std::move(mapping), memoized);
+  };
+
+  const auto [serial_map, serial_memo] = run(1, /*speculate=*/false);
+  ASSERT_GT(serial_memo, 0)
+      << "workload must exercise the memoized-skip path";
+  for (const int jobs : {2, 8}) {
+    const auto [spec_map, spec_memo] = run(jobs, /*speculate=*/true);
+    EXPECT_EQ(spec_memo, serial_memo) << "jobs=" << jobs;
+    expect_mappings_identical(spec_map, serial_map);
+  }
+}
+
+// The last-resort overflow path (relocation falls back onto freshly
+// appended waveguides) under the fast paths: outcome must match the
+// brute-force reference exactly. The very tight cap at dense random
+// traffic makes overflow unavoidable.
+TEST(FastpathOverflow, ExtraWaveguidePathMatchesReference) {
+  const int n = 16;
+  bool saw_overflow = false;
+  for (const unsigned seed : {5u, 21u, 101u, 202u}) {
+    const Traffic traffic = random_traffic(n, n * (n - 1) / 2, seed);
+    const Instance inst = make_instance(n, traffic, false);
+    MappingOptions mo;
+    mo.max_wavelengths = 2;
+
+    Mapping fast = assign_wavelengths(inst.ring.tour, inst.traffic,
+                                      inst.plan, mo);
+    const OpeningStats fs =
+        create_openings(inst.ring.tour, inst.traffic, fast, mo);
+
+    // Reference: same pipeline with speculation off at 1 job exercises the
+    // serial transaction path; brute-force agreement of that path is
+    // covered exhaustively by test_mapping_index. Here the two production
+    // paths must agree on the overflow outcome.
+    par::set_jobs(1);
+    Mapping serial = assign_wavelengths(inst.ring.tour, inst.traffic,
+                                        inst.plan, mo);
+    OpeningOptions oo;
+    oo.speculate = false;
+    const OpeningStats ss =
+        create_openings(inst.ring.tour, inst.traffic, serial, mo, oo);
+    par::set_jobs(0);
+
+    EXPECT_EQ(fs.relocated_signals, ss.relocated_signals) << "seed " << seed;
+    EXPECT_EQ(fs.extra_waveguides, ss.extra_waveguides) << "seed " << seed;
+    expect_mappings_identical(fast, serial);
+    saw_overflow = saw_overflow || fs.extra_waveguides > 0;
+  }
+  EXPECT_TRUE(saw_overflow)
+      << "no seed produced extra_waveguides > 0; tighten the cap";
+}
+
+}  // namespace
+}  // namespace xring::mapping
