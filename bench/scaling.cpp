@@ -17,8 +17,11 @@
 // the quality metrics must match exactly — the determinism gate extended
 // over the profiling layer itself.
 //
-// Options: --ring N (CI smoke: one MILP solve at N), --max-ring N (cap the
-// MILP table), --max-n N (cap the resource profile).
+// Options: --ring N (CI smoke: one exact MILP solve at N), --ring-budgeted N
+// (CI smoke: one budgeted-LNS build at N, certified gap gated), --events FILE
+// (write the smoke run's solver telemetry JSONL), --max-ring N (cap the
+// exact MILP table), --budget-ring N (enable budgeted table rows up to N),
+// --max-n N (cap the resource profile).
 
 #include <algorithm>
 #include <cmath>
@@ -29,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/events.hpp"
 #include "obs/obs.hpp"
 #include "obs/sampler.hpp"
 #include "par/pool.hpp"
@@ -126,21 +130,35 @@ struct RingRun {
   double pivots = 0.0;
   double refactorizations = 0.0;
   double warm_pivots = 0.0;
+  double cuts = 0.0;
   double peak_rss_bytes = 0.0;
   double rss_growth_bytes = 0.0;
 };
 
-RingRun run_ring_milp(int n, double time_limit) {
+/// `lns_budget > 0` runs the budgeted LNS instead of the exact solve.
+/// `events`, when given, captures the solver telemetry of this run.
+RingRun run_ring_milp(int n, double time_limit, double lns_budget = 0.0,
+                      obs::EventLog* events = nullptr) {
   obs::set_enabled(true);
   obs::registry().reset();
+  if (events != nullptr) obs::events::swap_log(events);
   obs::PhaseSampler sampler;
   sampler.start();
   ring::RingBuildOptions opt;
   opt.use_milp = true;
+  // The table's subject is the separated formulation: the root LP keeps
+  // only the 2n degree rows (+1 symmetry row); Eq. 2 and Eq. 3 arrive as
+  // cutting planes / lazy rows exactly where they bind.
+  opt.conflict_mode = ring::ConflictMode::kSeparated;
+  // The Or-opt polish lets the warm start reach the root bound on the grid
+  // layouts, which is what keeps the large exact solves single-node.
+  opt.or_opt_polish = true;
   opt.time_limit_seconds = time_limit;
+  opt.lns_budget_seconds = lns_budget;
   RingRun out;
   out.result = ring::build_ring(ring_floorplan(n), opt);
   sampler.stop();
+  if (events != nullptr) obs::events::swap_log(nullptr);
   const auto flat = obs::registry().flatten();
   auto get = [&](const char* key) {
     const auto it = flat.find(key);
@@ -149,6 +167,7 @@ RingRun run_ring_milp(int n, double time_limit) {
   out.pivots = get("lp.pivots");
   out.refactorizations = get("lp.refactorizations");
   out.warm_pivots = get("milp.warm_pivots");
+  out.cuts = get("milp.cuts_added");
   for (const auto& [name, pts] : obs::registry().series()) {
     if (name != "mem.rss_bytes" || pts.empty()) continue;
     double first = pts.front().value;
@@ -159,36 +178,68 @@ RingRun run_ring_milp(int n, double time_limit) {
   return out;
 }
 
+void maybe_write_events(const obs::EventLog& events, const char* path) {
+  if (path == nullptr) return;
+  events.write(path);
+  std::printf("events: %s (%zu records)\n", path, events.size());
+}
+
 /// CI smoke mode (`--ring N`): a single ring-construction MILP must reach a
 /// solver-certified optimum inside the caller's timeout. Exercises the
 /// sparse kernel at a size the dense inverse could not touch.
-int ring_smoke(int n) {
-  const RingRun run = run_ring_milp(n, 300.0);
+int ring_smoke(int n, const char* events_file) {
+  obs::EventLog events;
+  const RingRun run = run_ring_milp(n, 300.0, 0.0, &events);
   std::printf("ring-construction MILP n=%d: status=%s nodes=%ld pivots=%.0f "
-              "refactorizations=%.0f length=%.0fum in %.2fs\n",
+              "refactorizations=%.0f cuts=%.0f gap=%.4f%% length=%.0fum "
+              "in %.2fs\n",
               n, milp::to_string(run.result.mip_status).c_str(),
               run.result.bnb_nodes, run.pivots, run.refactorizations,
+              run.cuts, run.result.certified_gap * 100.0,
               static_cast<double>(run.result.geometry.tour.total_length()),
               run.result.seconds);
+  maybe_write_events(events, events_file);
   return run.result.mip_status == milp::MipStatus::kOptimal ? EXIT_SUCCESS
                                                             : EXIT_FAILURE;
 }
 
-/// Ring-construction MILP scaling table: n = 32..128, serial vs full-pool
-/// solve (speculation only helps multi-node searches, so the columns also
-/// document where the search is single-node). The dense-inverse kernel is
-/// O(m^2) memory — at n=128 that basis alone would be ~560 MB — which is
-/// why this table only exists with the sparse LU kernel.
+/// CI smoke mode (`--ring-budgeted N`): one budgeted-LNS ring build under a
+/// hard 300 s budget. Gates on a finite certified gap of at most 5% — the
+/// budgeted mode's contract at sizes where the exact solve is off the table.
+int ring_smoke_budgeted(int n, const char* events_file) {
+  obs::EventLog events;
+  const RingRun run = run_ring_milp(n, 300.0, 300.0, &events);
+  const double gap = run.result.certified_gap;
+  std::printf("ring-construction LNS n=%d: status=%s repairs=%d gap=%.4f%% "
+              "lower_bound=%.0fum length=%.0fum budget_exhausted=%d in %.2fs\n",
+              n, milp::to_string(run.result.mip_status).c_str(),
+              run.result.lns_repairs, gap * 100.0,
+              static_cast<double>(run.result.lower_bound_um),
+              static_cast<double>(run.result.geometry.tour.total_length()),
+              run.result.lns_budget_exhausted ? 1 : 0, run.result.seconds);
+  maybe_write_events(events, events_file);
+  const bool ok = run.result.mip_status == milp::MipStatus::kFeasible &&
+                  std::isfinite(gap) && gap <= 0.05;
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+/// Ring-construction MILP scaling table: n = 32..256 (capped by
+/// `max_ring`), serial vs full-pool solve (speculation only helps
+/// multi-node searches, so the columns also document where the search is
+/// single-node). The dense-inverse kernel is O(m^2) memory — at n=128 that
+/// basis alone would be ~560 MB — which is why this table only exists with
+/// the sparse LU kernel; the separated formulation (root LP = degree rows
+/// only, Eq. 2/3 as cuts) is what carries it past n=128.
 bool ring_scaling_table(int jobs_n, int max_ring) {
   std::printf("=== Step-1 ring-construction MILP (sparse LU kernel) ===\n\n");
   std::string tn_header = "T";
   tn_header += std::to_string(jobs_n);
   tn_header += " (s)";
-  report::Table t({"nodes", "LP rows", "LP cols", "status", "pivots",
-                   "refac", "T1 (s)", tn_header, "speedup", "peakRSS (MiB)"});
+  report::Table t({"nodes", "LP rows", "LP cols", "status", "pivots", "cuts",
+                   "gap", "T1 (s)", tn_header, "speedup", "peakRSS (MiB)"});
   bool identical = true;
   std::vector<std::pair<double, double>> time_pts, mem_pts;
-  for (const int n : {32, 64, 96, 128}) {
+  for (const int n : {32, 64, 96, 128, 192, 256}) {
     if (n > max_ring) continue;
     par::set_jobs(1);
     const RingRun serial = run_ring_milp(n, 300.0);
@@ -204,9 +255,11 @@ bool ring_scaling_table(int jobs_n, int max_ring) {
                    "disagree on the ring-construction solve\n", n, jobs_n);
       identical = false;
     }
-    // Row/column counts of the root relaxation: 2n degree rows + n(n-1)/2
-    // anti-2-cycle rows over n(n-1) edge binaries (lazy Eq.3 rows extra).
-    const int rows = 2 * n + n * (n - 1) / 2;
+    // Root relaxation of the separated formulation: 2n degree rows plus the
+    // orientation (symmetry) row over n(n-1) edge binaries. Eq. 2 / Eq. 3
+    // rows arrive as cutting planes and lazy rows on top (the `cuts`
+    // column and the lazy counters track how many actually bound).
+    const int rows = 2 * n + 1;
     const int cols = n * (n - 1);
     const double speedup = parallel.result.seconds > 0.0
                                ? serial.result.seconds / parallel.result.seconds
@@ -214,7 +267,8 @@ bool ring_scaling_table(int jobs_n, int max_ring) {
     t.add_row({std::to_string(n), std::to_string(rows), std::to_string(cols),
                milp::to_string(parallel.result.mip_status),
                report::num(parallel.pivots, 0),
-               report::num(parallel.refactorizations, 0),
+               report::num(parallel.cuts, 0),
+               report::num(parallel.result.certified_gap * 100.0, 2) + "%",
                report::num(serial.result.seconds, 2),
                report::num(parallel.result.seconds, 2),
                report::num(speedup, 2) + "x",
@@ -229,6 +283,57 @@ bool ring_scaling_table(int jobs_n, int max_ring) {
   std::printf("fitted: milp time ~ O(%s), milp RSS growth ~ O(%s)\n\n",
               fmt_exponent(fit_exponent(time_pts)).c_str(),
               fmt_exponent(fit_exponent(mem_pts)).c_str());
+  return identical;
+}
+
+/// Budgeted-LNS ring table (`--budget-ring N` enables rows up to N): sizes
+/// past the exact solver's reach, each built three times at jobs = 1/2/8
+/// with a fixed seed. Whenever no run exhausts its wall-clock budget the
+/// repair schedule is a pure function of the seed, so all three must agree
+/// bit-for-bit on the tour — the budgeted mode's determinism gate.
+bool ring_budgeted_table(int budget_ring) {
+  if (budget_ring <= 0) return true;
+  std::printf("=== Step-1 budgeted LNS (exact MILP window repairs) ===\n\n");
+  report::Table t({"nodes", "length (mm)", "gap", "repairs", "T (s)",
+                   "budget hit"});
+  bool identical = true;
+  for (const int n : {384, 512}) {
+    if (n > budget_ring) continue;
+    std::vector<RingRun> runs;
+    bool exhausted = false;
+    for (const int jobs : {1, 2, 8}) {
+      par::set_jobs(jobs);
+      runs.push_back(run_ring_milp(n, 300.0, 300.0));
+      exhausted = exhausted || runs.back().result.lns_budget_exhausted;
+    }
+    par::set_jobs(0);
+    if (exhausted) {
+      std::fprintf(stderr,
+                   "budgeted LNS at %d nodes: budget exhausted, jobs gate "
+                   "skipped (schedule incomplete => machine-dependent)\n", n);
+    } else {
+      for (std::size_t i = 1; i < runs.size(); ++i) {
+        if (runs[i].result.geometry.tour.total_length() !=
+                runs[0].result.geometry.tour.total_length() ||
+            runs[i].result.lns_repairs != runs[0].result.lns_repairs) {
+          std::fprintf(stderr,
+                       "determinism violation at %d nodes: budgeted LNS "
+                       "disagrees across jobs counts\n", n);
+          identical = false;
+        }
+      }
+    }
+    const RingRun& r = runs.back();
+    t.add_row({std::to_string(n),
+               report::num(static_cast<double>(
+                               r.result.geometry.tour.total_length()) / 1000.0,
+                           1),
+               report::num(r.result.certified_gap * 100.0, 2) + "%",
+               std::to_string(r.result.lns_repairs),
+               report::num(r.result.seconds, 2),
+               r.result.lns_budget_exhausted ? "yes" : "no"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
   return identical;
 }
 
@@ -466,9 +571,19 @@ int main(int argc, char** argv) {
   using namespace xring;
   int max_ring = 128;  // cap for the MILP table (CI trims the 100s solves)
   int max_n = 1024;    // cap for the resource profile
+  int budget_ring = 0;  // budgeted LNS table off by default (300s per size)
+  int smoke_exact = 0, smoke_budgeted = 0;
+  const char* events_file = nullptr;
   for (int i = 1; i + 1 < argc; i += 2) {
-    if (std::strcmp(argv[i], "--ring") == 0) return ring_smoke(std::atoi(argv[i + 1]));
+    if (std::strcmp(argv[i], "--ring") == 0) smoke_exact = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--ring-budgeted") == 0) {
+      smoke_budgeted = std::atoi(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--events") == 0) events_file = argv[i + 1];
     if (std::strcmp(argv[i], "--max-ring") == 0) max_ring = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--budget-ring") == 0) {
+      budget_ring = std::atoi(argv[i + 1]);
+    }
     if (std::strcmp(argv[i], "--max-n") == 0) {
       max_n = std::atoi(argv[i + 1]);
       // --max-ring 0 legitimately skips the MILP table, but a non-positive
@@ -476,19 +591,29 @@ int main(int argc, char** argv) {
       if (max_n <= 0) {
         std::fprintf(stderr,
                      "scaling: --max-n must be positive (got %s)\n"
-                     "usage: scaling [--ring N] [--max-ring N] [--max-n N]\n"
-                     "  --ring N      CI smoke: one MILP ring solve at N\n"
-                     "  --max-ring N  cap the MILP ring table (0 skips it)\n"
-                     "  --max-n N     cap the resource profile "
+                     "usage: scaling [--ring N] [--ring-budgeted N] "
+                     "[--events FILE] [--max-ring N] [--budget-ring N] "
+                     "[--max-n N]\n"
+                     "  --ring N           CI smoke: one exact MILP ring solve at N\n"
+                     "  --ring-budgeted N  CI smoke: one budgeted LNS build at N\n"
+                     "                     (hard 300 s, certified gap <= 5%% gated)\n"
+                     "  --events FILE      write the smoke run's telemetry JSONL\n"
+                     "  --max-ring N       cap the MILP ring table (0 skips it)\n"
+                     "  --budget-ring N    budgeted LNS table rows up to N\n"
+                     "                     (default 0 = skipped)\n"
+                     "  --max-n N          cap the resource profile "
                      "(default 1024)\n",
                      argv[i + 1]);
         return EXIT_FAILURE;
       }
     }
   }
+  if (smoke_exact > 0) return ring_smoke(smoke_exact, events_file);
+  if (smoke_budgeted > 0) return ring_smoke_budgeted(smoke_budgeted, events_file);
   const int jobs_n = par::resolve_jobs(0);
 
   bool ok = ring_scaling_table(jobs_n, max_ring);
+  ok = ring_budgeted_table(budget_ring) && ok;
   ok = mapping_determinism_gate() && ok;
   ok = profile_table(max_n) && ok;
   if (!ok) return EXIT_FAILURE;

@@ -24,6 +24,13 @@ struct MipResult {
   std::vector<double> x;
   long nodes = 0;
   int lazy_constraints_added = 0;
+  /// Cutting planes appended by BnbOptions::cut_separator.
+  int cutting_planes_added = 0;
+  /// Best proven objective bound, in the caller's objective sense (a lower
+  /// bound when minimizing, an upper bound when maximizing). Equals
+  /// `objective` when the status is kOptimal; -/+infinity when the search
+  /// stopped before proving any bound.
+  double best_bound = 0.0;
   double seconds = 0.0;
 };
 
@@ -38,6 +45,17 @@ struct MipResult {
 using LazyConstraintHandler =
     std::function<std::vector<Constraint>(const std::vector<double>& x)>;
 
+/// Called on *fractional* LP relaxation points (at shallow nodes, a bounded
+/// number of rounds per node). Returns violated valid inequalities
+/// ("cutting planes") that are then added to the model globally and the node
+/// re-solved from its warm basis — the same lazy-row machinery used for
+/// integer candidates. Returned rows MUST be valid for every integer
+/// feasible point of the full model (they are appended globally, not per
+/// subtree); they should be violated by `x` by a meaningful margin, since
+/// each non-empty return costs one extra LP solve.
+using CutSeparator =
+    std::function<std::vector<Constraint>(const std::vector<double>& x)>;
+
 struct BnbOptions {
   double time_limit_seconds = 60.0;
   long node_limit = 1'000'000;
@@ -48,6 +66,17 @@ struct BnbOptions {
   /// seeds the incumbent and tightens pruning from the first node.
   std::optional<std::vector<double>> warm_start;
   LazyConstraintHandler lazy_handler;
+  CutSeparator cut_separator;
+  /// Cut separation budget: rounds per node and the node depth past which
+  /// separation stops (deep nodes rarely produce globally useful cuts).
+  int max_cut_rounds = 8;
+  int cut_depth_limit = 8;
+  /// Run the presolve pass (presolve.hpp) before the search and postsolve
+  /// the answer back, so callers always see the original variable space.
+  /// Reductions are feasibility-preserving by implication, hence compatible
+  /// with lazy handlers and cut separators (both are translated into the
+  /// reduced space automatically).
+  bool presolve = true;
   /// Worker lanes for the parallel best-first mode. 0 = size of the global
   /// `par` pool (i.e. --jobs / XRING_JOBS); 1 = fully serial. With more than
   /// one lane, workers speculatively pre-solve the LP relaxations of the

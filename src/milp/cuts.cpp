@@ -1,0 +1,88 @@
+#include "milp/cuts.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xring::milp {
+
+std::vector<Constraint> separate_cover_cuts(const Model& model,
+                                            const std::vector<double>& x,
+                                            const CutOptions& options) {
+  std::vector<Constraint> cuts;
+
+  for (const Constraint& row : model.constraints()) {
+    if (static_cast<int>(cuts.size()) >= options.max_cuts) break;
+    if (row.sense != Sense::kLe || row.terms.size() < 2) continue;
+
+    // Knapsack shape: all-binary, all-positive coefficients.
+    bool knapsack = true;
+    double coef_sum = 0.0;
+    for (const auto& [v, a] : row.terms) {
+      if (model.type(v) != VarType::kBinary || a <= 0.0) {
+        knapsack = false;
+        break;
+      }
+      coef_sum += a;
+    }
+    if (!knapsack || coef_sum <= row.rhs) continue;  // no cover exists
+
+    // Greedy cover: take variables by descending fractional value (then by
+    // index) until the coefficients exceed the capacity. Variables at 0
+    // cannot contribute to a violated cover's LHS, but may still be needed
+    // to reach the capacity — they sort last and only enter if required.
+    std::vector<std::pair<int, double>> items(row.terms.begin(),
+                                              row.terms.end());
+    std::stable_sort(items.begin(), items.end(),
+                     [&x](const auto& p, const auto& q) {
+                       return x[p.first] > x[q.first];
+                     });
+    std::vector<std::pair<int, double>> cover;  // (var, coef)
+    double cover_sum = 0.0;
+    for (const auto& item : items) {
+      if (cover_sum > row.rhs) break;
+      cover.push_back(item);
+      cover_sum += item.second;
+    }
+    if (cover_sum <= row.rhs) continue;  // defensive; coef_sum > rhs above
+
+    // Shrink to a minimal cover: drop members (smallest fractional value
+    // first — they contribute least to the violation) while the remainder
+    // still exceeds the capacity.
+    for (auto it = cover.rbegin(); it != cover.rend();) {
+      if (cover_sum - it->second > row.rhs) {
+        cover_sum -= it->second;
+        it = decltype(it)(cover.erase(std::next(it).base()));
+      } else {
+        ++it;
+      }
+    }
+
+    // Violation check on the plain cover inequality.
+    double lhs = 0.0;
+    double max_cover_coef = 0.0;
+    for (const auto& [v, a] : cover) {
+      lhs += x[v];
+      max_cover_coef = std::max(max_cover_coef, a);
+    }
+    const double rhs = static_cast<double>(cover.size()) - 1.0;
+    if (lhs - rhs <= options.min_violation) continue;
+
+    // Lift to the extended cover: any variable with a coefficient >= the
+    // largest in C would also complete a cover, so it joins with
+    // coefficient 1 (extra LHS mass never weakens the violated cut).
+    Constraint cut;
+    cut.sense = Sense::kLe;
+    cut.rhs = rhs;
+    cut.terms.reserve(row.terms.size());
+    for (const auto& [v, a] : row.terms) {
+      const bool in_cover =
+          std::any_of(cover.begin(), cover.end(),
+                      [v2 = v](const auto& c) { return c.first == v2; });
+      if (in_cover || a >= max_cover_coef) cut.terms.emplace_back(v, 1.0);
+    }
+    cuts.push_back(std::move(cut));
+  }
+  return cuts;
+}
+
+}  // namespace xring::milp

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "milp/model.hpp"
+
+namespace xring::milp {
+
+/// Knobs for the generic cut separators.
+struct CutOptions {
+  /// Minimum violation (LHS minus RHS at the fractional point) for a cut to
+  /// be worth returning; smaller violations rarely move the LP bound.
+  double min_violation = 1e-4;
+  /// Cap on cuts returned per separation call.
+  int max_cuts = 64;
+};
+
+/// Separates lifted (extended) cover inequalities from the model's binary
+/// knapsack rows — <= rows whose terms are all binary variables with
+/// positive coefficients. For a minimal cover C of a row `sum a_j x_j <= b`
+/// (a set with `sum_{C} a_j > b`), every 0/1 feasible point satisfies
+/// `sum_{C} x_j <= |C| - 1`; the cut is lifted to the extended cover by
+/// adding every variable whose coefficient is at least the largest one in C.
+/// Greedy separation: covers are built from the variables with the largest
+/// fractional values, then shrunk to minimal. Deterministic — all ties break
+/// on the variable index.
+std::vector<Constraint> separate_cover_cuts(const Model& model,
+                                            const std::vector<double>& x,
+                                            const CutOptions& options = {});
+
+}  // namespace xring::milp

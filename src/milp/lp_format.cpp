@@ -11,9 +11,10 @@ namespace xring::milp {
 namespace {
 
 void write_terms(std::ostream& out, const Terms& terms) {
+  // Model rows are canonicalized at insert (sorted, duplicate-free, no zero
+  // coefficients), so no per-row rescan for zeros is needed here.
   bool first = true;
   for (const auto& [var, coef] : terms) {
-    if (coef == 0.0) continue;
     if (first) {
       if (coef < 0) out << "- ";
     } else {

@@ -25,6 +25,23 @@ int Model::add_constraint(Constraint c) {
     }
     (void)coef;
   }
+  // Canonicalize once at insert: sort by variable, accumulate duplicates,
+  // drop zero coefficients. stable_sort keeps the accumulation order of
+  // equal-variable terms deterministic across platforms.
+  std::stable_sort(c.terms.begin(), c.terms.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < c.terms.size();) {
+    int var = c.terms[i].first;
+    double coef = 0.0;
+    do {
+      coef += c.terms[i].second;
+      ++i;
+    } while (i < c.terms.size() && c.terms[i].first == var);
+    if (coef != 0.0) c.terms[out++] = {var, coef};
+  }
+  c.terms.resize(out);
+  c.terms.shrink_to_fit();
   constraints_.push_back(std::move(c));
   return num_constraints() - 1;
 }

@@ -54,6 +54,13 @@ MetricClass classify_metric(const std::string& name) {
   if (name == "lp.pivots" || name == "lp.refactorizations" ||
       name == "lp.eta_nnz" || name == "milp.warm_pivots" ||
       name == "milp.cold_solves" ||
+      // Presolve/cut/LNS machinery: these count internal solver work (rows
+      // removed, planes separated, repairs accepted) and the certified gap
+      // of a budgeted run — none of them is a quality answer, and all may
+      // legitimately move when the solver's search strategy changes.
+      name.compare(0, 14, "milp.presolve_") == 0 ||
+      name == "milp.cuts_added" || name == "milp.cut_rounds" ||
+      name == "milp.lns_repairs" || name == "milp.certified_gap" ||
       name.compare(0, 14, "lp.iterations.") == 0 ||
       name.compare(0, 17, "lp.ftran_density.") == 0 ||
       // Step-3 search-path instrumentation: cursors and speculation change

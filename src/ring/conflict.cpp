@@ -5,8 +5,15 @@
 namespace xring::ring {
 
 ConflictOracle::ConflictOracle(const netlist::Floorplan& floorplan)
-    : n_(floorplan.size()) {
+    : n_(floorplan.size()), dense_(floorplan.size() <= kDenseNodeLimit) {
   pairs_ = n_ * (n_ - 1) / 2;
+  if (!dense_) {
+    // On-demand mode: keep only the node positions; every query recomputes
+    // the same geometry predicate the dense table would have cached.
+    positions_.reserve(n_);
+    for (NodeId v = 0; v < n_; ++v) positions_.push_back(floorplan.position(v));
+    return;
+  }
   table_.assign(static_cast<std::size_t>(pairs_) * pairs_, false);
 
   // Materialize every unordered node pair once.
@@ -34,6 +41,10 @@ bool ConflictOracle::conflict(NodeId a1, NodeId a2, NodeId b1, NodeId b2) const 
   const NodeId alo = std::min(a1, a2), ahi = std::max(a1, a2);
   const NodeId blo = std::min(b1, b2), bhi = std::max(b1, b2);
   if (alo == blo && ahi == bhi) return false;  // same undirected edge
+  if (!dense_) {
+    return geom::edges_conflict(positions_[alo], positions_[ahi],
+                                positions_[blo], positions_[bhi]);
+  }
   const int p = pair_index(alo, ahi);
   const int q = pair_index(blo, bhi);
   return table_[static_cast<std::size_t>(p) * pairs_ + q];

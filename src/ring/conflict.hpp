@@ -42,10 +42,24 @@ class EdgeSpace {
 
 /// Answers the paper's pairwise *conflict* question (Sec. III-A): two edges
 /// conflict iff none of the four combinations of their L-route options can
-/// be implemented without a waveguide crossing. Results are precomputed per
-/// unordered pair of unordered node pairs, so queries are O(1).
+/// be implemented without a waveguide crossing.
+///
+/// Two storage strategies behind one interface, chosen by problem size:
+/// up to kDenseNodeLimit nodes the answers are precomputed into a dense
+/// pairs x pairs table (O(1) bit-lookup queries, the historical behavior);
+/// past it the table would be Theta(n^4) bits (~2 GiB at n=512), so queries
+/// recompute `geom::edges_conflict` from the stored node positions on
+/// demand. Both modes return identical answers — the table is just a cache
+/// of the same geometry call — so swapping modes never changes a result.
 class ConflictOracle {
  public:
+  /// Largest node count that still precomputes the dense table. n=128 and
+  /// below matches the historical footprint exactly; above it the table
+  /// build itself (Theta(n^4)/8 predicate evaluations — tens of seconds at
+  /// n=192) costs more than every on-demand recompute of a whole solve, so
+  /// larger instances always answer from geometry.
+  static constexpr int kDenseNodeLimit = 128;
+
   explicit ConflictOracle(const netlist::Floorplan& floorplan);
 
   /// True if edges {a1, a2} and {b1, b2} conflict. Direction is irrelevant:
@@ -56,6 +70,7 @@ class ConflictOracle {
   bool conflict(const EdgeSpace& space, int edge_a, int edge_b) const;
 
   int nodes() const { return n_; }
+  bool dense() const { return dense_; }
 
  private:
   int pair_index(NodeId lo, NodeId hi) const {
@@ -65,7 +80,9 @@ class ConflictOracle {
 
   int n_ = 0;
   int pairs_ = 0;
-  std::vector<bool> table_;  // pairs_ x pairs_ symmetric matrix
+  bool dense_ = true;
+  std::vector<bool> table_;           // pairs_ x pairs_ symmetric matrix
+  std::vector<geom::Point> positions_;  // on-demand mode: query inputs
 };
 
 }  // namespace xring::ring

@@ -1,7 +1,14 @@
 #include "ring/heuristic.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <limits>
+
+#include "milp/branch_and_bound.hpp"
+#include "milp/model.hpp"
+#include "obs/events.hpp"
+#include "obs/obs.hpp"
 
 namespace xring::ring {
 
@@ -30,6 +37,28 @@ int tour_conflicts(const std::vector<NodeId>& order,
   return conflicts;
 }
 
+geom::Coord tour_lower_bound(const netlist::Floorplan& floorplan) {
+  const int n = floorplan.size();
+  if (n < 3) return 0;
+  geom::Coord doubled = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    geom::Coord min1 = std::numeric_limits<geom::Coord>::max();
+    geom::Coord min2 = std::numeric_limits<geom::Coord>::max();
+    for (NodeId u = 0; u < n; ++u) {
+      if (u == v) continue;
+      const geom::Coord d = floorplan.distance(v, u);
+      if (d < min1) {
+        min2 = min1;
+        min1 = d;
+      } else if (d < min2) {
+        min2 = d;
+      }
+    }
+    doubled += min1 + min2;
+  }
+  return (doubled + 1) / 2;
+}
+
 namespace {
 
 geom::Coord penalized_cost(const std::vector<NodeId>& order,
@@ -40,24 +69,166 @@ geom::Coord penalized_cost(const std::vector<NodeId>& order,
          opt.conflict_penalty * tour_conflicts(order, oracle);
 }
 
+/// Nearest-neighbour construction from one start node (lowest-id tie-break).
+std::vector<NodeId> nearest_neighbour_from(const netlist::Floorplan& floorplan,
+                                           NodeId start) {
+  const int n = floorplan.size();
+  std::vector<NodeId> order;
+  std::vector<bool> used(n, false);
+  order.reserve(n);
+  order.push_back(start);
+  used[start] = true;
+  while (static_cast<int>(order.size()) < n) {
+    const NodeId last = order.back();
+    NodeId best = -1;
+    geom::Coord best_d = std::numeric_limits<geom::Coord>::max();
+    for (NodeId v = 0; v < n; ++v) {
+      if (used[v]) continue;
+      const geom::Coord d = floorplan.distance(last, v);
+      if (d < best_d) {
+        best_d = d;
+        best = v;
+      }
+    }
+    order.push_back(best);
+    used[best] = true;
+  }
+  return order;
+}
+
 }  // namespace
 
 void two_opt(std::vector<NodeId>& order, const netlist::Floorplan& floorplan,
              const ConflictOracle& oracle, const HeuristicOptions& options) {
   const int n = static_cast<int>(order.size());
-  geom::Coord cost = penalized_cost(order, floorplan, oracle, options);
+  if (n < 3) return;
+  // Running penalized state, maintained exactly (integer µm and counts):
+  // accepting a move applies the same deltas the candidate was scored with,
+  // so there is no drift and the accept/reject sequence is identical to a
+  // full re-evaluation of every candidate.
+  geom::Coord length = tour_length(order, floorplan);
+  long long conflicts = tour_conflicts(order, oracle);
+  const geom::Coord penalty = options.conflict_penalty;
+
   for (int round = 0; round < options.max_two_opt_rounds; ++round) {
     bool improved = false;
     for (int i = 0; i < n - 1; ++i) {
       for (int j = i + 1; j < n; ++j) {
         if (i == 0 && j == n - 1) continue;  // full reversal is a no-op
-        std::reverse(order.begin() + i, order.begin() + j + 1);
-        const geom::Coord c = penalized_cost(order, floorplan, oracle, options);
-        if (c < cost) {
-          cost = c;
+        // Reversing order[i..j] swaps boundary edges (a,b),(c,d) for
+        // (a,c),(b,d); interior edges only flip direction, which the
+        // conflict predicate ignores.
+        const int pi = (i + n - 1) % n;
+        const int nj = (j + 1) % n;
+        const NodeId a = order[pi], b = order[i];
+        const NodeId c = order[j], d = order[nj];
+        const geom::Coord dl =
+            floorplan.distance(a, c) + floorplan.distance(b, d) -
+            floorplan.distance(a, b) - floorplan.distance(c, d);
+        // On a conflict-free tour a move can only add conflicts, so a
+        // non-improving length delta can never win — skip the O(n) conflict
+        // scan entirely (the dominant case once the tour is legal).
+        if (conflicts == 0 && dl >= 0) continue;
+        long long dc = 0;
+        for (int k = 0; k < n; ++k) {
+          if (k == pi || k == j) continue;
+          const NodeId u = order[k], v = order[(k + 1) % n];
+          dc += oracle.conflict(a, c, u, v) + oracle.conflict(b, d, u, v) -
+                oracle.conflict(a, b, u, v) - oracle.conflict(c, d, u, v);
+        }
+        dc += oracle.conflict(a, c, b, d) - oracle.conflict(a, b, c, d);
+        if (dl + penalty * dc < 0) {
+          std::reverse(order.begin() + i, order.begin() + j + 1);
+          length += dl;
+          conflicts += dc;
           improved = true;
-        } else {
-          std::reverse(order.begin() + i, order.begin() + j + 1);  // undo
+        }
+      }
+    }
+    if (!improved) break;
+  }
+}
+
+void or_opt(std::vector<NodeId>& order, const netlist::Floorplan& floorplan,
+            const ConflictOracle& oracle, const HeuristicOptions& options) {
+  const int n = static_cast<int>(order.size());
+  if (n < 5) return;
+  geom::Coord length = tour_length(order, floorplan);
+  long long conflicts = tour_conflicts(order, oracle);
+  const geom::Coord penalty = options.conflict_penalty;
+
+  // Relocating order[i..i+len-1] across the tour edge at position j swaps
+  // removed edges R = {(a,b),(c,d),(e,f)} for added edges
+  // A = {(a,d),(e,head),(tail,f)} with head/tail the segment ends in
+  // insertion order. Conflict delta: O(n) over the kept tour edges plus the
+  // pairs inside R and A (conflicts are undirected, so the segment's
+  // interior edges — unchanged up to direction — drop out).
+  const auto conflict_delta = [&](NodeId a, NodeId b, NodeId c, NodeId d,
+                                  NodeId e, NodeId f, NodeId head, NodeId tail,
+                                  int skip1, int skip2, int skip3) {
+    long long dc = 0;
+    for (int k = 0; k < n; ++k) {
+      if (k == skip1 || k == skip2 || k == skip3) continue;
+      const NodeId u = order[k], v = order[(k + 1) % n];
+      dc += oracle.conflict(a, d, u, v) + oracle.conflict(e, head, u, v) +
+            oracle.conflict(tail, f, u, v) - oracle.conflict(a, b, u, v) -
+            oracle.conflict(c, d, u, v) - oracle.conflict(e, f, u, v);
+    }
+    dc += oracle.conflict(a, d, e, head) + oracle.conflict(a, d, tail, f) +
+          oracle.conflict(e, head, tail, f);
+    dc -= oracle.conflict(a, b, c, d) + oracle.conflict(a, b, e, f) +
+          oracle.conflict(c, d, e, f);
+    return dc;
+  };
+
+  // Every accepted move strictly decreases the penalized cost, so scanning
+  // on after a splice (instead of restarting) cannot cycle; a round without
+  // any accepted move is a fixpoint.
+  for (int round = 0; round < options.max_or_opt_rounds; ++round) {
+    bool improved = false;
+    for (int len = 1; len <= 3 && len <= n - 4; ++len) {
+      for (int i = 0; i + len <= n; ++i) {
+        // Segment order[i .. i+len-1], entered from a and left toward d.
+        const NodeId a = order[(i + n - 1) % n];
+        const NodeId b = order[i];
+        const NodeId c = order[i + len - 1];
+        const NodeId d = order[(i + len) % n];
+        const geom::Coord base = floorplan.distance(a, d) -
+                                 floorplan.distance(a, b) -
+                                 floorplan.distance(c, d);
+        bool moved = false;
+        for (int j = 0; j < n && !moved; ++j) {
+          // Re-insert across tour edge (e, f) at position j; the edge must
+          // survive the removal, i.e. j outside [i-1, i+len-1] (cyclically).
+          const int rel = (j - (i - 1) + n) % n;
+          if (rel <= len) continue;
+          const NodeId e = order[j], f = order[(j + 1) % n];
+          for (const bool reversed : {false, true}) {
+            if (len == 1 && reversed) continue;  // identical move
+            const NodeId head = reversed ? c : b;  // node joined to e
+            const NodeId tail = reversed ? b : c;  // node joined to f
+            const geom::Coord dl = base + floorplan.distance(e, head) +
+                                   floorplan.distance(tail, f) -
+                                   floorplan.distance(e, f);
+            if (conflicts == 0 && dl >= 0) continue;  // cannot win (cf. two_opt)
+            const long long dc =
+                conflict_delta(a, b, c, d, e, f, head, tail, (i + n - 1) % n,
+                               i + len - 1, j);
+            if (dl + penalty * dc >= 0) continue;
+
+            // Apply: cut the segment out, then splice it back in after e.
+            std::vector<NodeId> seg(order.begin() + i,
+                                    order.begin() + i + len);
+            if (reversed) std::reverse(seg.begin(), seg.end());
+            order.erase(order.begin() + i, order.begin() + i + len);
+            const int at = j >= i + len ? j - len : j;  // e's index post-cut
+            order.insert(order.begin() + at + 1, seg.begin(), seg.end());
+            length += dl;
+            conflicts += dc;
+            improved = true;
+            moved = true;
+            break;
+          }
         }
       }
     }
@@ -74,29 +245,10 @@ std::vector<NodeId> heuristic_tour(const netlist::Floorplan& floorplan,
   geom::Coord best_cost = std::numeric_limits<geom::Coord>::max();
 
   // Nearest-neighbour from every start node, each polished by 2-opt; keep
-  // the best. N is at most a few dozen for on-chip networks, so the O(N)
-  // restarts are cheap and markedly improve the warm start.
+  // the best. The incremental 2-opt keeps the O(N) restarts affordable well
+  // past the paper's sizes, and they markedly improve the warm start.
   for (NodeId start = 0; start < n; ++start) {
-    std::vector<NodeId> order;
-    std::vector<bool> used(n, false);
-    order.push_back(start);
-    used[start] = true;
-    while (static_cast<int>(order.size()) < n) {
-      const NodeId last = order.back();
-      NodeId best = -1;
-      geom::Coord best_d = std::numeric_limits<geom::Coord>::max();
-      for (NodeId v = 0; v < n; ++v) {
-        if (used[v]) continue;
-        const geom::Coord d = floorplan.distance(last, v);
-        if (d < best_d) {
-          best_d = d;
-          best = v;
-        }
-      }
-      order.push_back(best);
-      used[best] = true;
-    }
-
+    std::vector<NodeId> order = nearest_neighbour_from(floorplan, start);
     two_opt(order, floorplan, oracle, options);
     const geom::Coord cost = penalized_cost(order, floorplan, oracle, options);
     if (cost < best_cost) {
@@ -105,6 +257,256 @@ std::vector<NodeId> heuristic_tour(const netlist::Floorplan& floorplan,
     }
   }
   return best_order;
+}
+
+namespace {
+
+/// One LNS repair: re-optimize the m interior nodes of the tour window
+/// starting at position `s` with an exact MILP, keeping the rest of the
+/// tour frozen. Returns true and splices the improvement into `order` (and
+/// the running totals) when the repair strictly improves the penalized cost.
+bool repair_window(std::vector<NodeId>& order,
+                   const netlist::Floorplan& floorplan,
+                   const ConflictOracle& oracle, int s, int m,
+                   geom::Coord penalty, long repair_node_limit,
+                   geom::Coord& length, long long& conflicts) {
+  const int n = static_cast<int>(order.size());
+  const int local = m + 2;  // window interior plus the two pinned endpoints
+  // Global node of local slot t: the tour positions s .. s+m+1.
+  std::vector<NodeId> g(local);
+  for (int t = 0; t < local; ++t) g[t] = order[(s + t) % n];
+
+  // The frozen tour edges: every hop outside positions s..s+m.
+  std::vector<std::pair<NodeId, NodeId>> frozen;
+  frozen.reserve(n - m - 1);
+  for (int k = 0; k < n; ++k) {
+    const int rel = (k - s + n) % n;
+    if (rel <= m) continue;  // hops s..s+m are being re-decided
+    frozen.emplace_back(order[k], order[(k + 1) % n]);
+  }
+
+  // Current (destroyed) segment cost: its length plus every conflict that
+  // involves at least one window hop — all of which a repair can remove.
+  geom::Coord old_len = 0;
+  long long old_conf = 0;
+  for (int t = 0; t <= m; ++t) {
+    old_len += floorplan.distance(g[t], g[t + 1]);
+    for (const auto& [u, v] : frozen) {
+      old_conf += oracle.conflict(g[t], g[t + 1], u, v);
+    }
+    for (int t2 = t + 1; t2 <= m; ++t2) {
+      old_conf += oracle.conflict(g[t], g[t + 1], g[t2], g[t2 + 1]);
+    }
+  }
+
+  // Sub-MILP over the complete digraph on the local nodes: a tour of the
+  // window that starts at the entry endpoint and ends at the exit endpoint,
+  // modelled as a cycle with the virtual closing edge exit->entry forced in
+  // at zero cost. Edges conflicting with the frozen remainder are banned
+  // outright; conflicts inside the window are exhaustive Eq.3 rows.
+  const EdgeSpace edges(local);
+  milp::Model model;
+  for (int e = 0; e < edges.count(); ++e) {
+    const auto [u, v] = edges.edge(e);
+    const bool closing = (u == local - 1 && v == 0);
+    if (closing) {
+      model.add_variable(milp::VarType::kBinary, 1.0, 1.0, 0.0);
+      continue;
+    }
+    bool banned = false;
+    for (const auto& [fu, fv] : frozen) {
+      if (oracle.conflict(g[u], g[v], fu, fv)) {
+        banned = true;
+        break;
+      }
+    }
+    model.add_variable(milp::VarType::kBinary, 0.0, banned ? 0.0 : 1.0,
+                       static_cast<double>(floorplan.distance(g[u], g[v])));
+  }
+  for (NodeId v = 0; v < local; ++v) {
+    milp::Terms out_terms, in_terms;
+    out_terms.reserve(local - 1);
+    in_terms.reserve(local - 1);
+    for (NodeId u = 0; u < local; ++u) {
+      if (u == v) continue;
+      out_terms.emplace_back(edges.index(v, u), 1.0);
+      in_terms.emplace_back(edges.index(u, v), 1.0);
+    }
+    model.add_constraint(std::move(out_terms), milp::Sense::kEq, 1.0);
+    model.add_constraint(std::move(in_terms), milp::Sense::kEq, 1.0);
+  }
+  for (NodeId i = 0; i < local; ++i) {
+    for (NodeId j = i + 1; j < local; ++j) {
+      model.add_constraint(
+          {{edges.index(i, j), 1.0}, {edges.index(j, i), 1.0}},
+          milp::Sense::kLe, 1.0);
+    }
+  }
+  for (int p = 0; p < local; ++p) {
+    for (int q = p + 1; q < local; ++q) {
+      for (int r = p; r < local; ++r) {
+        for (int w = r + 1; w < local; ++w) {
+          if (std::make_pair(r, w) <= std::make_pair(p, q)) continue;
+          // The virtual closing pair carries no geometry.
+          if ((p == 0 && q == local - 1) || (r == 0 && w == local - 1)) continue;
+          if (!oracle.conflict(g[p], g[q], g[r], g[w])) continue;
+          model.add_constraint({{edges.index(p, q), 1.0},
+                                {edges.index(q, p), 1.0},
+                                {edges.index(r, w), 1.0},
+                                {edges.index(w, r), 1.0}},
+                               milp::Sense::kLe, 1.0);
+        }
+      }
+    }
+  }
+
+  milp::BnbOptions bnb;
+  // Deterministic by construction: the node limit is the only stop (the
+  // huge time limit never fires), and the search itself is bit-identical at
+  // any thread count.
+  bnb.time_limit_seconds = 1e9;
+  bnb.node_limit = repair_node_limit;
+  // Feed the incumbent segment back in as the primal bound.
+  std::vector<double> warm(edges.count(), 0.0);
+  for (int t = 0; t < local; ++t) {
+    warm[edges.index(t, (t + 1) % local)] = 1.0;
+  }
+  bnb.warm_start = std::move(warm);
+  bnb.lazy_handler = [&edges](const std::vector<double>& x) {
+    // Sub-tour elimination on the local cycle model.
+    const int ln = edges.nodes();
+    std::vector<int> next(ln, -1);
+    for (int e = 0; e < edges.count(); ++e) {
+      if (x[e] > 0.5) next[edges.edge(e).first] = edges.edge(e).second;
+    }
+    std::vector<milp::Constraint> cuts;
+    std::vector<bool> seen(ln, false);
+    for (int start = 0; start < ln; ++start) {
+      if (seen[start]) continue;
+      std::vector<int> cycle;
+      int v = start;
+      while (v >= 0 && !seen[v]) {
+        seen[v] = true;
+        cycle.push_back(v);
+        v = next[v];
+      }
+      if (static_cast<int>(cycle.size()) == ln || cycle.size() < 2) continue;
+      milp::Constraint c;
+      c.sense = milp::Sense::kLe;
+      c.rhs = static_cast<double>(cycle.size()) - 1.0;
+      for (int u : cycle) {
+        for (int w : cycle) {
+          if (u != w) c.terms.emplace_back(edges.index(u, w), 1.0);
+        }
+      }
+      cuts.push_back(std::move(c));
+    }
+    return cuts;
+  };
+
+  const milp::MipResult mip = milp::solve(model, bnb);
+  if (mip.status != milp::MipStatus::kOptimal &&
+      mip.status != milp::MipStatus::kFeasible) {
+    return false;  // no conflict-free repair found within the node budget
+  }
+  const geom::Coord new_len = static_cast<geom::Coord>(std::llround(
+      mip.objective));
+  // The repair is conflict-free by construction; accept only a strict
+  // penalized-cost win over the destroyed segment.
+  if (new_len >= old_len + penalty * old_conf) return false;
+
+  // Decode the single cycle from the entry endpoint; the forced closing
+  // edge guarantees the exit endpoint comes last.
+  std::vector<int> next(local, -1);
+  for (int e = 0; e < edges.count(); ++e) {
+    if (mip.x[e] > 0.5) next[edges.edge(e).first] = edges.edge(e).second;
+  }
+  int v = 0;
+  for (int t = 1; t <= m; ++t) {
+    v = next[v];
+    order[(s + t) % n] = g[v];
+  }
+  length += new_len - old_len;
+  conflicts -= old_conf;
+  return true;
+}
+
+}  // namespace
+
+LnsResult lns_tour(const netlist::Floorplan& floorplan,
+                   const ConflictOracle& oracle, const LnsOptions& options,
+                   const HeuristicOptions& heuristic) {
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  const int n = floorplan.size();
+
+  LnsResult out;
+  // Cheap initial incumbent: one nearest-neighbour construction polished to
+  // a joint 2-opt/Or-opt fixpoint (the all-starts heuristic_tour is
+  // quadratic in restarts and defeats the point of a budgeted mode; Or-opt
+  // supplies the relocation moves 2-opt lacks — see or_opt).
+  out.order = nearest_neighbour_from(floorplan, 0);
+  const auto polish = [&](std::vector<NodeId>& order) {
+    geom::Coord before;
+    do {
+      before = penalized_cost(order, floorplan, oracle, heuristic);
+      two_opt(order, floorplan, oracle, heuristic);
+      or_opt(order, floorplan, oracle, heuristic);
+    } while (penalized_cost(order, floorplan, oracle, heuristic) < before);
+  };
+  polish(out.order);
+  out.length_um = tour_length(out.order, floorplan);
+  long long conflicts = tour_conflicts(out.order, oracle);
+
+  const int m = std::min(options.window, n - 3);
+  if (m >= 3 && n >= 6) {
+    // Deterministic destroy schedule: an LCG seeded by (seed), walked the
+    // same way at every jobs count. The budget is only a safety stop; when
+    // the schedule completes (the designed regime), the result is a pure
+    // function of (floorplan, seed, window, node limit).
+    unsigned state = options.seed * 2654435761u + 0x9E3779B9u;
+    auto rnd = [&state] {
+      state = state * 1664525u + 1013904223u;
+      return state >> 8;
+    };
+    const long attempts =
+        static_cast<long>(options.attempts_per_node) * n;
+    geom::Coord length = out.length_um;
+    for (long a = 0; a < attempts; ++a) {
+      if (elapsed() > options.budget_seconds) {
+        out.budget_exhausted = true;
+        break;
+      }
+      const int s = static_cast<int>(rnd() % static_cast<unsigned>(n));
+      ++out.repairs_attempted;
+      if (repair_window(out.order, floorplan, oracle, s, m,
+                        heuristic.conflict_penalty, options.repair_node_limit,
+                        length, conflicts)) {
+        ++out.repairs_accepted;
+        if (obs::enabled()) obs::registry().counter("milp.lns_repairs").add();
+        if (obs::events::enabled()) {
+          obs::events::emit(
+              "milp.lns_repair",
+              {{"attempt", static_cast<double>(a)},
+               {"length_um", static_cast<double>(length)},
+               {"conflicts", static_cast<double>(conflicts)}});
+        }
+      }
+    }
+    out.length_um = length;
+  }
+  // A final polish pass: repairs can open 2-opt/Or-opt improvements across
+  // window boundaries.
+  polish(out.order);
+  out.length_um = tour_length(out.order, floorplan);
+  conflicts = tour_conflicts(out.order, oracle);
+  out.conflicts = static_cast<int>(conflicts);
+  out.seconds = elapsed();
+  return out;
 }
 
 }  // namespace xring::ring

@@ -12,6 +12,8 @@ struct HeuristicOptions {
   /// enough that the 2-opt phase trades length for conflict removal.
   geom::Coord conflict_penalty = 1'000'000;
   int max_two_opt_rounds = 64;
+  /// Round cap for or_opt (which heuristic_tour does NOT run; see or_opt).
+  int max_or_opt_rounds = 32;
 };
 
 /// Conflict-aware nearest-neighbour + 2-opt tour construction (best of all
@@ -24,8 +26,25 @@ std::vector<NodeId> heuristic_tour(const netlist::Floorplan& floorplan,
 
 /// In-place 2-opt improvement on the penalized (length + conflict) cost.
 /// Used both inside heuristic_tour and as the post-merge polish of Step 1.
+/// Incremental: each candidate move is scored by its exact integer length
+/// delta in O(1) and (only when that leaves the move competitive) its exact
+/// conflict-count delta in O(n) — replacing the historical full O(n^2)
+/// re-evaluation per candidate while accepting and rejecting the exact same
+/// move sequence.
 void two_opt(std::vector<NodeId>& order, const netlist::Floorplan& floorplan,
              const ConflictOracle& oracle, const HeuristicOptions& options = {});
+
+/// In-place Or-opt improvement on the penalized cost: relocates segments of
+/// 1..3 consecutive nodes to another tour position (forward or reversed),
+/// first-improvement, exact integer deltas. Complements two_opt, which can
+/// only reverse a contiguous range — the moves that remain after 2-opt
+/// converges (a node stranded far from its tour neighbours) are exactly the
+/// relocations this pass makes. Deliberately NOT part of heuristic_tour /
+/// two_opt (their move sequences are pinned by the quality baselines);
+/// callers that want the stronger polish — the budgeted LNS always, the
+/// exact path behind RingBuildOptions::or_opt_polish — invoke it on top.
+void or_opt(std::vector<NodeId>& order, const netlist::Floorplan& floorplan,
+            const ConflictOracle& oracle, const HeuristicOptions& options = {});
 
 /// Total Manhattan length of a tour (closing edge included), micrometres.
 geom::Coord tour_length(const std::vector<NodeId>& order,
@@ -34,5 +53,50 @@ geom::Coord tour_length(const std::vector<NodeId>& order,
 /// Number of conflicting edge pairs in a tour.
 int tour_conflicts(const std::vector<NodeId>& order,
                    const ConflictOracle& oracle);
+
+/// Certified lower bound on any Hamiltonian tour length (µm): every node is
+/// incident to exactly two tour edges, so half the sum over nodes of the two
+/// cheapest incident edge lengths bounds every tour from below. O(n^2),
+/// deterministic, and tight on regular grids (where it equals the optimal
+/// boustrophedon tour).
+geom::Coord tour_lower_bound(const netlist::Floorplan& floorplan);
+
+/// Time-budgeted large-neighbourhood search over tours: destroy a window of
+/// consecutive tour positions and repair it with an *exact* MILP over the
+/// sub-neighbourhood (endpoints pinned, conflicts against the frozen
+/// remainder banned, sub-tours eliminated lazily), accepting a repair only
+/// when it strictly improves the penalized cost. The current segment warm
+/// starts every repair MILP, i.e. the incumbent is fed back into branch &
+/// bound as a primal bound.
+struct LnsOptions {
+  /// Wall-clock budget for the repair loop. The repair *schedule* is a fixed
+  /// function of (size, seed) — the budget is a safety stop, so runs that
+  /// complete the schedule are bit-identical at any jobs count.
+  double budget_seconds = 30.0;
+  unsigned seed = 1;
+  /// Consecutive tour positions destroyed per repair.
+  int window = 12;
+  /// Repair attempts per node of the instance (schedule length = ratio * n).
+  int attempts_per_node = 4;
+  /// Node budget per repair MILP. Repairs are node-limited, never
+  /// time-limited, so every repair outcome is machine- and jobs-independent.
+  long repair_node_limit = 400;
+};
+
+struct LnsResult {
+  std::vector<NodeId> order;
+  geom::Coord length_um = 0;
+  int conflicts = 0;
+  int repairs_attempted = 0;
+  int repairs_accepted = 0;
+  /// True when the wall-clock budget cut the schedule short (the result is
+  /// still valid, but no longer reproducible across machines).
+  bool budget_exhausted = false;
+  double seconds = 0.0;
+};
+
+LnsResult lns_tour(const netlist::Floorplan& floorplan,
+                   const ConflictOracle& oracle, const LnsOptions& options,
+                   const HeuristicOptions& heuristic = {});
 
 }  // namespace xring::ring

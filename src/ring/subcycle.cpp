@@ -40,19 +40,22 @@ struct Exchange {
   bool conflict_free = false;
 };
 
-/// All directed edges of a set of cycles, excluding two hops under exchange.
-std::vector<std::pair<NodeId, NodeId>> remaining_edges(
-    const std::vector<Cycle>& cycles, std::size_t skip_cycle_a, int skip_hop_a,
-    std::size_t skip_cycle_b, int skip_hop_b) {
-  std::vector<std::pair<NodeId, NodeId>> out;
+/// One currently-selected hop, tagged with its (cycle, hop) position so a
+/// candidate exchange can skip the two hops it removes without rebuilding
+/// the list (the historical remaining_edges() allocated a fresh vector for
+/// every candidate, dominating the merge at large N).
+struct Hop {
+  std::size_t cycle;
+  int hop;
+  NodeId u, v;
+};
+
+std::vector<Hop> all_hops(const std::vector<Cycle>& cycles) {
+  std::vector<Hop> out;
   for (std::size_t c = 0; c < cycles.size(); ++c) {
     const int n = static_cast<int>(cycles[c].size());
     for (int h = 0; h < n; ++h) {
-      if ((c == skip_cycle_a && h == skip_hop_a) ||
-          (c == skip_cycle_b && h == skip_hop_b)) {
-        continue;
-      }
-      out.emplace_back(cycles[c][h], cycles[c][(h + 1) % n]);
+      out.push_back({c, h, cycles[c][h], cycles[c][(h + 1) % n]});
     }
   }
   return out;
@@ -67,6 +70,11 @@ Cycle merge_cycles(std::vector<Cycle> cycles,
 
   while (cycles.size() > 1) {
     Exchange best;
+    // The selected-edge list is identical for every candidate this round
+    // (only the two removed hops differ), so build it once and skip in
+    // place — same edges, same order, same verdicts as the per-candidate
+    // rebuild it replaces.
+    const std::vector<Hop> hops = all_hops(cycles);
     for (std::size_t ca = 0; ca < cycles.size(); ++ca) {
       for (std::size_t cb = ca + 1; cb < cycles.size(); ++cb) {
         const Cycle& A = cycles[ca];
@@ -86,9 +94,13 @@ Cycle merge_cycles(std::vector<Cycle> cycles,
             // edge that stays selected.
             bool ok = !oracle.conflict(a, d, c, b);
             if (ok) {
-              for (const auto& [u, v] :
-                   remaining_edges(cycles, ca, ha, cb, hb)) {
-                if (oracle.conflict(a, d, u, v) || oracle.conflict(c, b, u, v)) {
+              for (const Hop& e : hops) {
+                if ((e.cycle == ca && e.hop == ha) ||
+                    (e.cycle == cb && e.hop == hb)) {
+                  continue;  // the two hops this exchange removes
+                }
+                if (oracle.conflict(a, d, e.u, e.v) ||
+                    oracle.conflict(c, b, e.u, e.v)) {
                   ok = false;
                   break;
                 }

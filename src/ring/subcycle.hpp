@@ -13,7 +13,10 @@ using Cycle = std::vector<NodeId>;
 
 /// Splits a degree-1-regular directed edge selection into its cycles.
 /// Precondition: every node has exactly one incoming and one outgoing edge
-/// (guaranteed by Eq. 1).
+/// (guaranteed by Eq. 1). Each cycle starts at its lowest-numbered node
+/// (start candidates are scanned in increasing id order), so the returned
+/// rotation is canonical — two selections with the same cycle structure
+/// decode identically.
 std::vector<Cycle> extract_cycles(
     const std::vector<std::pair<NodeId, NodeId>>& edges, int nodes);
 

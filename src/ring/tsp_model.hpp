@@ -16,6 +16,13 @@ enum class ConflictMode {
   /// solution, added through the branch & bound's lazy-constraint callback.
   /// Reaches the same optimum with far smaller LPs (see DESIGN.md).
   kLazy,
+  /// kLazy, plus the anti-2-cycle rows (Eq. 2) are *also* dropped from the
+  /// root model: violated ones are separated as cutting planes from
+  /// fractional LP points (cut_separator()) and enforced at integer points
+  /// through the lazy handler. This removes the n(n-1)/2-row wall that
+  /// dominates the root LP at large N; the optimum is unchanged because
+  /// every dropped row is restored exactly where it binds.
+  kSeparated,
 };
 
 /// The paper's modified-TSP MILP (Sec. III-A):
@@ -34,9 +41,32 @@ class TspModel {
   const milp::Model& model() const { return model_; }
   const EdgeSpace& edges() const { return edges_; }
 
-  /// Lazy handler implementing kLazy mode; returns Eq. 3 rows violated by
-  /// the candidate selection. Empty in kExhaustive mode.
+  /// Breaks the tour's reflective symmetry. The edge formulation already
+  /// quotients out rotations (a tour's edge set is rotation-invariant), so
+  /// the only residual symmetry is reversal: every selection and its mirror
+  /// are distinct variable assignments with identical objective. One
+  /// orientation row on node 0 — sum_u u*b_(0,u) - sum_u u*b_(u,0), i.e.
+  /// succ(0) - pred(0), forced <= -1 or >= +1 — keeps exactly one of each
+  /// mirror pair, halving the search space. The inequality's direction is
+  /// taken from `reference` (normally the heuristic warm-start tour) so the
+  /// warm start stays feasible and a solver that returns the warm start
+  /// returns it unreversed — downstream ring direction is untouched.
+  /// No-op for fewer than 3 nodes.
+  void add_symmetry_breaking(const std::vector<NodeId>& reference);
+
+  /// Lazy handler enforcing the rows not materialized up front: Eq. 3 rows
+  /// violated by a candidate integer selection (kLazy, kSeparated) and
+  /// Eq. 2 rows for selected 2-cycles (kSeparated). Null in kExhaustive
+  /// mode.
   milp::LazyConstraintHandler lazy_handler() const;
+
+  /// Cutting-plane separator for fractional LP points (see
+  /// milp::CutSeparator): violated Eq. 2 rows (kSeparated only — in kLazy
+  /// they are all in the root model) and Eq. 3 conflict rows whose
+  /// undirected-edge LP mass exceeds 1. All returned rows are rows of the
+  /// paper's exhaustive formulation, hence globally valid. Null in
+  /// kExhaustive mode (nothing is missing from the root model).
+  milp::CutSeparator cut_separator() const;
 
   /// Converts a tour (cyclic node order) into a b_e assignment usable as a
   /// warm start.

@@ -70,6 +70,7 @@ cmake --build "$tsan_dir" -j
 (cd "$tsan_dir/tests" &&
   XRING_JOBS=8 ./test_par &&
   XRING_JOBS=8 ./test_milp_bnb &&
+  XRING_JOBS=8 ./test_milp_scale &&
   XRING_JOBS=8 ./test_xring_synthesizer &&
   XRING_JOBS=8 ./test_mapping_index &&
   XRING_JOBS=8 ./test_mapping_fastpath &&

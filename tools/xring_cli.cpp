@@ -15,6 +15,12 @@
 //   --params FILE      load device parameters (see phys/parameters_io.hpp)
 //   --no-pdn           skip Step 4
 //   --no-shortcuts     skip Step 2
+//   --milp-budget SEC  budgeted Step 1: replace the exact ring MILP with the
+//                      large-neighbourhood search (exact MILP repairs on
+//                      tour windows) under a SEC-second budget, reporting a
+//                      certified optimality gap; deterministic for a fixed
+//                      seed and window whenever the repair schedule
+//                      completes inside the budget
 //   --comb-pdn         use the baseline crossing PDN instead of the tree
 //   --svg FILE         write the layout view to FILE
 //   --csv              print the per-signal report as CSV
@@ -169,6 +175,12 @@ int cmd_synth(Args& args) {
       std::stoi(args.value("--wl", std::to_string(fp.size())));
   opt.build_pdn = !args.flag("--no-pdn");
   opt.shortcuts.enable = !args.flag("--no-shortcuts");
+  // Opt-in budgeted Step 1: swap the exact ring MILP for the LNS with a
+  // certified gap (ring/builder.hpp), keeping everything downstream as is.
+  const std::string milp_budget = args.value("--milp-budget");
+  if (!milp_budget.empty()) {
+    opt.ring.lns_budget_seconds = std::stod(milp_budget);
+  }
   if (args.flag("--comb-pdn")) {
     opt.pdn_style = SynthesisOptions::PdnStyle::kComb;
   }
